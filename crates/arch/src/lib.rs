@@ -1,0 +1,44 @@
+//! Flag-Proxy Network (FPN) architectures — §IV of the paper.
+//!
+//! An FPN realizes a quantum code on sparse hardware by inserting two
+//! kinds of helper qubits between data and parity qubits:
+//!
+//! * **flag qubits** bridge a *pair* of data qubits to a parity qubit
+//!   and are measured every round; they both lower connectivity and
+//!   detect the propagation errors that would otherwise reduce the
+//!   effective code distance (`δ/2` flags per weight-`δ` check,
+//!   Fig. 10);
+//! * **proxy qubits** further reduce the degree of any qubit above the
+//!   hardware target (degree 4) without being measured (Fig. 11);
+//!   Theorem 1 shows they preserve fault tolerance.
+//!
+//! **Flag sharing** (§IV-E) merges the flags of data pairs that appear
+//! together in several checks, chosen by maximum-weight matching over
+//! data-qubit pairs weighted by their number of common checks.
+//!
+//! # Example
+//!
+//! ```
+//! use qec_arch::{FlagProxyNetwork, FpnConfig};
+//! use qec_code::planar::rotated_surface_code;
+//!
+//! // The planar surface code needs no flags or proxies: its FPN is
+//! // the standard 2d²-1 layout.
+//! let code = rotated_surface_code(5);
+//! let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+//! assert_eq!(fpn.num_qubits(), 49);
+//! assert_eq!(fpn.max_degree(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod network;
+mod sharing;
+
+pub use metrics::ArchitectureMetrics;
+pub use network::{
+    CheckRef, FlagInfo, FlagProxyNetwork, FpnConfig, QubitKind, Segment, Via,
+};
+pub use sharing::shared_pair_matching;

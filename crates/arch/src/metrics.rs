@@ -1,0 +1,110 @@
+//! Architecture metrics: qubit composition, effective rate, degrees
+//! (Figs. 8(a), 12 and Table I of the paper).
+
+use crate::network::{FlagProxyNetwork, QubitKind};
+use qec_code::CssCode;
+
+/// Summary statistics of an FPN realization of a code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchitectureMetrics {
+    /// Data qubits.
+    pub num_data: usize,
+    /// Parity qubits (X + Z).
+    pub num_parity: usize,
+    /// Flag qubits.
+    pub num_flags: usize,
+    /// Proxy qubits.
+    pub num_proxies: usize,
+    /// Total physical qubits `N`.
+    pub total: usize,
+    /// Logical qubits `k`.
+    pub k: usize,
+    /// Effective rate `k / N` (§III-B).
+    pub effective_rate: f64,
+    /// Ideal rate `k / n`.
+    pub ideal_rate: f64,
+    /// Mean degree of the coupling graph.
+    pub mean_degree: f64,
+    /// Maximum degree of the coupling graph.
+    pub max_degree: usize,
+}
+
+impl ArchitectureMetrics {
+    /// Computes the metrics of `fpn` realizing `code`.
+    pub fn compute(code: &CssCode, fpn: &FlagProxyNetwork) -> Self {
+        let mut counts = [0usize; 5];
+        for k in fpn.kinds() {
+            let idx = match k {
+                QubitKind::Data => 0,
+                QubitKind::XParity | QubitKind::ZParity => 1,
+                QubitKind::Flag => 2,
+                QubitKind::Proxy => 3,
+            };
+            counts[idx] += 1;
+        }
+        let total = fpn.num_qubits();
+        ArchitectureMetrics {
+            num_data: counts[0],
+            num_parity: counts[1],
+            num_flags: counts[2],
+            num_proxies: counts[3],
+            total,
+            k: code.k(),
+            effective_rate: code.k() as f64 / total as f64,
+            ideal_rate: code.ideal_rate(),
+            mean_degree: fpn.mean_degree(),
+            max_degree: fpn.max_degree(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::FpnConfig;
+    use qec_code::hyperbolic::{hyperbolic_surface_code, SURFACE_REGISTRY};
+    use qec_code::planar::rotated_surface_code;
+
+    #[test]
+    fn planar_d5_effective_rate_is_one_over_49() {
+        let code = rotated_surface_code(5);
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+        let m = ArchitectureMetrics::compute(&code, &fpn);
+        assert_eq!(m.total, 49);
+        assert!((m.effective_rate - 1.0 / 49.0).abs() < 1e-12);
+        assert_eq!(m.num_flags + m.num_proxies, 0);
+    }
+
+    #[test]
+    fn hyperbolic_fpn_beats_planar_rate() {
+        // Key result of Fig. 12: shared FPNs of hyperbolic codes have
+        // effective rate above 1/49.
+        for spec in &SURFACE_REGISTRY[..2] {
+            let code = hyperbolic_surface_code(spec).unwrap();
+            let fpn = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+            let m = ArchitectureMetrics::compute(&code, &fpn);
+            assert!(
+                m.effective_rate > 1.0 / 49.0,
+                "{}: rate {}",
+                code.name(),
+                m.effective_rate
+            );
+        }
+    }
+
+    #[test]
+    fn sharing_improves_effective_rate() {
+        let code = hyperbolic_surface_code(&SURFACE_REGISTRY[0]).unwrap();
+        let with = ArchitectureMetrics::compute(
+            &code,
+            &FlagProxyNetwork::build(&code, &FpnConfig::shared()),
+        );
+        let without = ArchitectureMetrics::compute(
+            &code,
+            &FlagProxyNetwork::build(&code, &FpnConfig::flags_only()),
+        );
+        assert!(with.effective_rate > without.effective_rate);
+        assert_eq!(with.num_data, without.num_data);
+        assert_eq!(with.num_parity, without.num_parity);
+    }
+}

@@ -1,0 +1,553 @@
+//! The Flag-Proxy Network data model and builder.
+
+use crate::sharing::shared_pair_matching;
+use qec_code::CssCode;
+use std::collections::HashMap;
+
+/// Role of a physical qubit in an FPN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QubitKind {
+    /// Holds the logical state.
+    Data,
+    /// Ancilla measuring an X check.
+    XParity,
+    /// Ancilla measuring a Z check.
+    ZParity,
+    /// Flag/bridge qubit: measured every round, detects propagation
+    /// errors.
+    Flag,
+    /// Proxy qubit: relays CNOTs, never measured.
+    Proxy,
+}
+
+/// Reference to a check of the underlying code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CheckRef {
+    /// `true` for X checks.
+    pub is_x: bool,
+    /// Row index in the corresponding parity-check matrix.
+    pub index: usize,
+}
+
+/// How a group of data qubits reaches its parity qubit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Via {
+    /// Data couples directly to the parity qubit.
+    Direct,
+    /// Data couples through the flag with this index (into
+    /// [`FlagProxyNetwork::flags`]).
+    Flag(usize),
+}
+
+/// One segment of a check's syndrome-extraction structure: up to two
+/// data qubits and the route to the parity qubit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Route to the parity qubit.
+    pub via: Via,
+    /// Data qubits (code indices) in this segment (1 or 2).
+    pub data: Vec<usize>,
+}
+
+/// A flag qubit and its bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlagInfo {
+    /// Physical qubit id.
+    pub qubit: usize,
+    /// The data pair (code indices) this flag bridges.
+    pub data: Vec<usize>,
+    /// Checks whose syndrome extraction uses this flag (more than one
+    /// when the flag is shared).
+    pub checks: Vec<CheckRef>,
+}
+
+/// Configuration for FPN construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpnConfig {
+    /// Insert flag qubits (`false` = plain data/parity layout).
+    pub use_flags: bool,
+    /// Merge flags of data pairs with common checks (§IV-E).
+    pub flag_sharing: bool,
+    /// Insert proxies until no qubit exceeds this degree.
+    pub target_degree: usize,
+}
+
+impl FpnConfig {
+    /// Flags without sharing (Fig. 8(a) baseline).
+    pub fn flags_only() -> Self {
+        FpnConfig {
+            use_flags: true,
+            flag_sharing: false,
+            target_degree: 4,
+        }
+    }
+
+    /// Flags with sharing — the paper's recommended configuration.
+    pub fn shared() -> Self {
+        FpnConfig {
+            use_flags: true,
+            flag_sharing: true,
+            target_degree: 4,
+        }
+    }
+
+    /// No flags or proxies: data couple directly to parity qubits
+    /// (planar surface code and unflagged baselines).
+    pub fn direct() -> Self {
+        FpnConfig {
+            use_flags: false,
+            flag_sharing: false,
+            target_degree: usize::MAX,
+        }
+    }
+}
+
+impl Default for FpnConfig {
+    fn default() -> Self {
+        Self::shared()
+    }
+}
+
+/// A Flag-Proxy Network: the physical-qubit layout realizing a CSS
+/// code with flags and proxies (§IV).
+#[derive(Debug, Clone)]
+pub struct FlagProxyNetwork {
+    kinds: Vec<QubitKind>,
+    data_qubit: Vec<usize>,
+    x_parity_qubit: Vec<usize>,
+    z_parity_qubit: Vec<usize>,
+    flags: Vec<FlagInfo>,
+    x_segments: Vec<Vec<Segment>>,
+    z_segments: Vec<Vec<Segment>>,
+    adjacency: Vec<Vec<usize>>,
+    config: FpnConfig,
+}
+
+impl FlagProxyNetwork {
+    /// Builds the FPN of `code` under `config`.
+    ///
+    /// Construction follows §IV-D: start from the naïve data–parity
+    /// layout, insert `⌈δ/2⌉` flags per weight-`δ` check (sharing
+    /// merged pairs when enabled), then insert proxies until every
+    /// qubit has degree at most `config.target_degree`.
+    pub fn build(code: &CssCode, config: &FpnConfig) -> Self {
+        let n = code.n();
+        let mut kinds: Vec<QubitKind> = vec![QubitKind::Data; n];
+        let data_qubit: Vec<usize> = (0..n).collect();
+        let mut x_parity_qubit = Vec::with_capacity(code.num_x_checks());
+        for _ in 0..code.num_x_checks() {
+            x_parity_qubit.push(kinds.len());
+            kinds.push(QubitKind::XParity);
+        }
+        let mut z_parity_qubit = Vec::with_capacity(code.num_z_checks());
+        for _ in 0..code.num_z_checks() {
+            z_parity_qubit.push(kinds.len());
+            kinds.push(QubitKind::ZParity);
+        }
+
+        let partner: Vec<Option<usize>> = if config.use_flags && config.flag_sharing {
+            shared_pair_matching(code)
+        } else {
+            vec![None; n]
+        };
+
+        let mut flags: Vec<FlagInfo> = Vec::new();
+        let mut flag_by_pair: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+
+        let build_check = |check: CheckRef,
+                               support: Vec<usize>,
+                               parity: usize,
+                               kinds: &mut Vec<QubitKind>,
+                               flags: &mut Vec<FlagInfo>,
+                               flag_by_pair: &mut HashMap<(usize, usize), usize>,
+                               edges: &mut Vec<(usize, usize)>|
+         -> Vec<Segment> {
+            if !config.use_flags {
+                for &d in &support {
+                    edges.push((d, parity));
+                }
+                return support
+                    .iter()
+                    .map(|&d| Segment {
+                        via: Via::Direct,
+                        data: vec![d],
+                    })
+                    .collect();
+            }
+            // Pick pairs: shared partners inside the support first.
+            let mut segments = Vec::new();
+            let in_support: std::collections::HashSet<usize> = support.iter().copied().collect();
+            let mut used: std::collections::HashSet<usize> = std::collections::HashSet::new();
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
+            if config.flag_sharing {
+                for &d in &support {
+                    if used.contains(&d) {
+                        continue;
+                    }
+                    if let Some(p) = partner[d] {
+                        if in_support.contains(&p) && !used.contains(&p) {
+                            used.insert(d);
+                            used.insert(p);
+                            pairs.push(if d < p { (d, p) } else { (p, d) });
+                        }
+                    }
+                }
+            }
+            let leftovers: Vec<usize> = support.iter().copied().filter(|d| !used.contains(d)).collect();
+            for chunk in leftovers.chunks(2) {
+                if chunk.len() == 2 {
+                    let (a, b) = (chunk[0].min(chunk[1]), chunk[0].max(chunk[1]));
+                    pairs.push((a, b));
+                } else {
+                    // Odd weight: the last data qubit couples directly.
+                    edges.push((chunk[0], parity));
+                    segments.push(Segment {
+                        via: Via::Direct,
+                        data: vec![chunk[0]],
+                    });
+                }
+            }
+            for (a, b) in pairs {
+                let flag_id = if config.flag_sharing {
+                    *flag_by_pair.entry((a, b)).or_insert_with(|| {
+                        let qubit = kinds.len();
+                        kinds.push(QubitKind::Flag);
+                        edges.push((a, qubit));
+                        edges.push((b, qubit));
+                        flags.push(FlagInfo {
+                            qubit,
+                            data: vec![a, b],
+                            checks: Vec::new(),
+                        });
+                        flags.len() - 1
+                    })
+                } else {
+                    let qubit = kinds.len();
+                    kinds.push(QubitKind::Flag);
+                    edges.push((a, qubit));
+                    edges.push((b, qubit));
+                    flags.push(FlagInfo {
+                        qubit,
+                        data: vec![a, b],
+                        checks: Vec::new(),
+                    });
+                    flags.len() - 1
+                };
+                flags[flag_id].checks.push(check);
+                edges.push((flags[flag_id].qubit, parity));
+                segments.push(Segment {
+                    via: Via::Flag(flag_id),
+                    data: vec![a, b],
+                });
+            }
+            segments
+        };
+
+        let mut x_segments = Vec::with_capacity(code.num_x_checks());
+        for i in 0..code.num_x_checks() {
+            x_segments.push(build_check(
+                CheckRef { is_x: true, index: i },
+                code.x_support(i),
+                x_parity_qubit[i],
+                &mut kinds,
+                &mut flags,
+                &mut flag_by_pair,
+                &mut edges,
+            ));
+        }
+        let mut z_segments = Vec::with_capacity(code.num_z_checks());
+        for i in 0..code.num_z_checks() {
+            z_segments.push(build_check(
+                CheckRef {
+                    is_x: false,
+                    index: i,
+                },
+                code.z_support(i),
+                z_parity_qubit[i],
+                &mut kinds,
+                &mut flags,
+                &mut flag_by_pair,
+                &mut edges,
+            ));
+        }
+
+        let mut fpn = FlagProxyNetwork {
+            adjacency: build_adjacency(kinds.len(), &edges),
+            kinds,
+            data_qubit,
+            x_parity_qubit,
+            z_parity_qubit,
+            flags,
+            x_segments,
+            z_segments,
+            config: *config,
+        };
+        if config.target_degree != usize::MAX {
+            fpn.insert_proxies(config.target_degree);
+        }
+        fpn
+    }
+
+    /// Inserts proxy qubits until every qubit's degree is at most
+    /// `target` (Fig. 11). Each proxy absorbs `target - 1` neighbors
+    /// of an over-degree qubit.
+    fn insert_proxies(&mut self, target: usize) {
+        assert!(target >= 3, "degree target below 3 cannot converge");
+        let mut q = 0;
+        while q < self.adjacency.len() {
+            while self.adjacency[q].len() > target {
+                let take = target - 1;
+                let moved: Vec<usize> = {
+                    let nbrs = &mut self.adjacency[q];
+                    let at = nbrs.len() - take;
+                    nbrs.split_off(at)
+                };
+                let proxy = self.adjacency.len();
+                self.kinds.push(QubitKind::Proxy);
+                self.adjacency.push(Vec::with_capacity(take + 1));
+                for &u in &moved {
+                    // Rewire u: replace edge (u, q) with (u, proxy).
+                    let slot = self.adjacency[u]
+                        .iter()
+                        .position(|&v| v == q)
+                        .expect("edge must be symmetric");
+                    self.adjacency[u][slot] = proxy;
+                    self.adjacency[proxy].push(u);
+                }
+                self.adjacency[proxy].push(q);
+                self.adjacency[q].push(proxy);
+            }
+            q += 1;
+        }
+    }
+
+    /// Total number of physical qubits `N`.
+    pub fn num_qubits(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Kind of each qubit.
+    pub fn kinds(&self) -> &[QubitKind] {
+        &self.kinds
+    }
+
+    /// Physical qubit of data qubit `q` (identity mapping).
+    pub fn data_qubit(&self, q: usize) -> usize {
+        self.data_qubit[q]
+    }
+
+    /// Physical qubit of the i-th X parity check.
+    pub fn x_parity_qubit(&self, i: usize) -> usize {
+        self.x_parity_qubit[i]
+    }
+
+    /// Physical qubit of the i-th Z parity check.
+    pub fn z_parity_qubit(&self, i: usize) -> usize {
+        self.z_parity_qubit[i]
+    }
+
+    /// All flag qubits.
+    pub fn flags(&self) -> &[FlagInfo] {
+        &self.flags
+    }
+
+    /// Segments of the i-th X check.
+    pub fn x_segments(&self, i: usize) -> &[Segment] {
+        &self.x_segments[i]
+    }
+
+    /// Segments of the i-th Z check.
+    pub fn z_segments(&self, i: usize) -> &[Segment] {
+        &self.z_segments[i]
+    }
+
+    /// The configuration used to build this network.
+    pub fn config(&self) -> &FpnConfig {
+        &self.config
+    }
+
+    /// Physical coupling graph as adjacency lists.
+    pub fn adjacency(&self) -> &[Vec<usize>] {
+        &self.adjacency
+    }
+
+    /// Maximum degree of the coupling graph.
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean degree of the coupling graph.
+    pub fn mean_degree(&self) -> f64 {
+        if self.adjacency.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.adjacency.iter().map(Vec::len).sum();
+        total as f64 / self.adjacency.len() as f64
+    }
+
+    /// Routes a CNOT between `a` and `b`: returns the path `a .. b`
+    /// whose interior vertices are all proxies (shortest such path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no proxy-interior path exists (the FPN builder always
+    /// leaves one).
+    pub fn route(&self, a: usize, b: usize) -> Vec<usize> {
+        // BFS from a to b through proxy-only interiors.
+        let n = self.adjacency.len();
+        let mut pred = vec![usize::MAX; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[a] = true;
+        queue.push_back(a);
+        while let Some(u) = queue.pop_front() {
+            if u == b {
+                break;
+            }
+            for &v in &self.adjacency[u] {
+                if seen[v] {
+                    continue;
+                }
+                // Interior vertices must be proxies; the endpoint b is
+                // always allowed.
+                if v != b && self.kinds[v] != QubitKind::Proxy {
+                    continue;
+                }
+                seen[v] = true;
+                pred[v] = u;
+                queue.push_back(v);
+            }
+        }
+        assert!(seen[b], "no proxy route between {a} and {b}");
+        let mut path = vec![b];
+        let mut cur = b;
+        while cur != a {
+            cur = pred[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+fn build_adjacency(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        if !adj[a].contains(&b) {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec_code::hyperbolic::{
+        hyperbolic_color_code, hyperbolic_surface_code, COLOR_REGISTRY, SURFACE_REGISTRY,
+    };
+    use qec_code::planar::rotated_surface_code;
+
+    #[test]
+    fn direct_planar_layout_is_standard() {
+        let code = rotated_surface_code(3);
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+        assert_eq!(fpn.num_qubits(), 17); // 2d² - 1
+        assert!(fpn.flags().is_empty());
+        assert_eq!(fpn.max_degree(), 4);
+    }
+
+    #[test]
+    fn flags_cover_all_check_qubits() {
+        let code = hyperbolic_surface_code(&SURFACE_REGISTRY[12]).unwrap(); // [[30,8]]
+        for config in [FpnConfig::flags_only(), FpnConfig::shared()] {
+            let fpn = FlagProxyNetwork::build(&code, &config);
+            for i in 0..code.num_x_checks() {
+                let mut covered: Vec<usize> = fpn
+                    .x_segments(i)
+                    .iter()
+                    .flat_map(|s| s.data.iter().copied())
+                    .collect();
+                covered.sort_unstable();
+                assert_eq!(covered, code.x_support(i), "check {i}");
+            }
+            // Degree constraint holds everywhere.
+            assert!(fpn.max_degree() <= 4, "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn sharing_reduces_flag_count() {
+        let code = hyperbolic_surface_code(&SURFACE_REGISTRY[0]).unwrap(); // [[60,8]]
+        let without = FlagProxyNetwork::build(&code, &FpnConfig::flags_only());
+        let with = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+        assert!(
+            with.flags().len() < without.flags().len(),
+            "{} !< {}",
+            with.flags().len(),
+            without.flags().len()
+        );
+        assert!(with.num_qubits() < without.num_qubits());
+    }
+
+    #[test]
+    fn shared_flags_serve_multiple_checks() {
+        let code = hyperbolic_color_code(&COLOR_REGISTRY[0]).unwrap();
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+        let multi = fpn.flags().iter().filter(|f| f.checks.len() >= 2).count();
+        assert!(multi > 0, "color codes share flags across X/Z twins");
+    }
+
+    #[test]
+    fn proxies_only_added_when_needed() {
+        // Hyperbolic surface codes stay within degree 4 after sharing
+        // ({5,5} has at worst degree-5 checks -> 3 segments).
+        let code = hyperbolic_surface_code(&SURFACE_REGISTRY[12]).unwrap();
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+        let proxies = fpn
+            .kinds()
+            .iter()
+            .filter(|&&k| k == QubitKind::Proxy)
+            .count();
+        assert_eq!(fpn.max_degree().max(4), 4);
+        // {5,5} checks have weight 5 -> ceil(5/2) = 3 segments, parity
+        // degree 3: no proxies expected.
+        assert_eq!(proxies, 0);
+    }
+
+    #[test]
+    fn color_codes_get_proxies_without_sharing() {
+        let code = hyperbolic_color_code(&COLOR_REGISTRY[0]).unwrap(); // {4,6}
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::flags_only());
+        assert!(fpn.max_degree() <= 4);
+        // Without sharing, data qubits sit in 6 checks -> degree 6 ->
+        // proxies must appear.
+        let proxies = fpn
+            .kinds()
+            .iter()
+            .filter(|&&k| k == QubitKind::Proxy)
+            .count();
+        assert!(proxies > 0);
+    }
+
+    #[test]
+    fn routing_passes_only_proxies() {
+        let code = hyperbolic_color_code(&COLOR_REGISTRY[0]).unwrap();
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::flags_only());
+        // Route each segment's flag to its parity qubit.
+        for i in 0..code.num_x_checks() {
+            let parity = fpn.x_parity_qubit(i);
+            for seg in fpn.x_segments(i) {
+                if let Via::Flag(f) = seg.via {
+                    let path = fpn.route(fpn.flags()[f].qubit, parity);
+                    assert!(path.len() >= 2);
+                    for &interior in &path[1..path.len() - 1] {
+                        assert_eq!(fpn.kinds()[interior], QubitKind::Proxy);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Flag sharing: global pairing of data qubits by common checks.
+
+use qec_code::CssCode;
+use qec_math::graph::matching::max_weight_matching;
+use std::collections::HashMap;
+
+/// Computes the flag-sharing pairing of data qubits (§IV-E).
+///
+/// Data qubits are paired by **maximum-weight matching**, where the
+/// weight of pair `(a, b)` is the number of checks (X and Z together)
+/// containing both. Each matched pair will share one physical flag
+/// qubit across all of its common checks.
+///
+/// Returns `partner[q] = Some(q')` for matched qubits.
+///
+/// # Example
+///
+/// ```
+/// use qec_arch::shared_pair_matching;
+/// use qec_code::planar::rotated_surface_code;
+///
+/// let code = rotated_surface_code(3);
+/// let partner = shared_pair_matching(&code);
+/// // Matching is symmetric.
+/// for (q, p) in partner.iter().enumerate() {
+///     if let Some(p) = p {
+///         assert_eq!(partner[*p], Some(q));
+///     }
+/// }
+/// ```
+pub fn shared_pair_matching(code: &CssCode) -> Vec<Option<usize>> {
+    let n = code.n();
+    let mut weights: HashMap<(usize, usize), i64> = HashMap::new();
+    let mut add_check = |support: Vec<usize>| {
+        for (i, &a) in support.iter().enumerate() {
+            for &b in &support[i + 1..] {
+                let key = if a < b { (a, b) } else { (b, a) };
+                *weights.entry(key).or_insert(0) += 1;
+            }
+        }
+    };
+    for i in 0..code.num_x_checks() {
+        add_check(code.x_support(i));
+    }
+    for i in 0..code.num_z_checks() {
+        add_check(code.z_support(i));
+    }
+    let edges: Vec<(usize, usize, i64)> = weights
+        .into_iter()
+        .map(|((a, b), w)| (a, b, w))
+        .collect();
+    let matching = max_weight_matching(n, &edges);
+    matching.mate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec_code::hyperbolic::{hyperbolic_surface_code, SURFACE_REGISTRY};
+
+    #[test]
+    fn hyperbolic_matching_pairs_most_qubits_at_weight_two() {
+        // {5,5} n=30: adjacent edges share a vertex and possibly a
+        // face; the matching should pair every data qubit.
+        let code = hyperbolic_surface_code(&SURFACE_REGISTRY[12]).unwrap();
+        let partner = shared_pair_matching(&code);
+        let matched = partner.iter().flatten().count();
+        assert_eq!(matched % 2, 0);
+        assert!(
+            matched >= code.n() - 2,
+            "expected near-perfect pairing, got {matched}/{}",
+            code.n()
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Component performance benchmarks: matching, simulation, detector
+//! error models, scheduling and construction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fpn_bench::{memory_experiment, small_fpn, small_hyperbolic_code};
+use fpn_core::prelude::*;
+use fpn_repro_deps::*;
+
+/// Imports not covered by the fpn-core prelude.
+mod fpn_repro_deps {
+    pub use qec_group::{enumerate_cosets, von_dyck};
+    pub use qec_math::graph::matching::min_weight_perfect_matching;
+    pub use rand::prelude::*;
+}
+
+fn bench_blossom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blossom_mwpm");
+    for &n in &[16usize, 40] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v, rng.random_range(1..1000i64)));
+            }
+        }
+        group.bench_function(format!("complete_k{n}"), |b| {
+            b.iter(|| min_weight_perfect_matching(n, &edges).unwrap().weight)
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let code = rotated_surface_code(5);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let exp = memory_experiment(&code, &fpn, 1e-3);
+    let sampler = FrameSampler::new(&exp.circuit);
+    c.bench_function("frame_sampler_planar_d5_batch64", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| sampler.sample_batch(&mut rng).detectors.len())
+    });
+}
+
+fn bench_dem(c: &mut Criterion) {
+    let code = small_hyperbolic_code();
+    let fpn = small_fpn(&code);
+    let exp = memory_experiment(&code, &fpn, 1e-3);
+    c.bench_function("dem_hyperbolic_30_fpn", |b| {
+        b.iter(|| DetectorErrorModel::from_circuit(&exp.circuit).mechanisms().len())
+    });
+}
+
+fn bench_decoding(c: &mut Criterion) {
+    let code = small_hyperbolic_code();
+    let fpn = small_fpn(&code);
+    let noise = NoiseModel::new(1e-3);
+    let exp = memory_experiment(&code, &fpn, 1e-3);
+    let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedMwpm, &noise);
+    let sampler = FrameSampler::new(&exp.circuit);
+    let mut rng = StdRng::seed_from_u64(11);
+    // Pre-sample shots that actually fire detectors.
+    let mut shots = Vec::new();
+    while shots.len() < 256 {
+        let batch = sampler.sample_batch(&mut rng);
+        for s in 0..64 {
+            let d = batch.detector_bits(s);
+            if !d.is_zero() {
+                shots.push(d);
+            }
+        }
+    }
+    c.bench_function("flagged_mwpm_decode_shot", |b| {
+        let mut i = 0usize;
+        b.iter_batched(
+            || {
+                let shot = shots[i % shots.len()].clone();
+                i += 1;
+                shot
+            },
+            |shot| pipeline.decoder().decode(&shot).weight(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let code = small_hyperbolic_code();
+    c.bench_function("greedy_schedule_30_8", |b| {
+        b.iter(|| greedy_schedule(&code).makespan())
+    });
+}
+
+fn bench_construction(c: &mut Criterion) {
+    c.bench_function("todd_coxeter_a5", |b| {
+        let pres = von_dyck(3, 5, &[]);
+        b.iter(|| enumerate_cosets(&pres, &[], 1000).unwrap().num_cosets())
+    });
+    c.bench_function("fpn_build_30_8", |b| {
+        let code = small_hyperbolic_code();
+        b.iter(|| FlagProxyNetwork::build(&code, &FpnConfig::shared()).num_qubits())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_blossom,
+        bench_sampling,
+        bench_dem,
+        bench_decoding,
+        bench_scheduling,
+        bench_construction
+}
+criterion_main!(benches);

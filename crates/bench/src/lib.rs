@@ -1,0 +1,24 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The performance benchmarks live under `benches/`; the experiment
+//! binaries that regenerate the paper's tables and figures live in
+//! `fpn-core` (see DESIGN.md for the mapping).
+
+use fpn_core::prelude::*;
+
+/// The `[[30,8,3,3]]` {5,5} hyperbolic surface code used throughout the
+/// component benchmarks (the paper's Fig. 19 code).
+pub fn small_hyperbolic_code() -> CssCode {
+    hyperbolic_surface_code(&SURFACE_REGISTRY[12]).expect("registry code builds")
+}
+
+/// Its flag-shared FPN.
+pub fn small_fpn(code: &CssCode) -> FlagProxyNetwork {
+    FlagProxyNetwork::build(code, &FpnConfig::shared())
+}
+
+/// A standard 3-round noisy memory-Z experiment at `p`.
+pub fn memory_experiment(code: &CssCode, fpn: &FlagProxyNetwork, p: f64) -> MemoryExperiment {
+    let noise = NoiseModel::new(p);
+    build_memory_circuit(code, fpn, Some(&noise), 3, Basis::Z)
+}

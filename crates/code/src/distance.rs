@@ -1,0 +1,176 @@
+//! Code-distance estimation by randomized information-set decoding.
+//!
+//! The paper computes hyperbolic code distances by brute-force search in
+//! Stim. We use the standard randomized estimator instead: repeatedly
+//! row-reduce the logical-candidate space under a random column
+//! permutation and record the lightest vector found that is a logical
+//! operator (in the kernel of one check matrix but outside the row space
+//! of the other). The result is an upper bound that converges to the
+//! true distance rapidly for the small distances (≤ 12) relevant here;
+//! unit tests pin it to known exact values on codes where the distance
+//! is known.
+
+use qec_math::{gf2, BitMatrix, BitVec};
+use rand::prelude::*;
+
+/// Distance estimates for a CSS code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistanceEstimate {
+    /// Upper bound on `d_X`: minimum weight of an X-type logical.
+    pub dx: usize,
+    /// Upper bound on `d_Z`: minimum weight of a Z-type logical.
+    pub dz: usize,
+}
+
+/// Estimates the minimum weight of a vector in `ker(stab_dual)` that is
+/// **not** in the row space of `stab_same`.
+///
+/// For `d_X` pass `stab_dual = H_Z`, `stab_same = H_X` (X-type
+/// operators commute with Z checks). Runs `iterations` randomized
+/// rounds; more iterations tighten the bound.
+///
+/// Returns `usize::MAX` when the code has no logical operators (k = 0).
+pub fn min_logical_weight(
+    stab_dual: &BitMatrix,
+    stab_same: &BitMatrix,
+    iterations: usize,
+    rng: &mut impl Rng,
+) -> usize {
+    let n = stab_dual.cols();
+    let kernel = gf2::nullspace(stab_dual);
+    if kernel.rows() == 0 {
+        return usize::MAX;
+    }
+    // Pre-reduce stab_same for fast membership tests.
+    let same_red = gf2::rref(stab_same);
+    let is_logical = |v: &BitVec| -> bool {
+        // Reduce v against the rref of stab_same; nonzero residue means
+        // v is not a stabilizer (it is in the kernel by construction).
+        let mut r = v.clone();
+        for (row, &p) in same_red.pivots.iter().enumerate() {
+            if r.get(p) {
+                r.xor_assign(same_red.matrix.row(row));
+            }
+        }
+        !r.is_zero()
+    };
+
+    let mut best = usize::MAX;
+    // Round 0: the un-permuted basis itself plus row pairs.
+    let consider = |v: &BitVec, best: &mut usize| {
+        let w = v.weight();
+        if w < *best && is_logical(v) {
+            *best = w;
+        }
+    };
+    let scan_basis = |basis: &BitMatrix, best: &mut usize| {
+        let rows = basis.rows();
+        for i in 0..rows {
+            consider(basis.row(i), best);
+        }
+        // Pairs give a noticeably better estimate at modest cost; cap
+        // the quadratic work on large codes.
+        if rows <= 220 {
+            for i in 0..rows {
+                for j in (i + 1)..rows {
+                    let v = basis.row(i) ^ basis.row(j);
+                    consider(&v, best);
+                }
+            }
+        }
+    };
+    scan_basis(&kernel, &mut best);
+
+    let mut perm: Vec<usize> = (0..n).collect();
+    for _ in 0..iterations {
+        perm.shuffle(rng);
+        // Permute columns, reduce, un-permute.
+        let mut permuted = BitMatrix::zeros(kernel.rows(), n);
+        for (r, row) in kernel.iter_rows().enumerate() {
+            for c in row.iter_ones() {
+                permuted.set(r, perm[c], true);
+            }
+        }
+        let red = gf2::rref(&permuted);
+        let mut unpermuted = BitMatrix::zeros(0, n);
+        let mut inv = vec![0usize; n];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        for row in red.matrix.iter_rows().take(red.rank()) {
+            let back = BitVec::from_ones(n, row.iter_ones().map(|c| inv[c]));
+            unpermuted.push_row(back);
+        }
+        scan_basis(&unpermuted, &mut best);
+    }
+    best
+}
+
+/// Estimates `(d_X, d_Z)` for the CSS code `(hx, hz)`.
+pub fn estimate_distances(
+    hx: &BitMatrix,
+    hz: &BitMatrix,
+    iterations: usize,
+    seed: u64,
+) -> DistanceEstimate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dx = min_logical_weight(hz, hx, iterations, &mut rng);
+    let dz = min_logical_weight(hx, hz, iterations, &mut rng);
+    DistanceEstimate { dx, dz }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steane_distance_is_three() {
+        let rows = vec![vec![0, 1, 2, 3], vec![1, 2, 4, 5], vec![2, 3, 5, 6]];
+        let h = BitMatrix::from_rows_of_ones(3, 7, &rows);
+        let d = estimate_distances(&h, &h, 20, 1);
+        assert_eq!(d.dx, 3);
+        assert_eq!(d.dz, 3);
+    }
+
+    #[test]
+    fn shor_distance_is_three_asymmetric_weights() {
+        let hz = BitMatrix::from_rows_of_ones(
+            6,
+            9,
+            &[
+                vec![0, 1],
+                vec![1, 2],
+                vec![3, 4],
+                vec![4, 5],
+                vec![6, 7],
+                vec![7, 8],
+            ],
+        );
+        let hx = BitMatrix::from_rows_of_ones(
+            2,
+            9,
+            &[vec![0, 1, 2, 3, 4, 5], vec![3, 4, 5, 6, 7, 8]],
+        );
+        let d = estimate_distances(&hx, &hz, 30, 2);
+        assert_eq!(d.dx, 3); // X logical: X X X on a row
+        assert_eq!(d.dz, 3); // Z logical: Z on one qubit per block
+    }
+
+    #[test]
+    fn repetition_code_distance() {
+        // Classical repetition as quantum phase-flip code: dz = 1, dx = n.
+        let hz = BitMatrix::from_rows_of_ones(2, 3, &[vec![0, 1], vec![1, 2]]);
+        let hx = BitMatrix::zeros(0, 3);
+        let d = estimate_distances(&hx, &hz, 10, 3);
+        assert_eq!(d.dx, 3);
+        assert_eq!(d.dz, 1);
+    }
+
+    #[test]
+    fn zero_logical_code() {
+        let h = BitMatrix::from_rows_of_ones(1, 2, &[vec![0, 1]]);
+        let d = estimate_distances(&h, &h, 5, 4);
+        assert_eq!(d.dx, usize::MAX);
+        assert_eq!(d.dz, usize::MAX);
+    }
+}

@@ -1,0 +1,42 @@
+//! Quantum CSS codes for the Flag-Proxy Networks reproduction.
+//!
+//! This crate builds every code family evaluated in the paper:
+//!
+//! * [`CssCode`] — the central type: a pair of GF(2) parity-check
+//!   matrices `(H_X, H_Z)` with `H_X · H_Zᵀ = 0`, plus metadata
+//!   (family, plaquette colors for color codes) and derived data
+//!   (logical-operator bases, code parameters).
+//! * [`planar`] — the rotated planar surface code `[[d², 1, d]]`
+//!   with the fault-tolerant CNOT ordering of Tomita–Svore.
+//! * [`hyperbolic`] — hyperbolic surface codes (`{4,5}`, `{4,6}`,
+//!   `{5,5}`, `{5,6}`), hyperbolic color codes (`{4,6}`, `{4,8}`,
+//!   `{4,10}`, `{5,8}`), toric surface codes, and toric 6.6.6 color
+//!   codes, all generated from triangle-group quotients via
+//!   Todd–Coxeter enumeration (the paper used GAP).
+//! * [`distance`] — randomized information-set-decoding estimates of
+//!   code distance (the paper used brute-force search in Stim).
+//!
+//! # Example
+//!
+//! ```
+//! use qec_code::planar::rotated_surface_code;
+//!
+//! let code = rotated_surface_code(3);
+//! assert_eq!(code.n(), 9);
+//! assert_eq!(code.k(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod css;
+pub mod distance;
+pub mod hyperbolic;
+pub mod io;
+mod logicals;
+pub mod planar;
+
+pub use css::{CodeError, CodeFamily, CssCode, ScheduleHints};
+pub use logicals::Logicals;
+// Plaquette colors are shared vocabulary between tilings and decoders.
+pub use qec_group::{ColorTiling, PlaqColor, Tiling};

@@ -1,0 +1,176 @@
+//! Logical-operator extraction for CSS codes.
+
+use crate::{CodeError, CssCode};
+use qec_math::{gf2, BitMatrix};
+
+/// A symplectically paired basis of logical operators.
+///
+/// Row `i` of [`Logicals::xs`] anticommutes with row `i` of
+/// [`Logicals::zs`] and commutes with every other row (and with all
+/// stabilizers): `L_X · L_Zᵀ = I` over GF(2).
+#[derive(Debug, Clone)]
+pub struct Logicals {
+    xs: BitMatrix,
+    zs: BitMatrix,
+}
+
+impl Logicals {
+    /// The X-type logical operators, one per logical qubit.
+    pub fn xs(&self) -> &BitMatrix {
+        &self.xs
+    }
+
+    /// The Z-type logical operators, one per logical qubit.
+    pub fn zs(&self) -> &BitMatrix {
+        &self.zs
+    }
+
+    /// Number of logical pairs (the code's `k`).
+    pub fn num_pairs(&self) -> usize {
+        self.xs.rows()
+    }
+
+    /// Checks all defining properties against `code`:
+    /// commutation with stabilizers, symplectic pairing, and
+    /// independence from the stabilizer group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::Construction`] describing the first
+    /// violated property.
+    pub fn verify(&self, code: &CssCode) -> Result<(), CodeError> {
+        let k = code.k();
+        if self.xs.rows() != k || self.zs.rows() != k {
+            return Err(CodeError::Construction(format!(
+                "expected {k} logical pairs, have {}x/{}z",
+                self.xs.rows(),
+                self.zs.rows()
+            )));
+        }
+        // X logicals commute with Z checks; Z logicals with X checks.
+        for (i, lx) in self.xs.iter_rows().enumerate() {
+            for (j, z) in code.hz().iter_rows().enumerate() {
+                if lx.dot(z) {
+                    return Err(CodeError::Construction(format!(
+                        "logical X {i} anticommutes with Z check {j}"
+                    )));
+                }
+            }
+        }
+        for (i, lz) in self.zs.iter_rows().enumerate() {
+            for (j, x) in code.hx().iter_rows().enumerate() {
+                if lz.dot(x) {
+                    return Err(CodeError::Construction(format!(
+                        "logical Z {i} anticommutes with X check {j}"
+                    )));
+                }
+            }
+        }
+        // Symplectic pairing L_X · L_Zᵀ = I.
+        for (i, lx) in self.xs.iter_rows().enumerate() {
+            for (j, lz) in self.zs.iter_rows().enumerate() {
+                let expect = i == j;
+                if lx.dot(lz) != expect {
+                    return Err(CodeError::Construction(format!(
+                        "pairing violation between X {i} and Z {j}"
+                    )));
+                }
+            }
+        }
+        // Independence from stabilizers: Lx not in rowspace(Hx).
+        for (i, lx) in self.xs.iter_rows().enumerate() {
+            if gf2::in_row_space(code.hx(), lx) {
+                return Err(CodeError::Construction(format!(
+                    "logical X {i} is a stabilizer"
+                )));
+            }
+        }
+        for (i, lz) in self.zs.iter_rows().enumerate() {
+            if gf2::in_row_space(code.hz(), lz) {
+                return Err(CodeError::Construction(format!(
+                    "logical Z {i} is a stabilizer"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes a symplectically paired logical basis for the CSS code
+/// `(hx, hz)`.
+///
+/// X logicals live in `ker(H_Z) / rowspace(H_X)`, Z logicals in
+/// `ker(H_X) / rowspace(H_Z)`; the Z basis is then transformed by the
+/// inverse of the Gram matrix so that `L_X · L_Zᵀ = I`.
+///
+/// # Panics
+///
+/// Panics if the inputs do not define a valid CSS code (callers go
+/// through [`CssCode`], which validates commutation first).
+pub(crate) fn compute_logicals(hx: &BitMatrix, hz: &BitMatrix) -> Logicals {
+    let n = hx.cols();
+    let quotient_basis = |kernel_of: &BitMatrix, modulo: &BitMatrix| -> BitMatrix {
+        let ns = gf2::nullspace(kernel_of);
+        // Keep nullspace vectors independent modulo rowspace(modulo):
+        // stack modulo's rows first, then greedily keep nullspace rows
+        // that increase the rank.
+        let mut acc = modulo.clone();
+        let base_rank = gf2::rank(&acc);
+        let mut out = BitMatrix::zeros(0, n);
+        let mut rank = base_rank;
+        for v in ns.iter_rows() {
+            acc.push_row(v.clone());
+            let new_rank = gf2::rank(&acc);
+            if new_rank > rank {
+                rank = new_rank;
+                out.push_row(v.clone());
+            }
+        }
+        out
+    };
+    let lx = quotient_basis(hz, hx);
+    let lz = quotient_basis(hx, hz);
+    let k = lx.rows();
+    assert_eq!(k, lz.rows(), "X/Z logical counts must agree");
+    if k == 0 {
+        return Logicals {
+            xs: lx,
+            zs: lz,
+        };
+    }
+    // Gram matrix M = Lx · Lzᵀ is invertible by symplectic
+    // non-degeneracy; replace Lz with (Mᵀ)⁻¹ · Lz so Lx · Lz'ᵀ = I.
+    let m = lx.mul(&lz.transposed());
+    let minv_t = gf2::invert(&m.transposed()).expect("symplectic Gram matrix must be invertible");
+    let lz_paired = minv_t.mul(&lz);
+    Logicals {
+        xs: lx,
+        zs: lz_paired,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CodeFamily;
+
+    #[test]
+    fn toric_like_code_logicals() {
+        // [[4,2,2]]: single X and Z check of weight 4; k=2.
+        let h = BitMatrix::from_rows_of_ones(1, 4, &[vec![0, 1, 2, 3]]);
+        let code = CssCode::new("422", CodeFamily::Custom, h.clone(), h).unwrap();
+        let l = code.logicals();
+        assert_eq!(l.num_pairs(), 2);
+        l.verify(&code).unwrap();
+    }
+
+    #[test]
+    fn zero_k_code_has_no_logicals() {
+        // [[2,0,..]]: X check {0,1} and Z check {0,1}.
+        let hx = BitMatrix::from_rows_of_ones(1, 2, &[vec![0, 1]]);
+        let hz = BitMatrix::from_rows_of_ones(1, 2, &[vec![0, 1]]);
+        let code = CssCode::new("k0", CodeFamily::Custom, hx, hz).unwrap();
+        assert_eq!(code.k(), 0);
+        assert_eq!(code.logicals().num_pairs(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! The rotated planar surface code.
+//!
+//! The `[[d², 1, d]]` rotated surface code is the paper's baseline: it
+//! requires degree-4 connectivity, has a fault-tolerant syndrome
+//! extraction schedule obtained purely by CNOT ordering
+//! (Tomita–Svore), and decodes with plain MWPM.
+
+use crate::css::{CssCode, ScheduleHints};
+use crate::CodeFamily;
+use qec_math::BitMatrix;
+
+/// Idle slot marker in schedule-hint orders (boundary checks keep the
+/// 4-step bulk pattern and skip the missing corners).
+pub const IDLE: usize = usize::MAX;
+
+/// Builds the rotated planar surface code of odd distance `d`.
+///
+/// Data qubits live on a `d × d` grid (qubit `(r, c)` has index
+/// `r*d + c`). Bulk plaquettes are weight-4 with X/Z types in a
+/// checkerboard; weight-2 X checks sit on the top/bottom boundary and
+/// weight-2 Z checks on the left/right boundary. The attached
+/// [`ScheduleHints`] give the fault-tolerant CNOT ordering
+/// (X checks: NW, NE, SW, SE — horizontal X hooks; Z checks: NW, SW,
+/// NE, SE — vertical Z hooks), so two-qubit hook errors lie along the
+/// boundary they connect and never shortcut a logical chain.
+///
+/// # Panics
+///
+/// Panics if `d` is even or `d < 3`.
+///
+/// # Example
+///
+/// ```
+/// use qec_code::planar::rotated_surface_code;
+///
+/// let code = rotated_surface_code(5);
+/// assert_eq!(code.n(), 25);
+/// assert_eq!(code.k(), 1);
+/// assert_eq!(code.num_x_checks() + code.num_z_checks(), 24);
+/// ```
+pub fn rotated_surface_code(d: usize) -> CssCode {
+    assert!(d >= 3 && d % 2 == 1, "d must be odd and >= 3");
+    let data = |r: usize, c: usize| r * d + c;
+    let mut x_rows: Vec<Vec<usize>> = Vec::new();
+    let mut z_rows: Vec<Vec<usize>> = Vec::new();
+    let mut x_orders: Vec<Vec<usize>> = Vec::new();
+    let mut z_orders: Vec<Vec<usize>> = Vec::new();
+    for i in 0..=d {
+        for j in 0..=d {
+            // Corners of plaquette (i, j), clipped to the grid:
+            let corner = |a: isize, b: isize| -> usize {
+                if a >= 0 && b >= 0 && (a as usize) < d && (b as usize) < d {
+                    data(a as usize, b as usize)
+                } else {
+                    IDLE
+                }
+            };
+            let (ii, jj) = (i as isize, j as isize);
+            let nw = corner(ii - 1, jj - 1);
+            let ne = corner(ii - 1, jj);
+            let sw = corner(ii, jj - 1);
+            let se = corner(ii, jj);
+            let support: Vec<usize> = [nw, ne, sw, se]
+                .into_iter()
+                .filter(|&q| q != IDLE)
+                .collect();
+            let is_x = (i + j) % 2 == 1;
+            let include = match support.len() {
+                4 => true,
+                2 if is_x => i == 0 || i == d,
+                2 => j == 0 || j == d,
+                _ => false,
+            };
+            if !include {
+                continue;
+            }
+            if is_x {
+                x_rows.push(support);
+                x_orders.push(vec![nw, ne, sw, se]);
+            } else {
+                z_rows.push(support);
+                z_orders.push(vec![nw, sw, ne, se]);
+            }
+        }
+    }
+    let hx = BitMatrix::from_rows_of_ones(x_rows.len(), d * d, &x_rows);
+    let hz = BitMatrix::from_rows_of_ones(z_rows.len(), d * d, &z_rows);
+    CssCode::new(
+        format!("[[{},1,{d}]] planar surface", d * d),
+        CodeFamily::PlanarSurface { d },
+        hx,
+        hz,
+    )
+    .expect("rotated surface code construction is always CSS-valid")
+    .with_schedule_hints(ScheduleHints { x_orders, z_orders })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::estimate_distances;
+
+    #[test]
+    fn parameters_for_small_distances() {
+        for d in [3usize, 5, 7] {
+            let code = rotated_surface_code(d);
+            assert_eq!(code.n(), d * d);
+            assert_eq!(code.k(), 1, "d={d}");
+            assert_eq!(code.num_x_checks() + code.num_z_checks(), d * d - 1);
+            assert_eq!(code.max_check_weight(), 4);
+            code.logicals().verify(&code).unwrap();
+        }
+    }
+
+    #[test]
+    fn distance_matches_d() {
+        for d in [3usize, 5] {
+            let code = rotated_surface_code(d);
+            let est = estimate_distances(code.hx(), code.hz(), 30, 42);
+            assert_eq!(est.dx, d, "dx for d={d}");
+            assert_eq!(est.dz, d, "dz for d={d}");
+        }
+    }
+
+    #[test]
+    fn boundary_checks_have_weight_two() {
+        let code = rotated_surface_code(3);
+        let w2_x = (0..code.num_x_checks())
+            .filter(|&i| code.x_support(i).len() == 2)
+            .count();
+        let w2_z = (0..code.num_z_checks())
+            .filter(|&i| code.z_support(i).len() == 2)
+            .count();
+        assert_eq!(w2_x, 2);
+        assert_eq!(w2_z, 2);
+    }
+
+    #[test]
+    fn schedule_hints_are_valid() {
+        let code = rotated_surface_code(5);
+        let hints = code.schedule_hints().unwrap();
+        assert_eq!(hints.x_orders.len(), code.num_x_checks());
+        assert_eq!(hints.z_orders.len(), code.num_z_checks());
+        // Each order contains exactly the check's support (plus idles).
+        for (i, order) in hints.x_orders.iter().enumerate() {
+            let mut from_order: Vec<usize> =
+                order.iter().copied().filter(|&q| q != IDLE).collect();
+            from_order.sort_unstable();
+            assert_eq!(from_order, code.x_support(i));
+        }
+        // Uniqueness: no data qubit is touched twice in one timestep.
+        for t in 0..4 {
+            let mut seen = std::collections::HashSet::new();
+            for order in hints.x_orders.iter().chain(hints.z_orders.iter()) {
+                if order[t] != IDLE {
+                    assert!(seen.insert(order[t]), "qubit reused at step {t}");
+                }
+            }
+        }
+    }
+}

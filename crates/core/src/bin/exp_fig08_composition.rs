@@ -1,0 +1,65 @@
+//! Figure 8(a): qubit composition (data / parity / flag / proxy) of
+//! FPNs without flag sharing, averaged per subfamily.
+
+use fpn_core::prelude::*;
+
+fn main() {
+    println!("== Fig. 8(a): FPN qubit composition by subfamily (no flag sharing) ==");
+    println!(
+        "{:<22} {:>6} {:>8} {:>8} {:>8} {:>8}",
+        "subfamily", "codes", "data%", "parity%", "flag%", "proxy%"
+    );
+    type SubfamilyKey = (usize, usize, bool);
+    let mut groups: Vec<(SubfamilyKey, Vec<[f64; 4]>)> = Vec::new();
+    let mut add = |key: SubfamilyKey, frac: [f64; 4]| {
+        if let Some((_, v)) = groups.iter_mut().find(|(k, _)| *k == key) {
+            v.push(frac);
+        } else {
+            groups.push((key, vec![frac]));
+        }
+    };
+    let fractions = |code: &CssCode| -> [f64; 4] {
+        let fpn = FlagProxyNetwork::build(code, &FpnConfig::flags_only());
+        let m = ArchitectureMetrics::compute(code, &fpn);
+        let t = m.total as f64;
+        [
+            m.num_data as f64 / t,
+            m.num_parity as f64 / t,
+            m.num_flags as f64 / t,
+            m.num_proxies as f64 / t,
+        ]
+    };
+    for spec in SURFACE_REGISTRY {
+        if spec.expected_n > 400 {
+            continue; // keep the sweep fast; composition is size-stable
+        }
+        let code = hyperbolic_surface_code(spec).expect("registry codes build");
+        add((spec.r, spec.s, false), fractions(&code));
+    }
+    for spec in COLOR_REGISTRY {
+        if spec.expected_n > 400 {
+            continue;
+        }
+        let code = hyperbolic_color_code(spec).expect("registry codes build");
+        add((spec.r, spec.s, true), fractions(&code));
+    }
+    for ((r, s, color), rows) in groups {
+        let n = rows.len() as f64;
+        let mean =
+            rows.iter()
+                .fold([0.0f64; 4], |acc, f| [acc[0] + f[0], acc[1] + f[1], acc[2] + f[2], acc[3] + f[3]]);
+        let family = if color { "h-color" } else { "h-surface" };
+        println!(
+            "{:<22} {:>6} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            format!("{family} {{{r},{s}}}"),
+            rows.len(),
+            100.0 * mean[0] / n,
+            100.0 * mean[1] / n,
+            100.0 * mean[2] / n,
+            100.0 * mean[3] / n,
+        );
+    }
+    println!();
+    println!("Paper shape: flags are the largest non-data overhead (~half of all");
+    println!("qubits); color codes additionally need a few proxies.");
+}

@@ -1,0 +1,75 @@
+//! Figure 12: effective rates of FPNs with and without flag sharing,
+//! against the d=5 planar surface code's 1/49.
+
+use fpn_core::prelude::*;
+
+fn row(code: &CssCode) {
+    let with = ArchitectureMetrics::compute(code, &FlagProxyNetwork::build(code, &FpnConfig::shared()));
+    let without =
+        ArchitectureMetrics::compute(code, &FlagProxyNetwork::build(code, &FpnConfig::flags_only()));
+    println!(
+        "{:<36} n={:<5} k={:<4} N(no-share)={:<6} N(share)={:<6} Reff(no-share)={:<8.4} Reff(share)={:<8.4} gain={:.2}x vs 1/49: {:.1}x",
+        code.name(),
+        code.n(),
+        code.k(),
+        without.total,
+        with.total,
+        without.effective_rate,
+        with.effective_rate,
+        with.effective_rate / without.effective_rate,
+        with.effective_rate * 49.0,
+    );
+}
+
+fn main() {
+    println!("== Fig. 12: effective rate with/without flag sharing ==");
+    println!("reference: d=5 planar surface code Reff = 1/49 = {:.4}", 1.0 / 49.0);
+    println!("-- hyperbolic surface codes --");
+    let mut surface_gains = Vec::new();
+    let mut surface_vs_planar = Vec::new();
+    for spec in SURFACE_REGISTRY {
+        if spec.expected_n > 1300 {
+            continue;
+        }
+        let code = hyperbolic_surface_code(spec).expect("registry codes build");
+        let with =
+            ArchitectureMetrics::compute(&code, &FlagProxyNetwork::build(&code, &FpnConfig::shared()));
+        let without = ArchitectureMetrics::compute(
+            &code,
+            &FlagProxyNetwork::build(&code, &FpnConfig::flags_only()),
+        );
+        surface_gains.push(with.effective_rate / without.effective_rate);
+        surface_vs_planar.push(with.effective_rate * 49.0);
+        row(&code);
+    }
+    println!("-- hyperbolic color codes --");
+    let mut color_gains = Vec::new();
+    let mut color_vs_planar = Vec::new();
+    for spec in COLOR_REGISTRY {
+        if spec.expected_n > 1300 {
+            continue;
+        }
+        let code = hyperbolic_color_code(spec).expect("registry codes build");
+        let with =
+            ArchitectureMetrics::compute(&code, &FlagProxyNetwork::build(&code, &FpnConfig::shared()));
+        let without = ArchitectureMetrics::compute(
+            &code,
+            &FlagProxyNetwork::build(&code, &FpnConfig::flags_only()),
+        );
+        color_gains.push(with.effective_rate / without.effective_rate);
+        color_vs_planar.push(with.effective_rate * 49.0);
+        row(&code);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!();
+    println!(
+        "mean sharing gain: surface {:.2}x (paper: 1.2x), color {:.2}x (paper: 2.4x)",
+        mean(&surface_gains),
+        mean(&color_gains)
+    );
+    println!(
+        "mean Reff advantage over d=5 planar: surface {:.1}x (paper: 2.9x), color {:.1}x (paper: 5.5x)",
+        mean(&surface_vs_planar),
+        mean(&color_vs_planar)
+    );
+}

@@ -1,0 +1,74 @@
+//! Figure 18: normalized block error rates of hyperbolic color codes
+//! (flagged Restriction on FPNs) against flat-geometry 6.6.6 color
+//! codes (the toric stand-ins for the paper's planar triangular codes,
+//! see DESIGN.md).
+
+use fpn_core::harness::{ber_point, default_threads, print_ber_row};
+use fpn_core::prelude::*;
+
+fn main() {
+    let threads = default_threads();
+    let ps = [5e-4, 7.5e-4, 1e-3];
+    let max_shots = 40_000;
+    let target_failures = 120;
+
+    println!("== Fig. 18: BER/k, hyperbolic color vs flat 6.6.6 color ==");
+    for (m, rounds) in [(2usize, 4usize), (3, 6)] {
+        let code = toric_color_code(m).expect("toric color builds");
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+        for basis in [Basis::X, Basis::Z] {
+            for &p in &ps {
+                let pt = ber_point(
+                    &code,
+                    &fpn,
+                    DecoderKind::FlaggedRestriction,
+                    p,
+                    rounds,
+                    basis,
+                    max_shots,
+                    target_failures,
+                    31,
+                    threads,
+                );
+                print_ber_row(&format!("toric 6.6.6 color m={m}"), &pt);
+            }
+        }
+    }
+    // {4,6} n=96 (paper: [[216,40,8,8]]) and {5,8} n=200 (paper:
+    // [[360,130,6,6]]).
+    let picks = [(0usize, 4usize), (5, 4)];
+    for (idx, rounds) in picks {
+        let spec = &COLOR_REGISTRY[idx];
+        let code = hyperbolic_color_code(spec).expect("registry code builds");
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+        let metrics = ArchitectureMetrics::compute(&code, &fpn);
+        println!(
+            "{} as FPN: N={} Reff={:.4} ({}x the d=5 planar rate)",
+            code.name(),
+            metrics.total,
+            metrics.effective_rate,
+            (metrics.effective_rate * 49.0).round()
+        );
+        for basis in [Basis::X, Basis::Z] {
+            for &p in &ps {
+                let pt = ber_point(
+                    &code,
+                    &fpn,
+                    DecoderKind::FlaggedRestriction,
+                    p,
+                    rounds,
+                    basis,
+                    max_shots,
+                    target_failures,
+                    37,
+                    threads,
+                );
+                print_ber_row(code.name(), &pt);
+            }
+        }
+    }
+    println!();
+    println!("Paper shape: hyperbolic color codes track the flat-geometry color");
+    println!("codes' BER/k while encoding far more logical qubits per physical");
+    println!("qubit.");
+}

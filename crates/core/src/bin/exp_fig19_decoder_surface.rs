@@ -1,0 +1,48 @@
+//! Figure 19: the `[[30,8,3,3]]` {5,5} hyperbolic surface code decoded
+//! with plain MWPM (PyMatching-equivalent, direct architecture) versus
+//! the flagged MWPM decoder on its FPN.
+
+use fpn_core::harness::{ber_point, default_threads, print_ber_row};
+use fpn_core::prelude::*;
+
+fn main() {
+    let threads = default_threads();
+    let code = hyperbolic_surface_code(&SURFACE_REGISTRY[12]).expect("registry code builds");
+    assert_eq!((code.n(), code.k()), (30, 8));
+    println!("== Fig. 19: {} ==", code.name());
+    let direct = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let shared = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+    // Effective-distance evidence: exhaustive single-fault injection.
+    for basis in [Basis::X, Basis::Z] {
+        let noise = NoiseModel::new(1e-3);
+        let exp_direct = build_memory_circuit(&code, &direct, Some(&noise), 3, basis);
+        let pd = DecodingPipeline::new(&code, &exp_direct, DecoderKind::PlainMwpm, &noise);
+        let exp_fpn = build_memory_circuit(&code, &shared, Some(&noise), 3, basis);
+        let pf = DecodingPipeline::new(&code, &exp_fpn, DecoderKind::FlaggedMwpm, &noise);
+        println!(
+            "single-fault failures mem-{basis:?}: plain-MWPM/direct = {}, flagged-MWPM/FPN = {}",
+            count_single_fault_failures(pd.dem(), pd.decoder()),
+            count_single_fault_failures(pf.dem(), pf.decoder()),
+        );
+    }
+    // BER sweep (d = 3 rounds, both bases).
+    let ps = [2.5e-4, 5e-4, 1e-3, 2e-3];
+    for basis in [Basis::X, Basis::Z] {
+        for &p in &ps {
+            let pt = ber_point(
+                &code, &direct, DecoderKind::PlainMwpm, p, 3, basis, 400_000, 300, 11, threads,
+            );
+            print_ber_row("plain MWPM (direct arch)", &pt);
+        }
+        for &p in &ps {
+            let pt = ber_point(
+                &code, &shared, DecoderKind::FlaggedMwpm, p, 3, basis, 400_000, 300, 13, threads,
+            );
+            print_ber_row("flagged MWPM (FPN)", &pt);
+        }
+    }
+    println!();
+    println!("Paper shape: plain MWPM on the direct architecture saturates at");
+    println!("d_eff = 2 (shallow slope); the flagged decoder recovers the full");
+    println!("distance (steeper slope, lower BER at small p).");
+}

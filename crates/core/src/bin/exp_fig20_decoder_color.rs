@@ -1,0 +1,62 @@
+//! Figure 20: a small color code decoded with the Chamberland-style
+//! restriction baseline versus the flagged Restriction decoder, both on
+//! the same FPN. (The paper uses the `[[24,8,4,4]]` {4,6} hyperbolic
+//! color code; we use the `[[24,4,4]]` toric 6.6.6 color code — same
+//! size, same lattice structure, boundary-free.)
+
+use fpn_core::harness::{ber_point, default_threads, print_ber_row};
+use fpn_core::prelude::*;
+
+fn main() {
+    let threads = default_threads();
+    let code = toric_color_code(2).expect("toric color code builds");
+    println!("== Fig. 20: {} ==", code.name());
+    let shared = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+    for basis in [Basis::X, Basis::Z] {
+        let noise = NoiseModel::new(1e-3);
+        let exp = build_memory_circuit(&code, &shared, Some(&noise), 4, basis);
+        let pc = DecodingPipeline::new(&code, &exp, DecoderKind::ChamberlandRestriction, &noise);
+        let pf = DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedRestriction, &noise);
+        println!(
+            "single-fault failures mem-{basis:?}: Chamberland = {}, flagged Restriction = {}",
+            count_single_fault_failures(pc.dem(), pc.decoder()),
+            count_single_fault_failures(pf.dem(), pf.decoder()),
+        );
+    }
+    let ps = [2.5e-4, 5e-4, 1e-3, 2e-3];
+    for basis in [Basis::X, Basis::Z] {
+        for &p in &ps {
+            let pt = ber_point(
+                &code,
+                &shared,
+                DecoderKind::ChamberlandRestriction,
+                p,
+                4,
+                basis,
+                300_000,
+                300,
+                17,
+                threads,
+            );
+            print_ber_row("Chamberland restriction (FPN)", &pt);
+        }
+        for &p in &ps {
+            let pt = ber_point(
+                &code,
+                &shared,
+                DecoderKind::FlaggedRestriction,
+                p,
+                4,
+                basis,
+                300_000,
+                300,
+                19,
+                threads,
+            );
+            print_ber_row("flagged restriction (FPN)", &pt);
+        }
+    }
+    println!();
+    println!("Paper shape: the Chamberland-style decoder is stuck at d_eff = 2;");
+    println!("the flagged Restriction decoder recovers the full code distance.");
+}

@@ -1,0 +1,354 @@
+//! Memory-experiment orchestration: decoder selection and block error
+//! rate estimation.
+
+use qec_code::{CssCode, PlaqColor};
+use qec_decode::{
+    ColorCodeContext, Decoder, MwpmConfig, MwpmDecoder, RestrictionConfig, RestrictionDecoder,
+};
+use qec_math::BitVec;
+use qec_sched::{Basis, MemoryExperiment};
+use qec_sim::noise::NoiseModel;
+use qec_sim::{Circuit, DetectorErrorModel, FrameSampler};
+use rand::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Which decoder to instantiate for an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecoderKind {
+    /// Flagged MWPM (§VI-C) — surface codes.
+    FlaggedMwpm,
+    /// Plain MWPM ignoring flags — the PyMatching-equivalent baseline.
+    PlainMwpm,
+    /// Flagged Restriction (§VI-D) — color codes.
+    FlaggedRestriction,
+    /// Chamberland-style restriction: flags only in the MWPM stage.
+    ChamberlandRestriction,
+}
+
+/// A ready-to-run decoding pipeline: the experiment's detector error
+/// model plus a configured decoder.
+pub struct DecodingPipeline {
+    dem: DetectorErrorModel,
+    decoder: Box<dyn Decoder + Send>,
+}
+
+impl std::fmt::Debug for DecodingPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DecodingPipeline({} detectors, {} mechanisms)",
+            self.dem.num_detectors(),
+            self.dem.mechanisms().len()
+        )
+    }
+}
+
+impl DecodingPipeline {
+    /// Builds the detector error model of `experiment` and a decoder of
+    /// the requested kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a restriction decoder is requested for a code without
+    /// plaquette colors.
+    pub fn new(
+        code: &CssCode,
+        experiment: &MemoryExperiment,
+        kind: DecoderKind,
+        noise: &NoiseModel,
+    ) -> Self {
+        let dem = DetectorErrorModel::from_circuit(&experiment.circuit);
+        let pm = noise.measurement_flip();
+        let decoder: Box<dyn Decoder + Send> = match kind {
+            DecoderKind::FlaggedMwpm => Box::new(MwpmDecoder::new(&dem, MwpmConfig::flagged(pm))),
+            DecoderKind::PlainMwpm => Box::new(MwpmDecoder::new(&dem, MwpmConfig::unflagged())),
+            DecoderKind::FlaggedRestriction => Box::new(RestrictionDecoder::new(
+                &dem,
+                color_context(code, experiment.basis),
+                RestrictionConfig::flagged(pm),
+            )),
+            DecoderKind::ChamberlandRestriction => Box::new(RestrictionDecoder::new(
+                &dem,
+                color_context(code, experiment.basis),
+                RestrictionConfig::chamberland(pm),
+            )),
+        };
+        DecodingPipeline { dem, decoder }
+    }
+
+    /// The experiment's detector error model.
+    pub fn dem(&self) -> &DetectorErrorModel {
+        &self.dem
+    }
+
+    /// The configured decoder.
+    pub fn decoder(&self) -> &(dyn Decoder + Send) {
+        self.decoder.as_ref()
+    }
+}
+
+/// Extracts the color structure a restriction decoder needs from a
+/// color code, for the given memory basis.
+///
+/// # Panics
+///
+/// Panics if the code has no plaquette colors.
+pub fn color_context(code: &CssCode, basis: Basis) -> ColorCodeContext {
+    let colors = code
+        .check_colors()
+        .expect("restriction decoding needs a color code");
+    let plaquette_colors = colors
+        .iter()
+        .map(|c| match c {
+            PlaqColor::Red => 0u8,
+            PlaqColor::Green => 1,
+            PlaqColor::Blue => 2,
+        })
+        .collect();
+    let plaquette_supports = (0..code.num_x_checks()).map(|i| code.x_support(i)).collect();
+    // In a Z-basis memory the residual errors that matter are X-type:
+    // an X on qubit q flips the Z logicals containing q.
+    let logicals = code.logicals();
+    let ops = match basis {
+        Basis::Z => logicals.zs(),
+        Basis::X => logicals.xs(),
+    };
+    let mut qubit_observables = vec![Vec::new(); code.n()];
+    for (j, row) in ops.iter_rows().enumerate() {
+        for q in row.iter_ones() {
+            qubit_observables[q].push(j as u32);
+        }
+    }
+    ColorCodeContext {
+        plaquette_colors,
+        plaquette_supports,
+        qubit_observables,
+    }
+}
+
+/// Result of a block-error-rate estimation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BerStats {
+    /// Shots executed.
+    pub shots: usize,
+    /// Shots where at least one logical observable stayed flipped
+    /// after correction.
+    pub failures: usize,
+    /// Number of logical qubits (for normalization).
+    pub k: usize,
+}
+
+impl BerStats {
+    /// The block error rate (Eq. 5).
+    pub fn ber(&self) -> f64 {
+        self.failures as f64 / self.shots as f64
+    }
+
+    /// The normalized block error rate `BER / k` (§III-C).
+    pub fn ber_norm(&self) -> f64 {
+        self.ber() / self.k.max(1) as f64
+    }
+}
+
+/// Runs `shots` memory-experiment trials of `circuit` (rounded up to
+/// 64-shot batches), decoding each with `decoder`, split across
+/// `threads` worker threads.
+///
+/// A trial fails when the decoder's predicted observable flips differ
+/// from the actual flips in any logical qubit.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or the decoder's observable count differs
+/// from the circuit's.
+pub fn run_ber(
+    circuit: &Circuit,
+    decoder: &(dyn Decoder + Send),
+    shots: usize,
+    seed: u64,
+    threads: usize,
+) -> BerStats {
+    assert!(threads > 0, "need at least one thread");
+    assert_eq!(
+        decoder.num_observables(),
+        circuit.observables().len(),
+        "decoder/circuit observable mismatch"
+    );
+    let batches = shots.div_ceil(64);
+    let failures = AtomicUsize::new(0);
+    let next_batch = AtomicUsize::new(0);
+    let k = circuit.observables().len();
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let failures = &failures;
+            let next_batch = &next_batch;
+            scope.spawn(move || {
+                let sampler = FrameSampler::new(circuit);
+                let mut local_failures = 0usize;
+                loop {
+                    let b = next_batch.fetch_add(1, Ordering::Relaxed);
+                    if b >= batches {
+                        break;
+                    }
+                    let mut rng =
+                        StdRng::seed_from_u64(seed ^ (b as u64).wrapping_mul(0x9e3779b97f4a7c15));
+                    let batch = sampler.sample_batch(&mut rng);
+                    for shot in 0..64 {
+                        let actual = batch.observable_bits(shot);
+                        let dets = batch.detector_bits(shot);
+                        if dets.is_zero() {
+                            if !actual.is_zero() {
+                                local_failures += 1;
+                            }
+                            continue;
+                        }
+                        let predicted = decoder.decode(&dets);
+                        if predicted != actual {
+                            local_failures += 1;
+                        }
+                    }
+                }
+                failures.fetch_add(local_failures, Ordering::Relaxed);
+                let _ = tid;
+            });
+        }
+    });
+    BerStats {
+        shots: batches * 64,
+        failures: failures.load(Ordering::Relaxed),
+        k,
+    }
+}
+
+/// Exhaustively injects every single fault mechanism of `dem` and
+/// counts how many the decoder corrects wrongly.
+///
+/// A fault-tolerant architecture+decoder pair (effective distance
+/// ≥ 3) corrects **every** single fault, so this returns 0; baselines
+/// with `d_eff = 2` return a positive count (this is the mechanism
+/// behind Figs. 19 and 20).
+pub fn count_single_fault_failures(dem: &DetectorErrorModel, decoder: &dyn Decoder) -> usize {
+    let mut failures = 0;
+    for mech in dem.mechanisms() {
+        let dets = BitVec::from_ones(
+            dem.num_detectors(),
+            mech.detectors.iter().map(|&d| d as usize),
+        );
+        let actual = BitVec::from_ones(
+            dem.num_observables(),
+            mech.observables.iter().map(|&o| o as usize),
+        );
+        let predicted = decoder.decode(&dets);
+        if predicted != actual {
+            failures += 1;
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec_arch::{FlagProxyNetwork, FpnConfig};
+    use qec_code::hyperbolic::{toric_color_code, toric_surface_code};
+    use qec_code::planar::rotated_surface_code;
+    use qec_sched::build_memory_circuit;
+
+    #[test]
+    fn planar_d3_single_faults_all_corrected() {
+        let code = rotated_surface_code(3);
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+        let noise = NoiseModel::new(1e-3);
+        for basis in [Basis::Z, Basis::X] {
+            let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, basis);
+            let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::PlainMwpm, &noise);
+            let bad = count_single_fault_failures(pipeline.dem(), pipeline.decoder());
+            assert_eq!(bad, 0, "planar d=3 {basis:?} is fault tolerant");
+        }
+    }
+
+    #[test]
+    fn planar_d3_ber_below_physical_noise() {
+        let code = rotated_surface_code(3);
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+        let noise = NoiseModel::new(1e-3);
+        let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+        let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::PlainMwpm, &noise);
+        let stats = run_ber(&exp.circuit, pipeline.decoder(), 2_000, 11, 4);
+        assert!(
+            stats.ber() < 0.05,
+            "d=3 surface BER {} unexpectedly high",
+            stats.ber()
+        );
+    }
+
+    #[test]
+    fn toric_surface_decodes() {
+        let code = toric_surface_code(3).unwrap();
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+        let noise = NoiseModel::new(1e-3);
+        let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+        let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::PlainMwpm, &noise);
+        let stats = run_ber(&exp.circuit, pipeline.decoder(), 1_000, 3, 4);
+        assert!(stats.ber() < 0.1, "toric BER {}", stats.ber());
+    }
+
+    #[test]
+    fn toric_color_restriction_decodes() {
+        let code = toric_color_code(2).unwrap();
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+        let noise = NoiseModel::new(5e-4);
+        let exp = build_memory_circuit(&code, &fpn, Some(&noise), 2, Basis::Z);
+        let pipeline =
+            DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedRestriction, &noise);
+        let stats = run_ber(&exp.circuit, pipeline.decoder(), 1_000, 5, 4);
+        assert!(stats.ber() < 0.15, "toric color BER {}", stats.ber());
+    }
+
+    #[test]
+    fn code_capacity_singles_all_corrected() {
+        // Under code-capacity noise with perfect extraction, decoders
+        // must realize the full code distance: every single data error
+        // is corrected (d >= 3).
+        use qec_sched::build_code_capacity_circuit;
+        let noise = NoiseModel::new(1e-2);
+        let cases: Vec<(CssCode, DecoderKind)> = vec![
+            (
+                qec_code::hyperbolic::toric_surface_code(3).unwrap(),
+                DecoderKind::PlainMwpm,
+            ),
+            (
+                qec_code::hyperbolic::toric_color_code(2).unwrap(),
+                DecoderKind::FlaggedRestriction,
+            ),
+            (
+                qec_code::planar::rotated_surface_code(3),
+                DecoderKind::PlainMwpm,
+            ),
+        ];
+        for (code, kind) in cases {
+            let fpn = FlagProxyNetwork::build(&code, &qec_arch::FpnConfig::direct());
+            for basis in [Basis::Z, Basis::X] {
+                let exp = build_code_capacity_circuit(&code, &fpn, 1e-2, basis);
+                let pipeline = DecodingPipeline::new(&code, &exp, kind, &noise);
+                assert_eq!(
+                    count_single_fault_failures(pipeline.dem(), pipeline.decoder()),
+                    0,
+                    "{} {basis:?}",
+                    code.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ber_stats_normalization() {
+        let stats = BerStats {
+            shots: 1000,
+            failures: 40,
+            k: 8,
+        };
+        assert!((stats.ber() - 0.04).abs() < 1e-12);
+        assert!((stats.ber_norm() - 0.005).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,90 @@
+//! Experiment harness: BER sweeps and table formatting for the
+//! reproduction binaries (one per paper table/figure).
+
+use crate::{run_ber, BerStats, DecoderKind, DecodingPipeline};
+use qec_arch::FlagProxyNetwork;
+use qec_code::CssCode;
+use qec_sched::{build_memory_circuit, Basis};
+use qec_sim::noise::NoiseModel;
+
+/// One point of a BER sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct BerPoint {
+    /// Physical error rate.
+    pub p: f64,
+    /// Memory basis.
+    pub basis: Basis,
+    /// Result.
+    pub stats: BerStats,
+    /// Syndrome-extraction rounds used.
+    pub rounds: usize,
+}
+
+/// Runs a memory experiment at one physical error rate, growing the
+/// shot count until `target_failures` failures or `max_shots` shots.
+#[allow(clippy::too_many_arguments)]
+pub fn ber_point(
+    code: &CssCode,
+    fpn: &FlagProxyNetwork,
+    kind: DecoderKind,
+    p: f64,
+    rounds: usize,
+    basis: Basis,
+    max_shots: usize,
+    target_failures: usize,
+    seed: u64,
+    threads: usize,
+) -> BerPoint {
+    let noise = NoiseModel::new(p);
+    let exp = build_memory_circuit(code, fpn, Some(&noise), rounds, basis);
+    let pipeline = DecodingPipeline::new(code, &exp, kind, &noise);
+    let mut total = BerStats {
+        shots: 0,
+        failures: 0,
+        k: code.k(),
+    };
+    let mut chunk = 4096.max(64 * threads);
+    let mut round_seed = seed;
+    while total.shots < max_shots && total.failures < target_failures {
+        let remaining = max_shots - total.shots;
+        let stats = run_ber(
+            &exp.circuit,
+            pipeline.decoder(),
+            chunk.min(remaining),
+            round_seed,
+            threads,
+        );
+        total.shots += stats.shots;
+        total.failures += stats.failures;
+        round_seed = round_seed.wrapping_add(0x9e3779b97f4a7c15);
+        chunk = (chunk * 2).min(1 << 20);
+    }
+    BerPoint {
+        p,
+        basis,
+        stats: total,
+        rounds,
+    }
+}
+
+/// Prints one sweep row in the paper's style.
+pub fn print_ber_row(label: &str, point: &BerPoint) {
+    let basis = match point.basis {
+        Basis::X => "X",
+        Basis::Z => "Z",
+    };
+    println!(
+        "{label:<42} p={:<8.1e} mem-{basis} rounds={:<2} shots={:<8} fails={:<6} BER={:.3e} BER/k={:.3e}",
+        point.p,
+        point.rounds,
+        point.stats.shots,
+        point.stats.failures,
+        point.stats.ber(),
+        point.stats.ber_norm(),
+    );
+}
+
+/// Number of worker threads to use (all cores, minimum 1).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

@@ -1,0 +1,56 @@
+//! Flag-Proxy Networks, end to end.
+//!
+//! `fpn-core` ties the whole reproduction together: pick a code
+//! ([`qec_code`]), realize it as a Flag-Proxy Network ([`qec_arch`]),
+//! generate its noisy syndrome-extraction circuit ([`qec_sched`]),
+//! derive the detector error model ([`qec_sim`]), decode with the flag
+//! protocol ([`qec_decode`]) and estimate block error rates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fpn_core::prelude::*;
+//!
+//! // The `[[30,8,3,3]]` {5,5} hyperbolic surface code as a degree-4 FPN.
+//! let code = hyperbolic_surface_code(&SURFACE_REGISTRY[12])?;
+//! let fpn = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+//! let noise = NoiseModel::new(1e-3);
+//! let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+//! let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedMwpm, &noise);
+//! let stats = run_ber(&exp.circuit, pipeline.decoder(), 1_024, 7, 2);
+//! assert!(stats.ber() < 0.2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiment;
+pub mod harness;
+
+pub use experiment::{
+    color_context, count_single_fault_failures, run_ber, BerStats, DecoderKind, DecodingPipeline,
+};
+
+/// Convenient re-exports of the full pipeline vocabulary.
+pub mod prelude {
+    pub use crate::{
+        color_context, count_single_fault_failures, run_ber, BerStats, DecoderKind,
+        DecodingPipeline,
+    };
+    pub use qec_arch::{ArchitectureMetrics, FlagProxyNetwork, FpnConfig};
+    pub use qec_code::distance::estimate_distances;
+    pub use qec_code::hyperbolic::{
+        hyperbolic_color_code, hyperbolic_surface_code, toric_color_code, toric_surface_code,
+        HyperbolicSpec, COLOR_REGISTRY, SURFACE_REGISTRY,
+    };
+    pub use qec_code::planar::rotated_surface_code;
+    pub use qec_code::{CodeError, CodeFamily, CssCode, PlaqColor};
+    pub use qec_decode::{Decoder, MwpmConfig, MwpmDecoder, RestrictionConfig, RestrictionDecoder};
+    pub use qec_sched::{
+        build_code_capacity_circuit, build_memory_circuit, greedy_schedule, Basis,
+        MemoryExperiment,
+    };
+    pub use qec_sim::noise::NoiseModel;
+    pub use qec_sim::{Circuit, DetectorErrorModel, FrameSampler};
+}

@@ -1,0 +1,53 @@
+//! Decoders that leverage flag qubits — §VI of the paper.
+//!
+//! The decoding pipeline starts from a detector error model
+//! ([`qec_sim::DetectorErrorModel`]):
+//!
+//! * [`DecodingHypergraph`] — fault mechanisms organized into **error
+//!   equivalence classes** (§VI-B): hyperedges flipping the same parity
+//!   detectors but different flag bits live in one class; at decode
+//!   time a single representative is chosen per class given the
+//!   observed flag syndrome, with mismatched flag bits priced as flag
+//!   measurement errors (a localized form of Eq. 9).
+//! * [`MwpmDecoder`] — the flagged minimum-weight perfect-matching
+//!   decoder for (hyperbolic and planar) surface codes (§VI-C), with
+//!   virtual-boundary support for planar codes. Configured with
+//!   flag-conditioning disabled it is the PyMatching-equivalent
+//!   baseline of §VI-F1.
+//! * [`RestrictionDecoder`] — the flagged restriction decoder for color
+//!   codes (§VI-D): matching on the `L_RG`, `L_RB` and `L_GB`
+//!   restricted lattices, the twice-used-edge rule, and lifting at red plaquettes.
+//!   With the twice-used-edge rule disabled it reproduces the
+//!   Chamberland-style baseline of §VI-F2.
+//!
+//! * [`UnionFindDecoder`] — an almost-linear-time Union-Find decoder
+//!   (Delfosse–Nickerson) over the same equivalence-class graph, used
+//!   as a speed/accuracy ablation against MWPM.
+//!
+//! All decoders implement [`Decoder`], mapping a shot's detector bits
+//! to predicted logical-observable flips.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hypergraph;
+mod mwpm;
+mod restriction;
+mod unionfind;
+
+pub use hypergraph::{ClassMember, DecodingHypergraph, EquivClass};
+pub use mwpm::{MwpmConfig, MwpmDecoder, TraceEdge};
+pub use restriction::{ColorCodeContext, RestrictionConfig, RestrictionDecoder, RestrictionEvent};
+pub use unionfind::{UnionFindConfig, UnionFindDecoder};
+
+use qec_math::BitVec;
+
+/// A decoder: maps one shot's detector outcomes to the predicted set
+/// of flipped logical observables.
+pub trait Decoder: Sync {
+    /// Decodes one shot.
+    fn decode(&self, detectors: &BitVec) -> BitVec;
+
+    /// Number of observables this decoder predicts.
+    fn num_observables(&self) -> usize;
+}

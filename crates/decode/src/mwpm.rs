@@ -1,0 +1,381 @@
+//! The flagged MWPM decoder (§VI-C) and its unflagged baseline.
+
+use crate::hypergraph::DecodingHypergraph;
+use crate::Decoder;
+use qec_math::graph::matching::min_weight_perfect_matching_f64;
+use qec_math::BitVec;
+use qec_sim::DetectorErrorModel;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration of [`MwpmDecoder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MwpmConfig {
+    /// Use the flag syndrome to choose class representatives and
+    /// reweight edges. Disabled = the PyMatching-equivalent baseline.
+    pub flag_conditioning: bool,
+    /// Measurement error probability `p_M` used to price flag
+    /// mismatches (Eq. 9).
+    pub measurement_error_probability: f64,
+}
+
+impl MwpmConfig {
+    /// The paper's flagged decoder.
+    pub fn flagged(p_m: f64) -> Self {
+        MwpmConfig {
+            flag_conditioning: true,
+            measurement_error_probability: p_m,
+        }
+    }
+
+    /// Plain MWPM ignoring flag information.
+    pub fn unflagged() -> Self {
+        MwpmConfig {
+            flag_conditioning: false,
+            measurement_error_probability: 0.5,
+        }
+    }
+}
+
+/// Minimum-weight perfect-matching decoder over the decoding graph
+/// derived from the equivalence classes: each class with `|σ| = 1`
+/// becomes a boundary edge, `|σ| = 2` a normal edge, `|σ| > 2` a
+/// clique (Fig. 16(a)). Path weights come from per-shot Dijkstra runs
+/// with flag-conditioned class weights.
+#[derive(Debug)]
+pub struct MwpmDecoder {
+    hypergraph: DecodingHypergraph,
+    config: MwpmConfig,
+    minus_ln_pm: f64,
+    /// Base `(member, weight)` per class with no flags raised.
+    base_choice: Vec<(usize, f64)>,
+    /// `adjacency[v]` lists `(neighbor, class)`; vertex `num_check` is
+    /// the virtual boundary when present.
+    adjacency: Vec<Vec<(usize, usize)>>,
+    has_boundary: bool,
+}
+
+/// Edges costlier than this are treated as unusable.
+const UNREACHABLE: f64 = 1.0e8;
+
+/// Distance and predecessor `(vertex, class)` arrays of one Dijkstra run.
+type DijkstraRun = (Vec<f64>, Vec<(usize, usize)>);
+
+impl MwpmDecoder {
+    /// Builds the decoder from a detector error model.
+    pub fn new(dem: &DetectorErrorModel, config: MwpmConfig) -> Self {
+        let hypergraph = DecodingHypergraph::new(dem);
+        let minus_ln_pm = -config
+            .measurement_error_probability
+            .clamp(1e-12, 1.0 - 1e-12)
+            .ln();
+        let no_flags = BitVec::zeros(hypergraph.num_flag_detectors());
+        let base_choice: Vec<(usize, f64)> = hypergraph
+            .classes()
+            .iter()
+            .map(|c| {
+                if config.flag_conditioning {
+                    c.representative(&no_flags, minus_ln_pm)
+                } else {
+                    c.representative_unflagged()
+                }
+            })
+            .collect();
+        let num_check = hypergraph.num_check_detectors();
+        let has_boundary = hypergraph.classes().iter().any(|c| c.sigma.len() == 1);
+        let vertices = num_check + usize::from(has_boundary);
+        let boundary = num_check;
+        let mut adjacency = vec![Vec::new(); vertices];
+        for (ci, class) in hypergraph.classes().iter().enumerate() {
+            match class.sigma.len() {
+                0 => {}
+                1 => {
+                    let v = class.sigma[0] as usize;
+                    adjacency[v].push((boundary, ci));
+                    adjacency[boundary].push((v, ci));
+                }
+                _ => {
+                    for (i, &a) in class.sigma.iter().enumerate() {
+                        for &b in &class.sigma[i + 1..] {
+                            adjacency[a as usize].push((b as usize, ci));
+                            adjacency[b as usize].push((a as usize, ci));
+                        }
+                    }
+                }
+            }
+        }
+        MwpmDecoder {
+            hypergraph,
+            config,
+            minus_ln_pm,
+            base_choice,
+            adjacency,
+            has_boundary,
+        }
+    }
+
+    /// The underlying hypergraph.
+    pub fn hypergraph(&self) -> &DecodingHypergraph {
+        &self.hypergraph
+    }
+
+    fn dijkstra(
+        &self,
+        src: usize,
+        overrides: &HashMap<usize, (usize, f64)>,
+        flag_constant: f64,
+    ) -> DijkstraRun {
+        #[derive(PartialEq)]
+        struct Item {
+            dist: f64,
+            node: usize,
+        }
+        impl Eq for Item {}
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .unwrap_or(Ordering::Equal)
+            }
+        }
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let n = self.adjacency.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut pred = vec![(usize::MAX, usize::MAX); n];
+        let mut done = vec![false; n];
+        let mut heap = BinaryHeap::new();
+        dist[src] = 0.0;
+        heap.push(Item {
+            dist: 0.0,
+            node: src,
+        });
+        while let Some(Item { dist: d, node: u }) = heap.pop() {
+            if done[u] {
+                continue;
+            }
+            done[u] = true;
+            for &(v, class) in &self.adjacency[u] {
+                // Non-overridden classes keep their F = ∅ member but
+                // still pay the global |F| flag-mismatch constant.
+                let w = overrides
+                    .get(&class)
+                    .map_or(self.base_choice[class].1 + flag_constant, |&(_, w)| w);
+                // Deterministic tie-breaking (see the restriction
+                // decoder): prefer shorter paths, rank ties stably.
+                let nd = d + w + 1e-6 + (class % 1024) as f64 * 1e-9;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    pred[v] = (u, class);
+                    heap.push(Item { dist: nd, node: v });
+                }
+            }
+        }
+        (dist, pred)
+    }
+
+    fn apply_path(
+        &self,
+        pred: &[(usize, usize)],
+        src: usize,
+        dst: usize,
+        overrides: &HashMap<usize, (usize, f64)>,
+        correction: &mut BitVec,
+        trace: &mut Option<&mut Vec<TraceEdge>>,
+    ) {
+        let mut cur = dst;
+        while cur != src {
+            let (prev, class) = pred[cur];
+            debug_assert_ne!(prev, usize::MAX, "path must exist");
+            let (member, weight) = overrides
+                .get(&class)
+                .copied()
+                .unwrap_or(self.base_choice[class]);
+            for &obs in &self.hypergraph.classes()[class].members[member].observables {
+                correction.flip(obs as usize);
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceEdge {
+                    class,
+                    member,
+                    weight,
+                    from: prev,
+                    to: cur,
+                });
+            }
+            cur = prev;
+        }
+    }
+}
+
+/// One edge of a decoding explanation: which class/member was applied
+/// along a matched path and at what weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEdge {
+    /// Equivalence-class index.
+    pub class: usize,
+    /// Chosen member within the class.
+    pub member: usize,
+    /// Edge weight used.
+    pub weight: f64,
+    /// Path endpoints in check space (`usize::MAX` = boundary).
+    pub from: usize,
+    /// See `from`.
+    pub to: usize,
+}
+
+impl MwpmDecoder {
+    /// Decodes like [`Decoder::decode`] but also returns the matched
+    /// path edges, for diagnostics and tooling.
+    pub fn decode_with_trace(&self, detectors: &BitVec) -> (BitVec, Vec<TraceEdge>) {
+        let mut trace = Vec::new();
+        let correction = self.decode_inner(detectors, Some(&mut trace));
+        (correction, trace)
+    }
+}
+
+impl Decoder for MwpmDecoder {
+    fn decode(&self, detectors: &BitVec) -> BitVec {
+        self.decode_inner(detectors, None)
+    }
+
+    fn num_observables(&self) -> usize {
+        self.hypergraph.num_observables()
+    }
+}
+
+impl MwpmDecoder {
+    fn decode_inner(&self, detectors: &BitVec, mut trace: Option<&mut Vec<TraceEdge>>) -> BitVec {
+        let mut correction = BitVec::zeros(self.hypergraph.num_observables());
+        let (checks, flags) = self.hypergraph.split_shot(detectors);
+        // Flag-conditioned overrides for affected classes.
+        let mut overrides: HashMap<usize, (usize, f64)> = HashMap::new();
+        if self.config.flag_conditioning && !flags.is_zero() {
+            for f in flags.iter_ones() {
+                for &class in self.hypergraph.classes_with_flag(f) {
+                    overrides.entry(class).or_insert_with(|| {
+                        self.hypergraph.classes()[class].representative(&flags, self.minus_ln_pm)
+                    });
+                }
+            }
+        }
+        if checks.is_empty() {
+            return correction;
+        }
+        let boundary = self.hypergraph.num_check_detectors();
+        let flag_constant = if self.config.flag_conditioning {
+            flags.weight() as f64 * self.minus_ln_pm
+        } else {
+            0.0
+        };
+        let runs: Vec<DijkstraRun> = checks
+            .iter()
+            .map(|&c| self.dijkstra(c, &overrides, flag_constant))
+            .collect();
+        // Matching instance: flipped detectors 0..s, boundary copies
+        // s..2s when the code has a boundary.
+        let s = checks.len();
+        let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+        for i in 0..s {
+            for j in (i + 1)..s {
+                let d = runs[i].0[checks[j]];
+                if d < UNREACHABLE {
+                    edges.push((i, j, d));
+                }
+            }
+            if self.has_boundary {
+                let d = runs[i].0[boundary];
+                if d < UNREACHABLE {
+                    edges.push((i, s + i, d));
+                }
+            }
+        }
+        if self.has_boundary {
+            for i in 0..s {
+                for j in (i + 1)..s {
+                    edges.push((s + i, s + j, 0.0));
+                }
+            }
+        }
+        let nodes = if self.has_boundary { 2 * s } else { s };
+        let Some(matching) = min_weight_perfect_matching_f64(nodes, &edges) else {
+            return correction; // no consistent pairing: give up
+        };
+        for (a, b) in matching.pairs() {
+            if a < s && b < s {
+                self.apply_path(
+                    &runs[a].1,
+                    checks[a],
+                    checks[b],
+                    &overrides,
+                    &mut correction,
+                    &mut trace,
+                );
+            } else if a < s && b == s + a {
+                self.apply_path(
+                    &runs[a].1,
+                    checks[a],
+                    boundary,
+                    &overrides,
+                    &mut correction,
+                    &mut trace,
+                );
+            }
+        }
+        correction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec_sim::{Circuit, DetectorMeta};
+
+    /// 3-qubit repetition code, one round, with boundary-like ends:
+    /// data 0,1,2; checks (0,1) and (1,2); observable on qubit 0.
+    fn repetition_dem(p: f64) -> DetectorErrorModel {
+        let mut c = Circuit::new(5);
+        c.reset(&[0, 1, 2, 3, 4]);
+        c.x_error(&[0, 1, 2], p);
+        c.cx(&[(0, 3), (1, 3), (1, 4), (2, 4)]);
+        let m = c.measure(&[3, 4], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        c.add_detector(vec![m + 1], DetectorMeta::check(1, 0));
+        let md = c.measure(&[0, 1, 2], 0.0);
+        c.add_detector(vec![m, md, md + 1], DetectorMeta::check(0, 1));
+        c.add_detector(vec![m + 1, md + 1, md + 2], DetectorMeta::check(1, 1));
+        let obs = c.add_observable();
+        c.include_in_observable(obs, &[md]);
+        DetectorErrorModel::from_circuit(&c)
+    }
+
+    #[test]
+    fn single_faults_decode_correctly() {
+        let dem = repetition_dem(0.01);
+        let decoder = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
+        for mech in dem.mechanisms() {
+            let dets = BitVec::from_ones(
+                dem.num_detectors(),
+                mech.detectors.iter().map(|&d| d as usize),
+            );
+            let predicted = decoder.decode(&dets);
+            let actual = BitVec::from_ones(
+                dem.num_observables(),
+                mech.observables.iter().map(|&o| o as usize),
+            );
+            assert_eq!(predicted, actual, "mechanism {mech:?}");
+        }
+    }
+
+    #[test]
+    fn empty_syndrome_gives_no_correction() {
+        let dem = repetition_dem(0.01);
+        let decoder = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
+        let out = decoder.decode(&BitVec::zeros(dem.num_detectors()));
+        assert!(out.is_zero());
+    }
+}

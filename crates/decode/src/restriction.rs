@@ -1,0 +1,631 @@
+//! The flagged Restriction decoder for color codes (§VI-D) and its
+//! Chamberland-style baseline.
+
+use crate::hypergraph::DecodingHypergraph;
+use crate::Decoder;
+use qec_math::graph::matching::min_weight_perfect_matching_f64;
+use qec_math::{gf2, BitMatrix, BitVec};
+use qec_sim::DetectorErrorModel;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Structural information about the color code, needed for lifting.
+#[derive(Debug, Clone)]
+pub struct ColorCodeContext {
+    /// Color of each plaquette: 0 = red, 1 = green, 2 = blue.
+    pub plaquette_colors: Vec<u8>,
+    /// Data-qubit support of each plaquette.
+    pub plaquette_supports: Vec<Vec<usize>>,
+    /// For each data qubit, the observables a memory-basis error on it
+    /// flips (e.g. in a Z-memory experiment: which Z logicals contain
+    /// the qubit).
+    pub qubit_observables: Vec<Vec<u32>>,
+}
+
+/// Configuration of [`RestrictionDecoder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestrictionConfig {
+    /// Use the flag syndrome to choose class representatives.
+    pub flag_conditioning: bool,
+    /// Apply the paper's rule for edges used by both restricted
+    /// matchings: correct their Pauli frames directly and remove them
+    /// before lifting. Disabling this reproduces the Chamberland-style
+    /// baseline, which handles flag edges only inside the MWPM stage.
+    pub twice_used_rule: bool,
+    /// Measurement error probability `p_M` for flag-mismatch pricing.
+    pub measurement_error_probability: f64,
+}
+
+impl RestrictionConfig {
+    /// The paper's flagged Restriction decoder.
+    pub fn flagged(p_m: f64) -> Self {
+        RestrictionConfig {
+            flag_conditioning: true,
+            twice_used_rule: true,
+            measurement_error_probability: p_m,
+        }
+    }
+
+    /// Chamberland-style baseline: flags only reweight the matching.
+    pub fn chamberland(p_m: f64) -> Self {
+        RestrictionConfig {
+            flag_conditioning: true,
+            twice_used_rule: false,
+            measurement_error_probability: p_m,
+        }
+    }
+}
+
+/// One restricted lattice `L_{c c'}`.
+#[derive(Debug)]
+struct Lattice {
+    /// check-space index -> lattice vertex, for member colors.
+    vertex_of: Vec<Option<usize>>,
+    /// lattice vertex -> check-space index.
+    check_of: Vec<usize>,
+    /// `adjacency[v]`: `(neighbor, class)`.
+    adjacency: Vec<Vec<(usize, usize)>>,
+}
+
+/// The restriction decoder: MWPM on the `L_RG`, `L_RB` and `L_GB`
+/// restricted lattices, the twice-used-edge rule (an edge chosen by two
+/// different restricted matchings is corrected directly), then lifting
+/// of the remaining edges at red plaquettes (Fig. 16(b)).
+#[derive(Debug)]
+pub struct RestrictionDecoder {
+    hypergraph: DecodingHypergraph,
+    ctx: ColorCodeContext,
+    config: RestrictionConfig,
+    minus_ln_pm: f64,
+    base_choice: Vec<(usize, f64)>,
+    lattices: [Lattice; 3],
+    /// Exact lookup from a class's σ to its index.
+    sigma_index: HashMap<Vec<u32>, usize>,
+}
+
+const UNREACHABLE: f64 = 1.0e8;
+
+/// Distance and predecessor `(vertex, class)` arrays of one Dijkstra run.
+type DijkstraRun = (Vec<f64>, Vec<(usize, usize)>);
+
+impl RestrictionDecoder {
+    /// Builds the decoder from a detector error model and the color
+    /// structure of the code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some parity detector lacks color metadata.
+    pub fn new(dem: &DetectorErrorModel, ctx: ColorCodeContext, config: RestrictionConfig) -> Self {
+        let hypergraph = DecodingHypergraph::with_primitive_size(dem, usize::MAX);
+        let minus_ln_pm = -config
+            .measurement_error_probability
+            .clamp(1e-12, 1.0 - 1e-12)
+            .ln();
+        let no_flags = BitVec::zeros(hypergraph.num_flag_detectors());
+        let base_choice: Vec<(usize, f64)> = hypergraph
+            .classes()
+            .iter()
+            .map(|c| {
+                if config.flag_conditioning {
+                    c.representative(&no_flags, minus_ln_pm)
+                } else {
+                    c.representative_unflagged()
+                }
+            })
+            .collect();
+        let color_of_check = |c: usize| -> u8 {
+            hypergraph
+                .check_meta(c)
+                .color
+                .expect("color codes require colored detectors")
+        };
+        let build_lattice = |colors: (u8, u8)| -> Lattice {
+            let num_check = hypergraph.num_check_detectors();
+            let mut vertex_of = vec![None; num_check];
+            let mut check_of = Vec::new();
+            for c in 0..num_check {
+                let col = color_of_check(c);
+                if col == colors.0 || col == colors.1 {
+                    vertex_of[c] = Some(check_of.len());
+                    check_of.push(c);
+                }
+            }
+            let mut adjacency = vec![Vec::new(); check_of.len()];
+            for (ci, class) in hypergraph.classes().iter().enumerate() {
+                let proj: Vec<usize> = class
+                    .sigma
+                    .iter()
+                    .filter_map(|&c| vertex_of[c as usize])
+                    .collect();
+                for (i, &a) in proj.iter().enumerate() {
+                    for &b in &proj[i + 1..] {
+                        adjacency[a].push((b, ci));
+                        adjacency[b].push((a, ci));
+                    }
+                }
+            }
+            Lattice {
+                vertex_of,
+                check_of,
+                adjacency,
+            }
+        };
+        let lattices = [
+            build_lattice((0, 1)),
+            build_lattice((0, 2)),
+            build_lattice((1, 2)),
+        ];
+        let sigma_index = hypergraph
+            .classes()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.sigma.clone(), i))
+            .collect();
+        RestrictionDecoder {
+            hypergraph,
+            ctx,
+            config,
+            minus_ln_pm,
+            base_choice,
+            lattices,
+            sigma_index,
+        }
+    }
+
+    /// The underlying hypergraph.
+    pub fn hypergraph(&self) -> &DecodingHypergraph {
+        &self.hypergraph
+    }
+
+    fn dijkstra(
+        &self,
+        lattice: &Lattice,
+        src: usize,
+        overrides: &HashMap<usize, (usize, f64)>,
+        flag_constant: f64,
+    ) -> DijkstraRun {
+        #[derive(PartialEq)]
+        struct Item {
+            dist: f64,
+            node: usize,
+        }
+        impl Eq for Item {}
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .unwrap_or(Ordering::Equal)
+            }
+        }
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let n = lattice.adjacency.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut pred = vec![(usize::MAX, usize::MAX); n];
+        let mut done = vec![false; n];
+        let mut heap = BinaryHeap::new();
+        dist[src] = 0.0;
+        heap.push(Item {
+            dist: 0.0,
+            node: src,
+        });
+        while let Some(Item { dist: d, node: u }) = heap.pop() {
+            if done[u] {
+                continue;
+            }
+            done[u] = true;
+            for &(v, class) in &lattice.adjacency[u] {
+                // Non-overridden classes keep their F = ∅ member but
+                // still pay the global |F| flag-mismatch constant.
+                let w = overrides
+                    .get(&class)
+                    .map_or(self.base_choice[class].1 + flag_constant, |&(_, w)| w);
+                // Deterministic tie-breaking: prefer shorter paths, and
+                // rank exactly-tied alternatives identically in every
+                // lattice so downstream multiplicity counting stays
+                // consistent.
+                let nd = d + w + 1e-6 + (class % 1024) as f64 * 1e-9;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    pred[v] = (u, class);
+                    heap.push(Item { dist: nd, node: v });
+                }
+            }
+        }
+        (dist, pred)
+    }
+
+    /// Runs MWPM on one restricted lattice; appends `(class, a, b)`
+    /// path edges (check-space endpoints) to `em`.
+    #[allow(clippy::too_many_arguments)]
+    fn match_lattice(
+        &self,
+        lattice: &Lattice,
+        flipped_checks: &[usize],
+        overrides: &HashMap<usize, (usize, f64)>,
+        flag_constant: f64,
+        em: &mut Vec<(usize, usize, usize)>,
+    ) {
+        let sources: Vec<usize> = flipped_checks
+            .iter()
+            .filter_map(|&c| lattice.vertex_of[c])
+            .collect();
+        if sources.is_empty() {
+            return;
+        }
+        if sources.len() % 2 == 1 {
+            // Closed codes always flip an even number per lattice; an
+            // odd count means an unusable shot — decode conservatively.
+            return;
+        }
+        let runs: Vec<DijkstraRun> = sources
+            .iter()
+            .map(|&v| self.dijkstra(lattice, v, overrides, flag_constant))
+            .collect();
+        let s = sources.len();
+        let mut edges = Vec::new();
+        for i in 0..s {
+            for j in (i + 1)..s {
+                let d = runs[i].0[sources[j]];
+                if d < UNREACHABLE {
+                    edges.push((i, j, d));
+                }
+            }
+        }
+        let Some(matching) = min_weight_perfect_matching_f64(s, &edges) else {
+            return;
+        };
+        for (a, b) in matching.pairs() {
+            let mut cur = sources[b];
+            while cur != sources[a] {
+                let (prev, class) = runs[a].1[cur];
+                em.push((class, lattice.check_of[prev], lattice.check_of[cur]));
+                cur = prev;
+            }
+        }
+    }
+
+    fn apply_member(&self, class: usize, member: usize, correction: &mut BitVec) {
+        for &obs in &self.hypergraph.classes()[class].members[member].observables {
+            correction.flip(obs as usize);
+        }
+    }
+}
+
+/// Events recorded by [`RestrictionDecoder::decode_with_trace`].
+#[derive(Debug, Clone)]
+pub enum RestrictionEvent {
+    /// An edge used by a restricted-lattice matching path
+    /// (endpoints in check space).
+    MatchedEdge {
+        /// Lattice index (0 = RG, 1 = RB, 2 = GB).
+        lattice: usize,
+        /// Equivalence-class index.
+        class: usize,
+        /// One endpoint (check space).
+        a: usize,
+        /// Other endpoint (check space).
+        b: usize,
+    },
+    /// The twice-used rule applied a class member's Pauli frames.
+    TwiceApplied {
+        /// Equivalence-class index.
+        class: usize,
+        /// Member applied.
+        member: usize,
+    },
+    /// A lift at a red plaquette applied data-qubit corrections.
+    Lifted {
+        /// Red plaquette id.
+        red: usize,
+        /// Data qubits corrected.
+        qubits: Vec<usize>,
+    },
+}
+
+impl RestrictionDecoder {
+    /// Decodes like [`Decoder::decode`] but also reports the decoding
+    /// events, for diagnostics and tooling.
+    pub fn decode_with_trace(&self, detectors: &BitVec) -> (BitVec, Vec<RestrictionEvent>) {
+        let mut trace = Vec::new();
+        let correction = self.decode_inner(detectors, Some(&mut trace));
+        (correction, trace)
+    }
+}
+
+impl Decoder for RestrictionDecoder {
+    fn decode(&self, detectors: &BitVec) -> BitVec {
+        self.decode_inner(detectors, None)
+    }
+
+    fn num_observables(&self) -> usize {
+        self.hypergraph.num_observables()
+    }
+}
+
+impl RestrictionDecoder {
+    fn decode_inner(
+        &self,
+        detectors: &BitVec,
+        mut trace: Option<&mut Vec<RestrictionEvent>>,
+    ) -> BitVec {
+        let mut correction = BitVec::zeros(self.hypergraph.num_observables());
+        let (checks, flags) = self.hypergraph.split_shot(detectors);
+        let mut overrides: HashMap<usize, (usize, f64)> = HashMap::new();
+        if self.config.flag_conditioning && !flags.is_zero() {
+            for f in flags.iter_ones() {
+                for &class in self.hypergraph.classes_with_flag(f) {
+                    overrides.entry(class).or_insert_with(|| {
+                        self.hypergraph.classes()[class].representative(&flags, self.minus_ln_pm)
+                    });
+                }
+            }
+        }
+        if checks.is_empty() {
+            return correction;
+        }
+        // Matchings on L_RG, L_RB and L_GB.
+        let flag_constant = if self.config.flag_conditioning {
+            flags.weight() as f64 * self.minus_ln_pm
+        } else {
+            0.0
+        };
+        let mut em: Vec<(usize, usize, usize)> = Vec::new();
+        for (li, lattice) in self.lattices.iter().enumerate() {
+            let start = em.len();
+            self.match_lattice(lattice, &checks, &overrides, flag_constant, &mut em);
+            if let Some(t) = trace.as_deref_mut() {
+                for &(class, a, b) in &em[start..] {
+                    t.push(RestrictionEvent::MatchedEdge {
+                        lattice: li,
+                        class,
+                        a,
+                        b,
+                    });
+                }
+            }
+        }
+        // Reconciliation: the three matchings may disagree on which
+        // classes explain the syndrome (each lattice sees only a
+        // projection). When the candidate set is small, pick the
+        // minimum-weight subset of candidate classes whose sigmas XOR
+        // to the flipped checks - a local maximum-likelihood resolution
+        // over the matching-suggested hypotheses.
+        if self.config.twice_used_rule {
+            let mut candidates: Vec<usize> = em.iter().map(|&(c, _, _)| c).collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            // Include the exact-sigma class when one exists.
+            let sigma_key: Vec<u32> = checks.iter().map(|&c| c as u32).collect();
+            if let Some(&c) = self.sigma_index.get(&sigma_key) {
+                if !candidates.contains(&c) {
+                    candidates.push(c);
+                }
+            }
+            if candidates.len() <= 16 {
+                let num_check = self.hypergraph.num_check_detectors();
+                let target = BitVec::from_ones(num_check, checks.iter().copied());
+                let sigmas: Vec<BitVec> = candidates
+                    .iter()
+                    .map(|&c| {
+                        BitVec::from_ones(
+                            num_check,
+                            self.hypergraph.classes()[c].sigma.iter().map(|&s| s as usize),
+                        )
+                    })
+                    .collect();
+                let weight_of = |c: usize| -> f64 {
+                    overrides
+                        .get(&c)
+                        .map_or(self.base_choice[c].1 + flag_constant, |&(_, w)| w)
+                };
+                let mut best: Option<(f64, u32)> = None;
+                for mask in 1u32..(1u32 << candidates.len()) {
+                    let mut acc = BitVec::zeros(num_check);
+                    let mut w = 0.0;
+                    for (i, sv) in sigmas.iter().enumerate() {
+                        if mask >> i & 1 == 1 {
+                            acc.xor_assign(sv);
+                            w += weight_of(candidates[i]);
+                        }
+                    }
+                    if acc == target && best.is_none_or(|(bw, _)| w < bw) {
+                        best = Some((w, mask));
+                    }
+                }
+                if let Some((_, mask)) = best {
+                    for (i, &class) in candidates.iter().enumerate() {
+                        if mask >> i & 1 == 1 {
+                            let member = overrides
+                                .get(&class)
+                                .map_or(self.base_choice[class].0, |&(m, _)| m);
+                            self.apply_member(class, member, &mut correction);
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.push(RestrictionEvent::TwiceApplied { class, member });
+                            }
+                        }
+                    }
+                    return correction;
+                }
+            }
+        }
+        // Twice-used rule: a class edge appearing in both restricted
+        // matchings is corrected directly (this is where propagation
+        // errors flipping two same-color plaquettes are handled).
+        if self.config.twice_used_rule {
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            for &(class, _, _) in &em {
+                *counts.entry(class).or_insert(0) += 1;
+            }
+            let twice: Vec<usize> = counts
+                .iter()
+                .filter(|&(_, &n)| n >= 2)
+                .map(|(&c, _)| c)
+                .collect();
+            for &class in &twice {
+                let member = overrides
+                    .get(&class)
+                    .map_or(self.base_choice[class].0, |&(m, _)| m);
+                self.apply_member(class, member, &mut correction);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(RestrictionEvent::TwiceApplied { class, member });
+                }
+            }
+            em.retain(|&(class, _, _)| !twice.contains(&class));
+        }
+        // Lifting: flatten remaining edges to plaquette space (dropping
+        // time-like edges) and solve for data errors around each red
+        // plaquette.
+        let mut flattened: HashMap<(usize, usize), usize> = HashMap::new();
+        for &(_, ca, cb) in &em {
+            let pa = self.hypergraph.check_meta(ca).id;
+            let pb = self.hypergraph.check_meta(cb).id;
+            if pa == pb {
+                continue; // measurement-like edge
+            }
+            let key = if pa < pb { (pa, pb) } else { (pb, pa) };
+            *flattened.entry(key).or_insert(0) ^= 1;
+        }
+        // Group odd edges by incident red plaquette.
+        let mut at_red: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (&(pa, pb), &parity) in &flattened {
+            if parity == 0 {
+                continue;
+            }
+            if self.ctx.plaquette_colors[pa] == 0 {
+                at_red.entry(pa).or_default().push(pb);
+            } else if self.ctx.plaquette_colors[pb] == 0 {
+                at_red.entry(pb).or_default().push(pa);
+            }
+            // Edges between two non-red plaquettes cannot be lifted at
+            // a red vertex and are dropped.
+        }
+        for (red, odd_neighbors) in at_red {
+            // Solve for the data subset of the red plaquette whose
+            // boundary matches the incident edges: parity 1 toward
+            // plaquettes with an odd EM edge, parity 0 toward every
+            // other neighboring plaquette.
+            let support = &self.ctx.plaquette_supports[red];
+            let mut neighbors: Vec<usize> = support
+                .iter()
+                .flat_map(|&q| {
+                    (0..self.ctx.plaquette_supports.len())
+                        .filter(move |&u| self.ctx.plaquette_supports[u].contains(&q))
+                })
+                .filter(|&u| u != red)
+                .collect();
+            neighbors.sort_unstable();
+            neighbors.dedup();
+            let mut a = BitMatrix::zeros(neighbors.len(), support.len());
+            let mut b = BitVec::zeros(neighbors.len());
+            for (row, &u) in neighbors.iter().enumerate() {
+                for (col, &q) in support.iter().enumerate() {
+                    if self.ctx.plaquette_supports[u].contains(&q) {
+                        a.set(row, col, true);
+                    }
+                }
+                if odd_neighbors.contains(&u) {
+                    b.set(row, true);
+                }
+            }
+            let Some(particular) = gf2::solve(&a, &b) else {
+                continue; // inconsistent local syndrome: give up here
+            };
+            // Minimum-weight solution: the kernel contains at least the
+            // all-of-support vector (whose application is a logical),
+            // so search the coset for the lightest representative.
+            let kernel = gf2::nullspace(&a);
+            let mut best = particular.clone();
+            if kernel.rows() <= 12 {
+                for mask in 1u32..(1 << kernel.rows()) {
+                    let mut candidate = particular.clone();
+                    for (i, row) in kernel.iter_rows().enumerate() {
+                        if mask >> i & 1 == 1 {
+                            candidate.xor_assign(row);
+                        }
+                    }
+                    if candidate.weight() < best.weight() {
+                        best = candidate;
+                    }
+                }
+            }
+            let mut lifted = Vec::new();
+            for col in best.iter_ones() {
+                let q = support[col];
+                lifted.push(q);
+                for &obs in &self.ctx.qubit_observables[q] {
+                    correction.flip(obs as usize);
+                }
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(RestrictionEvent::Lifted { red, qubits: lifted });
+            }
+        }
+        correction
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec_sim::{Circuit, DetectorMeta};
+
+    /// A miniature "color-code-like" circuit: three plaquette checks
+    /// (R, G, B) each touching data qubit 0, which carries the
+    /// observable. A single data error flips all three.
+    fn tiny_color_dem() -> (DetectorErrorModel, ColorCodeContext) {
+        let mut c = Circuit::new(5);
+        c.reset(&[0, 1, 2, 3, 4]);
+        c.x_error(&[0, 1], 0.01);
+        // Checks: R = {0,1} -> anc 2, G = {0} -> anc 3, B = {0} -> anc 4.
+        c.cx(&[(0, 2), (1, 2), (0, 3), (0, 4)]);
+        let m = c.measure(&[2, 3, 4], 0.0);
+        c.add_detector(vec![m], DetectorMeta::colored_check(0, 0, 0));
+        c.add_detector(vec![m + 1], DetectorMeta::colored_check(1, 0, 1));
+        c.add_detector(vec![m + 2], DetectorMeta::colored_check(2, 0, 2));
+        let md = c.measure(&[0, 1], 0.0);
+        c.add_detector(vec![m, md, md + 1], DetectorMeta::colored_check(0, 1, 0));
+        c.add_detector(vec![m + 1, md], DetectorMeta::colored_check(1, 1, 1));
+        c.add_detector(vec![m + 2, md], DetectorMeta::colored_check(2, 1, 2));
+        let obs = c.add_observable();
+        c.include_in_observable(obs, &[md]);
+        let ctx = ColorCodeContext {
+            plaquette_colors: vec![0, 1, 2],
+            plaquette_supports: vec![vec![0, 1], vec![0], vec![0]],
+            qubit_observables: vec![vec![0], vec![]],
+        };
+        (DetectorErrorModel::from_circuit(&c), ctx)
+    }
+
+    #[test]
+    fn single_faults_decode_correctly() {
+        let (dem, ctx) = tiny_color_dem();
+        let decoder = RestrictionDecoder::new(&dem, ctx, RestrictionConfig::flagged(0.01));
+        for mech in dem.mechanisms() {
+            let dets = BitVec::from_ones(
+                dem.num_detectors(),
+                mech.detectors.iter().map(|&d| d as usize),
+            );
+            let predicted = decoder.decode(&dets);
+            let actual = BitVec::from_ones(
+                dem.num_observables(),
+                mech.observables.iter().map(|&o| o as usize),
+            );
+            assert_eq!(predicted, actual, "mechanism {mech:?}");
+        }
+    }
+
+    #[test]
+    fn empty_syndrome_is_identity() {
+        let (dem, ctx) = tiny_color_dem();
+        let decoder = RestrictionDecoder::new(&dem, ctx, RestrictionConfig::flagged(0.01));
+        assert!(decoder
+            .decode(&BitVec::zeros(dem.num_detectors()))
+            .is_zero());
+    }
+}

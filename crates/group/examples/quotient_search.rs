@@ -1,0 +1,99 @@
+//! Searches for finite von Dyck and full-triangle-group quotients that
+//! yield clean hyperbolic tilings, printing candidates for the code
+//! registry in `qec-code`.
+//!
+//! Run with: `cargo run -p qec-group --release --example quotient_search`
+
+use qec_group::{
+    enumerate_cosets, triangle_group, von_dyck, word, ColorTiling, Tiling, Word,
+};
+
+fn relator_name_and_word(kind: usize, k: usize) -> (String, Word) {
+    let x = word::gen(0);
+    let y = word::gen(1);
+    let yi = word::inv_gen(1);
+    match kind {
+        0 => (format!("(xy^-1)^{k}"), word::pow(&word::concat(&[&x, &yi]), k)),
+        1 => (format!("[x,y]^{k}"), word::pow(&word::commutator(&x, &y), k)),
+        2 => (
+            format!("(xxy)^{k}"),
+            word::pow(&word::concat(&[&x, &x, &y]), k),
+        ),
+        3 => (
+            format!("(xyy)^{k}"),
+            word::pow(&word::concat(&[&x, &y, &y]), k),
+        ),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let max = 250_000;
+    println!("== von Dyck quotients (hyperbolic surface codes) ==");
+    for (r, s) in [(4usize, 5usize), (4, 6), (5, 5), (5, 6)] {
+        for kind in 0..4 {
+            for k in 2..=12 {
+                let (name, w) = relator_name_and_word(kind, k);
+                let pres = von_dyck(r, s, std::slice::from_ref(&w));
+                let Ok(table) = enumerate_cosets(&pres, &[], max) else {
+                    continue;
+                };
+                let order = table.num_cosets();
+                if order < r * s {
+                    continue; // collapsed
+                }
+                match Tiling::from_von_dyck(&table, r, s) {
+                    Ok(t) => {
+                        let chi = t.euler_characteristic();
+                        let n = t.num_edges();
+                        let kk = 2 - chi;
+                        println!(
+                            "  {{{r},{s}}} + {name}: |G|={order} n={n} chi={chi} k~{kk}"
+                        );
+                    }
+                    Err(e) => {
+                        println!("  {{{r},{s}}} + {name}: |G|={order} DEGENERATE ({e})");
+                    }
+                }
+            }
+        }
+    }
+
+    println!("== full triangle group quotients (hyperbolic color codes) ==");
+    // {r,s} color code = truncation of {p,q} = {s/2, 2r}.
+    for (r, s) in [(4usize, 6usize), (4, 8), (4, 10), (5, 8)] {
+        let (p, q) = (s / 2, 2 * r);
+        let a = word::gen(0);
+        let b = word::gen(1);
+        let c = word::gen(2);
+        let abc = word::concat(&[&a, &b, &c]);
+        let abcb = word::concat(&[&a, &b, &c, &b]);
+        for (base_name, base) in [("(abc)", abc), ("(abcb)", abcb)] {
+            for k in 4..=24 {
+                let w = word::pow(&base, k);
+                let pres = triangle_group(p, q, std::slice::from_ref(&w));
+                let Ok(table) = enumerate_cosets(&pres, &[], max) else {
+                    continue;
+                };
+                let order = table.num_cosets();
+                if order < 2 * q {
+                    continue;
+                }
+                match ColorTiling::from_triangle_group(&table, p, q) {
+                    Ok(ct) => {
+                        let n = ct.num_corners;
+                        let plq = ct.plaquettes.len();
+                        println!(
+                            "  {{{r},{s}}} [p={p},q={q}] + {base_name}^{k}: |G|={order} n={n} plaquettes={plq}"
+                        );
+                    }
+                    Err(e) => {
+                        println!(
+                            "  {{{r},{s}}} [p={p},q={q}] + {base_name}^{k}: |G|={order} REJECT ({e})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Finitely presented groups for hyperbolic code construction.
+//!
+//! The Flag-Proxy Networks paper constructs hyperbolic surface and color
+//! codes from `{r,s}` tilings of closed hyperbolic surfaces, generated
+//! with the GAP computer-algebra system. This crate replaces GAP with a
+//! from-scratch implementation of the same machinery:
+//!
+//! * [`Presentation`] — a finite group presentation `⟨g₁..gₙ | R⟩`;
+//! * [`enumerate_cosets`] — Todd–Coxeter coset enumeration (HLT strategy
+//!   with coincidence handling), producing a [`CosetTable`];
+//! * [`von_dyck`] / [`triangle_group`] — the (orientation-preserving)
+//!   von Dyck group `Δ⁺(r,s,2) = ⟨x,y | xʳ, yˢ, (xy)²⟩` and the full
+//!   triangle group `[p,q] = ⟨a,b,c | a²,b²,c², (ab)ᵖ, (bc)^q, (ca)²⟩`,
+//!   plus extra relators selecting finite quotients;
+//! * [`Tiling`] — extraction of the `{r,s}` tiling (faces, vertices,
+//!   edges and their incidences) from the regular action of a finite
+//!   quotient on itself, and [`ColorTiling`] — its truncation into the
+//!   trivalent 3-face-colorable lattices underlying hyperbolic color
+//!   codes.
+//!
+//! # Example
+//!
+//! ```
+//! use qec_group::{von_dyck, enumerate_cosets};
+//!
+//! // The icosahedral von Dyck group Δ⁺(3,5,2) ≅ A5 is already finite.
+//! let pres = von_dyck(3, 5, &[]);
+//! let table = enumerate_cosets(&pres, &[], 10_000).unwrap();
+//! assert_eq!(table.num_cosets(), 60); // |A5| = 60
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod presentation;
+mod tiling;
+mod todd_coxeter;
+
+pub use presentation::{triangle_group, von_dyck, word, Presentation, Word};
+pub use tiling::{ColorTiling, PlaqColor, Tiling, TilingError};
+pub use todd_coxeter::{enumerate_cosets, CosetTable, EnumerationError};

@@ -1,0 +1,430 @@
+//! Extraction of `{r,s}` tilings (and their truncations) from finite
+//! triangle-group quotients.
+//!
+//! A finite quotient of the von Dyck group `Δ⁺(r,s,2)` acts regularly on
+//! itself; the orbits of `⟨x⟩`, `⟨y⟩` and `⟨xy⟩` are the faces, vertices
+//! and edges of an `{r,s}` tiling of a closed surface (Breuckmann–Terhal
+//! construction). A finite quotient of the *full* triangle group `[p,q]`
+//! similarly yields the truncated tiling whose corners, vertex-polygons
+//! and face-polygons form the trivalent 3-face-colorable lattice of a
+//! hyperbolic color code.
+
+use crate::{word, CosetTable};
+use qec_math::graph::two_coloring;
+use std::fmt;
+
+/// Error produced when a quotient does not define a clean tiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TilingError {
+    /// A rotation generator does not have the full expected order.
+    WrongGeneratorOrder {
+        /// Which generator ("x", "y", "xy", ...).
+        generator: &'static str,
+        /// The order it should have.
+        expected: usize,
+        /// The order it has in the quotient.
+        actual: usize,
+    },
+    /// The edge involution has fixed points (dangling half-edges).
+    EdgeInvolutionFixedPoint,
+    /// Some face or vertex touches the same edge twice (self-glued cell);
+    /// such tilings give degenerate checks.
+    DegenerateCell(&'static str),
+    /// The face set of the tiling is not 2-colorable, so no color code
+    /// can be built from its truncation.
+    NotTwoColorable,
+}
+
+impl fmt::Display for TilingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TilingError::WrongGeneratorOrder {
+                generator,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "generator {generator} has order {actual} in the quotient, expected {expected}"
+            ),
+            TilingError::EdgeInvolutionFixedPoint => {
+                write!(f, "edge involution has fixed points")
+            }
+            TilingError::DegenerateCell(kind) => {
+                write!(f, "degenerate {kind}: repeats an incident edge")
+            }
+            TilingError::NotTwoColorable => {
+                write!(f, "tiling faces are not 2-colorable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TilingError {}
+
+/// A combinatorial `{r,s}` tiling of a closed surface.
+///
+/// Faces are `r`-gons, `s` of which meet at every vertex. In the
+/// hyperbolic-surface-code interpretation each edge is a data qubit,
+/// each face an X check and each vertex a Z check (Fig. 2 of the paper).
+#[derive(Debug, Clone)]
+pub struct Tiling {
+    /// Face size.
+    pub r: usize,
+    /// Vertex degree.
+    pub s: usize,
+    /// `face_edges[f]` lists the `r` distinct edges of face `f`.
+    pub face_edges: Vec<Vec<usize>>,
+    /// `vertex_edges[v]` lists the `s` distinct edges at vertex `v`.
+    pub vertex_edges: Vec<Vec<usize>>,
+    /// `edge_faces[e]` is the pair of faces adjacent to edge `e`.
+    pub edge_faces: Vec<(usize, usize)>,
+    /// `edge_vertices[e]` is the pair of endpoints of edge `e`.
+    pub edge_vertices: Vec<(usize, usize)>,
+}
+
+impl Tiling {
+    /// Builds the `{r,s}` tiling from the regular coset table of a
+    /// finite von Dyck quotient `⟨x, y | xʳ, yˢ, (xy)², …⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TilingError`] if the quotient is degenerate: the
+    /// rotations do not have full order, the edge involution has fixed
+    /// points, or some cell is glued to itself along an edge.
+    pub fn from_von_dyck(table: &CosetTable, r: usize, s: usize) -> Result<Self, TilingError> {
+        let x = word::gen(0);
+        let y = word::gen(1);
+        let z = word::concat(&[&x, &y]);
+        for (w, name, expect) in [(&x, "x", r), (&y, "y", s), (&z, "xy", 2)] {
+            let actual = table.word_order(w);
+            if actual != expect {
+                return Err(TilingError::WrongGeneratorOrder {
+                    generator: name,
+                    expected: expect,
+                    actual,
+                });
+            }
+        }
+        let n = table.num_cosets();
+        let zperm = table.word_permutation(&z);
+        if (0..n).any(|g| zperm[g] == g) {
+            return Err(TilingError::EdgeInvolutionFixedPoint);
+        }
+        let (face_of, num_faces) = table.orbits(std::slice::from_ref(&x));
+        let (vertex_of, num_vertices) = table.orbits(std::slice::from_ref(&y));
+        // Edges: pairs {g, z(g)}.
+        let mut edge_of = vec![usize::MAX; n];
+        let mut num_edges = 0;
+        for g in 0..n {
+            if edge_of[g] == usize::MAX {
+                edge_of[g] = num_edges;
+                edge_of[zperm[g]] = num_edges;
+                num_edges += 1;
+            }
+        }
+        let mut edge_faces = vec![(usize::MAX, usize::MAX); num_edges];
+        let mut edge_vertices = vec![(usize::MAX, usize::MAX); num_edges];
+        let mut face_edges = vec![Vec::new(); num_faces];
+        let mut vertex_edges = vec![Vec::new(); num_vertices];
+        for g in 0..n {
+            if g > zperm[g] {
+                continue; // handle each edge once, from its smaller dart
+            }
+            let h = zperm[g];
+            let e = edge_of[g];
+            edge_faces[e] = (face_of[g], face_of[h]);
+            edge_vertices[e] = (vertex_of[g], vertex_of[h]);
+            face_edges[face_of[g]].push(e);
+            if face_of[h] != face_of[g] {
+                face_edges[face_of[h]].push(e);
+            }
+            vertex_edges[vertex_of[g]].push(e);
+            if vertex_of[h] != vertex_of[g] {
+                vertex_edges[vertex_of[h]].push(e);
+            }
+        }
+        // Non-degeneracy: faces must have exactly r distinct edges,
+        // vertices exactly s.
+        for fe in &face_edges {
+            if fe.len() != r {
+                return Err(TilingError::DegenerateCell("face"));
+            }
+        }
+        for ve in &vertex_edges {
+            if ve.len() != s {
+                return Err(TilingError::DegenerateCell("vertex"));
+            }
+        }
+        Ok(Tiling {
+            r,
+            s,
+            face_edges,
+            vertex_edges,
+            edge_faces,
+            edge_vertices,
+        })
+    }
+
+    /// Number of faces.
+    pub fn num_faces(&self) -> usize {
+        self.face_edges.len()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_edges.len()
+    }
+
+    /// Number of edges (data qubits of the surface code).
+    pub fn num_edges(&self) -> usize {
+        self.edge_faces.len()
+    }
+
+    /// Euler characteristic `V - E + F` of the underlying surface.
+    pub fn euler_characteristic(&self) -> i64 {
+        self.num_vertices() as i64 - self.num_edges() as i64 + self.num_faces() as i64
+    }
+}
+
+/// Color of a color-code plaquette.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PlaqColor {
+    /// Red plaquettes (vertex `2r`-gons of the truncated tiling).
+    Red,
+    /// Green plaquettes (one class of face `s`-gons).
+    Green,
+    /// Blue plaquettes (the other class of face `s`-gons).
+    Blue,
+}
+
+impl fmt::Display for PlaqColor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaqColor::Red => write!(f, "R"),
+            PlaqColor::Green => write!(f, "G"),
+            PlaqColor::Blue => write!(f, "B"),
+        }
+    }
+}
+
+/// A trivalent, 3-face-colorable lattice obtained by truncating a
+/// `{p,q}` tiling: the substrate of a hyperbolic color code with red
+/// `q`-gon plaquettes and green/blue `2p`-gon plaquettes.
+///
+/// In the paper's `{r,s}` color-code notation, red plaquettes have
+/// `2r = q` corners and green/blue have `s = 2p`, i.e. this truncates
+/// the `{s/2, 2r}` tiling.
+#[derive(Debug, Clone)]
+pub struct ColorTiling {
+    /// Number of lattice vertices (data qubits).
+    pub num_corners: usize,
+    /// Plaquettes: color and the sorted list of incident corners.
+    pub plaquettes: Vec<(PlaqColor, Vec<usize>)>,
+}
+
+impl ColorTiling {
+    /// Builds the truncated tiling from the regular coset table of a
+    /// finite full-triangle-group quotient
+    /// `[p,q] = ⟨a,b,c | a²,b²,c²,(ab)ᵖ,(bc)^q,(ca)², …⟩`.
+    ///
+    /// Corners (data qubits) are the `⟨c⟩`-orbits of flags; red
+    /// plaquettes the `⟨b,c⟩`-orbits (around vertices); green/blue
+    /// plaquettes the `⟨a,b⟩`-orbits (around faces), split by a proper
+    /// 2-coloring of the face-adjacency graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TilingError`] on degenerate quotients or when the
+    /// faces are not 2-colorable.
+    pub fn from_triangle_group(
+        table: &CosetTable,
+        p: usize,
+        q: usize,
+    ) -> Result<Self, TilingError> {
+        let a = word::gen(0);
+        let b = word::gen(1);
+        let c = word::gen(2);
+        let ab = word::concat(&[&a, &b]);
+        let bc = word::concat(&[&b, &c]);
+        for (w, name, expect) in [(&ab, "ab", p), (&bc, "bc", q)] {
+            let actual = table.word_order(w);
+            if actual != expect {
+                return Err(TilingError::WrongGeneratorOrder {
+                    generator: name,
+                    expected: expect,
+                    actual,
+                });
+            }
+        }
+        let n = table.num_cosets();
+        let cperm = table.word_permutation(&c);
+        if (0..n).any(|g| cperm[g] == g) {
+            return Err(TilingError::EdgeInvolutionFixedPoint);
+        }
+        // Corners: ⟨c⟩-orbits.
+        let mut corner_of = vec![usize::MAX; n];
+        let mut num_corners = 0;
+        for g in 0..n {
+            if corner_of[g] == usize::MAX {
+                corner_of[g] = num_corners;
+                corner_of[cperm[g]] = num_corners;
+                num_corners += 1;
+            }
+        }
+        let (red_of, num_red) = table.orbits(&[b.clone(), c.clone()]);
+        let (face_of, num_face) = table.orbits(&[a.clone(), b.clone()]);
+
+        // Supports.
+        let mut red_support = vec![Vec::new(); num_red];
+        let mut face_support = vec![Vec::new(); num_face];
+        for g in 0..n {
+            red_support[red_of[g]].push(corner_of[g]);
+            face_support[face_of[g]].push(corner_of[g]);
+        }
+        for sup in red_support.iter_mut() {
+            sup.sort_unstable();
+            sup.dedup();
+            if sup.len() != q {
+                return Err(TilingError::DegenerateCell("red plaquette"));
+            }
+        }
+        for sup in face_support.iter_mut() {
+            sup.sort_unstable();
+            sup.dedup();
+            if sup.len() != 2 * p {
+                return Err(TilingError::DegenerateCell("face plaquette"));
+            }
+        }
+        // 2-color the faces: adjacent faces are linked by the c
+        // reflection across a shared edge.
+        let mut adj = vec![Vec::new(); num_face];
+        for g in 0..n {
+            let (f1, f2) = (face_of[g], face_of[cperm[g]]);
+            if f1 != f2 {
+                adj[f1].push(f2);
+            }
+        }
+        let colors = two_coloring(&adj).ok_or(TilingError::NotTwoColorable)?;
+
+        let mut plaquettes = Vec::with_capacity(num_red + num_face);
+        for sup in red_support {
+            plaquettes.push((PlaqColor::Red, sup));
+        }
+        for (f, sup) in face_support.into_iter().enumerate() {
+            let color = if colors[f] == 0 {
+                PlaqColor::Green
+            } else {
+                PlaqColor::Blue
+            };
+            plaquettes.push((color, sup));
+        }
+        Ok(ColorTiling {
+            num_corners,
+            plaquettes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{enumerate_cosets, triangle_group, von_dyck};
+
+    #[test]
+    fn icosahedral_tiling() {
+        // {3,5} on the sphere: 20 faces, 12 vertices, 30 edges.
+        let table = enumerate_cosets(&von_dyck(3, 5, &[]), &[], 1000).unwrap();
+        let t = Tiling::from_von_dyck(&table, 3, 5).unwrap();
+        assert_eq!(t.num_faces(), 20);
+        assert_eq!(t.num_vertices(), 12);
+        assert_eq!(t.num_edges(), 30);
+        assert_eq!(t.euler_characteristic(), 2);
+        // Every edge borders two distinct faces and vertices.
+        for &(f1, f2) in &t.edge_faces {
+            assert_ne!(f1, f2);
+        }
+        for &(v1, v2) in &t.edge_vertices {
+            assert_ne!(v1, v2);
+        }
+    }
+
+    #[test]
+    fn cube_tiling_incidences_consistent() {
+        let table = enumerate_cosets(&von_dyck(4, 3, &[]), &[], 1000).unwrap();
+        let t = Tiling::from_von_dyck(&table, 4, 3).unwrap();
+        assert_eq!((t.num_faces(), t.num_vertices(), t.num_edges()), (6, 8, 12));
+        // Face-edge and edge-face agree.
+        for (f, fe) in t.face_edges.iter().enumerate() {
+            for &e in fe {
+                let (a, b) = t.edge_faces[e];
+                assert!(a == f || b == f);
+            }
+        }
+        // A face and a vertex share 0 or 2 edges (commutation).
+        for fe in &t.face_edges {
+            for ve in &t.vertex_edges {
+                let shared = fe.iter().filter(|e| ve.contains(e)).count();
+                assert!(shared % 2 == 0, "face/vertex share {shared} edges");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_cube_color_tiling() {
+        // [3,4] truncation: corners = 24 (truncated octahedron vertices),
+        // red 4-gons... here q=4-gons at vertices: 6 squares? For {p,q} =
+        // {3,4}: 8 triangular faces -> 6-gons (green/blue), 6 vertices ->
+        // red 4-gons. Face adjacency of the octahedron is bipartite.
+        let table = enumerate_cosets(&triangle_group(3, 4, &[]), &[], 1000).unwrap();
+        let ct = ColorTiling::from_triangle_group(&table, 3, 4).unwrap();
+        assert_eq!(ct.num_corners, 24);
+        let reds = ct
+            .plaquettes
+            .iter()
+            .filter(|(c, _)| *c == PlaqColor::Red)
+            .count();
+        let greens = ct
+            .plaquettes
+            .iter()
+            .filter(|(c, _)| *c == PlaqColor::Green)
+            .count();
+        let blues = ct
+            .plaquettes
+            .iter()
+            .filter(|(c, _)| *c == PlaqColor::Blue)
+            .count();
+        assert_eq!(reds, 6);
+        assert_eq!(greens + blues, 8);
+        assert_eq!(greens, blues);
+        // Every corner lies on exactly one plaquette of each color.
+        let mut per_corner = vec![[0usize; 3]; ct.num_corners];
+        for (color, sup) in &ct.plaquettes {
+            let idx = match color {
+                PlaqColor::Red => 0,
+                PlaqColor::Green => 1,
+                PlaqColor::Blue => 2,
+            };
+            for &q in sup {
+                per_corner[q][idx] += 1;
+            }
+        }
+        assert!(per_corner.iter().all(|c| *c == [1, 1, 1]));
+        // Pairwise even overlap (CSS commutation).
+        for (i, (_, a)) in ct.plaquettes.iter().enumerate() {
+            for (_, b) in ct.plaquettes.iter().skip(i + 1) {
+                let shared = a.iter().filter(|x| b.contains(x)).count();
+                assert_eq!(shared % 2, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn tetrahedron_not_two_colorable() {
+        // {3,3}: face adjacency of the tetrahedron is K4, not bipartite.
+        let table = enumerate_cosets(&triangle_group(3, 3, &[]), &[], 1000).unwrap();
+        assert_eq!(
+            ColorTiling::from_triangle_group(&table, 3, 3).unwrap_err(),
+            TilingError::NotTwoColorable
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! Bit-packed GF(2) vectors.
+
+use std::fmt;
+use std::ops::{BitXor, BitXorAssign};
+
+/// A fixed-length vector over GF(2), packed 64 bits per word.
+///
+/// `BitVec` is the workhorse representation for rows of parity-check
+/// matrices, Pauli supports, syndromes and error patterns.
+///
+/// # Example
+///
+/// ```
+/// use qec_math::BitVec;
+///
+/// let mut v = BitVec::zeros(100);
+/// v.set(3, true);
+/// v.set(97, true);
+/// assert_eq!(v.weight(), 2);
+/// assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![3, 97]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of the given length.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates a vector of the given length with ones at `ones`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `ones` is `>= len`.
+    pub fn from_ones(len: usize, ones: impl IntoIterator<Item = usize>) -> Self {
+        let mut v = Self::zeros(len);
+        for i in ones {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Creates a vector from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Number of bits in the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has length zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips the bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Number of set bits (Hamming weight).
+    pub fn weight(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// GF(2) inner product: parity of the AND of the two vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch in dot product");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .fold(0u64, |acc, (a, b)| acc ^ (a & b))
+            .count_ones()
+            % 2
+            == 1
+    }
+
+    /// Returns `true` if the AND of the two vectors is nonzero
+    /// (i.e. the supports intersect).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn intersects(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch in intersects");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over the indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            vec: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// XORs `other` into `self` (GF(2) addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in xor");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+}
+
+impl BitXorAssign<&BitVec> for BitVec {
+    fn bitxor_assign(&mut self, rhs: &BitVec) {
+        self.xor_assign(rhs);
+    }
+}
+
+impl BitXor<&BitVec> for &BitVec {
+    type Output = BitVec;
+
+    fn bitxor(self, rhs: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.xor_assign(rhs);
+        out
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bools(&bits)
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitVec`], produced by
+/// [`BitVec::iter_ones`].
+#[derive(Debug, Clone)]
+pub struct IterOnes<'a> {
+    vec: &'a BitVec,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.vec.words.len() {
+                return None;
+            }
+            self.current = self.vec.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_zero() {
+        let v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        assert!(v.is_zero());
+        assert_eq!(v.weight(), 0);
+    }
+
+    #[test]
+    fn set_get_flip_roundtrip() {
+        let mut v = BitVec::zeros(70);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(69, true);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(69));
+        assert!(!v.get(1));
+        v.flip(0);
+        assert!(!v.get(0));
+        assert_eq!(v.weight(), 3);
+    }
+
+    #[test]
+    fn iter_ones_crosses_word_boundary() {
+        let v = BitVec::from_ones(200, [0, 63, 64, 127, 128, 199]);
+        assert_eq!(
+            v.iter_ones().collect::<Vec<_>>(),
+            vec![0, 63, 64, 127, 128, 199]
+        );
+    }
+
+    #[test]
+    fn dot_product_parity() {
+        let a = BitVec::from_ones(10, [1, 2, 3]);
+        let b = BitVec::from_ones(10, [2, 3, 4]);
+        assert!(!a.dot(&b)); // overlap {2,3}: even
+        let c = BitVec::from_ones(10, [3, 4]);
+        assert!(a.dot(&c)); // overlap {3}: odd
+    }
+
+    #[test]
+    fn xor_is_gf2_addition() {
+        let a = BitVec::from_ones(10, [1, 2]);
+        let b = BitVec::from_ones(10, [2, 3]);
+        let c = &a ^ &b;
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![1, 3]);
+        let mut d = a.clone();
+        d ^= &a;
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    fn intersects_detects_common_support() {
+        let a = BitVec::from_ones(100, [80]);
+        let b = BitVec::from_ones(100, [80, 2]);
+        let c = BitVec::from_ones(100, [2]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(5).get(5);
+    }
+
+    #[test]
+    fn from_bools_and_collect() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(format!("{v}"), "101");
+    }
+}

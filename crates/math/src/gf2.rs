@@ -1,0 +1,258 @@
+//! Gaussian elimination and linear-algebra routines over GF(2).
+//!
+//! These free functions operate on [`BitMatrix`] values and provide the
+//! primitives used throughout the workspace: rank, reduced row echelon
+//! form, nullspace bases, linear solves, row-space membership and small
+//! matrix inversion.
+
+use crate::{BitMatrix, BitVec};
+
+/// Result of reducing a matrix to reduced row echelon form.
+#[derive(Debug, Clone)]
+pub struct Rref {
+    /// The reduced matrix (same shape as the input).
+    pub matrix: BitMatrix,
+    /// `pivots[i]` is the pivot column of row `i`; rows `rank..` are zero.
+    pub pivots: Vec<usize>,
+}
+
+impl Rref {
+    /// The rank of the original matrix.
+    pub fn rank(&self) -> usize {
+        self.pivots.len()
+    }
+}
+
+/// Computes the reduced row echelon form of `m`.
+pub fn rref(m: &BitMatrix) -> Rref {
+    let mut a = m.clone();
+    let (rows, cols) = (a.rows(), a.cols());
+    let mut pivots = Vec::new();
+    let mut r = 0;
+    for c in 0..cols {
+        if r >= rows {
+            break;
+        }
+        // Find a pivot at or below row r.
+        let Some(p) = (r..rows).find(|&i| a.get(i, c)) else {
+            continue;
+        };
+        a.swap_rows(r, p);
+        // Eliminate in all other rows.
+        for i in 0..rows {
+            if i != r && a.get(i, c) {
+                a.xor_row_into(r, i);
+            }
+        }
+        pivots.push(c);
+        r += 1;
+    }
+    Rref { matrix: a, pivots }
+}
+
+/// The rank of `m` over GF(2).
+pub fn rank(m: &BitMatrix) -> usize {
+    rref(m).rank()
+}
+
+/// A basis for the (right) nullspace of `m`: all `v` with `m * v = 0`.
+///
+/// Returns one basis vector per free column; the result has
+/// `m.cols() - rank(m)` rows, each of length `m.cols()`.
+pub fn nullspace(m: &BitMatrix) -> BitMatrix {
+    let red = rref(m);
+    let cols = m.cols();
+    let mut is_pivot = vec![false; cols];
+    for &p in &red.pivots {
+        is_pivot[p] = true;
+    }
+    let mut basis = BitMatrix::zeros(0, cols);
+    for free in 0..cols {
+        if is_pivot[free] {
+            continue;
+        }
+        let mut v = BitVec::zeros(cols);
+        v.set(free, true);
+        // For each pivot row, if that row has a 1 in the free column, the
+        // pivot variable must be 1 to cancel it.
+        for (row, &p) in red.pivots.iter().enumerate() {
+            if red.matrix.get(row, free) {
+                v.set(p, true);
+            }
+        }
+        basis.push_row(v);
+    }
+    basis
+}
+
+/// Solves `m * x = b` for one solution `x`, if any.
+///
+/// Returns `None` when the system is inconsistent.
+pub fn solve(m: &BitMatrix, b: &BitVec) -> Option<BitVec> {
+    assert_eq!(b.len(), m.rows(), "rhs length must equal row count");
+    // Augment with b as an extra column.
+    let cols = m.cols();
+    let mut aug = BitMatrix::zeros(m.rows(), cols + 1);
+    for r in 0..m.rows() {
+        for c in m.row(r).iter_ones() {
+            aug.set(r, c, true);
+        }
+        if b.get(r) {
+            aug.set(r, cols, true);
+        }
+    }
+    let red = rref(&aug);
+    let mut x = BitVec::zeros(cols);
+    for (row, &p) in red.pivots.iter().enumerate() {
+        if p == cols {
+            return None; // pivot in the augmented column: inconsistent
+        }
+        if red.matrix.get(row, cols) {
+            x.set(p, true);
+        }
+    }
+    Some(x)
+}
+
+/// Returns `true` if `v` lies in the row space of `m`.
+pub fn in_row_space(m: &BitMatrix, v: &BitVec) -> bool {
+    assert_eq!(v.len(), m.cols(), "vector length must equal column count");
+    solve(&m.transposed(), v).is_some()
+}
+
+/// Inverts a square matrix, if it is invertible.
+pub fn invert(m: &BitMatrix) -> Option<BitMatrix> {
+    let n = m.rows();
+    assert_eq!(n, m.cols(), "invert requires a square matrix");
+    // Augment with the identity.
+    let mut aug = BitMatrix::zeros(n, 2 * n);
+    for r in 0..n {
+        for c in m.row(r).iter_ones() {
+            aug.set(r, c, true);
+        }
+        aug.set(r, n + r, true);
+    }
+    let red = rref(&aug);
+    // Invertible iff the pivots are exactly the first n columns.
+    if red.pivots.len() != n || red.pivots.iter().enumerate().any(|(i, &p)| p != i) {
+        return None;
+    }
+    let mut inv = BitMatrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            inv.set(r, c, red.matrix.get(r, n + c));
+        }
+    }
+    Some(inv)
+}
+
+/// Reduces `rows` to an independent subset spanning the same space,
+/// returning the indices of a maximal independent subset (in order).
+pub fn independent_subset(rows: &BitMatrix) -> Vec<usize> {
+    let mut basis: Vec<BitVec> = Vec::new();
+    let mut kept = Vec::new();
+    for (i, row) in rows.iter_rows().enumerate() {
+        let mut v = row.clone();
+        // Reduce against current basis (basis kept in echelon order).
+        for b in &basis {
+            if let Some(lead) = b.iter_ones().next() {
+                if v.get(lead) {
+                    v.xor_assign(b);
+                }
+            }
+        }
+        if !v.is_zero() {
+            basis.push(v);
+            // Keep basis in echelon form by leading index order.
+            basis.sort_by_key(|b| b.iter_ones().next().unwrap_or(usize::MAX));
+            // Back-substitute to keep reduced form.
+            let lead_of = |b: &BitVec| b.iter_ones().next().unwrap_or(usize::MAX);
+            for j in (0..basis.len()).rev() {
+                let lead = lead_of(&basis[j]);
+                for k in 0..j {
+                    if basis[k].get(lead) {
+                        let (a, b) = basis.split_at_mut(j);
+                        a[k].xor_assign(&b[0]);
+                    }
+                }
+            }
+            kept.push(i);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, ones: &[Vec<usize>]) -> BitMatrix {
+        BitMatrix::from_rows_of_ones(rows, cols, ones)
+    }
+
+    #[test]
+    fn rank_of_identity() {
+        assert_eq!(rank(&BitMatrix::identity(7)), 7);
+    }
+
+    #[test]
+    fn rank_with_dependent_rows() {
+        // Row 2 = row 0 + row 1.
+        let m = mat(3, 4, &[vec![0, 1], vec![1, 2], vec![0, 2]]);
+        assert_eq!(rank(&m), 2);
+    }
+
+    #[test]
+    fn nullspace_vectors_are_annihilated() {
+        let m = mat(2, 5, &[vec![0, 1, 2], vec![2, 3, 4]]);
+        let ns = nullspace(&m);
+        assert_eq!(ns.rows(), 3); // 5 - rank 2
+        for v in ns.iter_rows() {
+            assert!(m.mul_vec(v).is_zero());
+        }
+        assert_eq!(rank(&ns), 3);
+    }
+
+    #[test]
+    fn solve_consistent_and_inconsistent() {
+        let m = mat(2, 3, &[vec![0, 1], vec![1, 2]]);
+        let b = BitVec::from_ones(2, [0]);
+        let x = solve(&m, &b).unwrap();
+        assert_eq!(m.mul_vec(&x), b);
+
+        // x0+x1 = 1, x0+x1 = 0 is inconsistent.
+        let m2 = mat(2, 2, &[vec![0, 1], vec![0, 1]]);
+        let b2 = BitVec::from_ones(2, [0]);
+        assert!(solve(&m2, &b2).is_none());
+    }
+
+    #[test]
+    fn row_space_membership() {
+        let m = mat(2, 4, &[vec![0, 1], vec![2, 3]]);
+        assert!(in_row_space(&m, &BitVec::from_ones(4, [0, 1, 2, 3])));
+        assert!(!in_row_space(&m, &BitVec::from_ones(4, [0, 2])));
+        assert!(in_row_space(&m, &BitVec::zeros(4)));
+    }
+
+    #[test]
+    fn invert_small_matrices() {
+        let m = mat(3, 3, &[vec![0, 1], vec![1], vec![1, 2]]);
+        let inv = invert(&m).unwrap();
+        assert_eq!(m.mul(&inv), BitMatrix::identity(3));
+        assert_eq!(inv.mul(&m), BitMatrix::identity(3));
+
+        let singular = mat(2, 2, &[vec![0, 1], vec![0, 1]]);
+        assert!(invert(&singular).is_none());
+    }
+
+    #[test]
+    fn independent_subset_spans() {
+        let m = mat(
+            4,
+            4,
+            &[vec![0, 1], vec![1, 2], vec![0, 2], vec![3]], // row2 dependent
+        );
+        let kept = independent_subset(&m);
+        assert_eq!(kept, vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Bipartiteness testing / 2-coloring.
+
+/// Attempts to 2-color the undirected graph given as an adjacency list.
+///
+/// Returns `Some(colors)` with `colors[v] ∈ {0, 1}` if the graph is
+/// bipartite, `None` otherwise. Isolated vertices receive color 0.
+///
+/// This is used when constructing hyperbolic color codes: the 2p-gon
+/// faces of a truncated tiling must admit a proper 2-coloring (green /
+/// blue) for the code to be 3-face-colorable.
+///
+/// # Example
+///
+/// ```
+/// use qec_math::graph::two_coloring;
+///
+/// // A 4-cycle is bipartite...
+/// let c4 = vec![vec![1, 3], vec![0, 2], vec![1, 3], vec![0, 2]];
+/// assert!(two_coloring(&c4).is_some());
+/// // ...a triangle is not.
+/// let k3 = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+/// assert!(two_coloring(&k3).is_none());
+/// ```
+pub fn two_coloring(adj: &[Vec<usize>]) -> Option<Vec<u8>> {
+    let n = adj.len();
+    let mut color = vec![u8::MAX; n];
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if color[start] != u8::MAX {
+            continue;
+        }
+        color[start] = 0;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if color[v] == u8::MAX {
+                    color[v] = 1 - color[u];
+                    stack.push(v);
+                } else if color[v] == color[u] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_cycle_is_bipartite() {
+        let adj = vec![vec![1, 5], vec![0, 2], vec![1, 3], vec![2, 4], vec![3, 5], vec![4, 0]];
+        let c = two_coloring(&adj).unwrap();
+        for (u, nbrs) in adj.iter().enumerate() {
+            for &v in nbrs {
+                assert_ne!(c[u], c[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn odd_cycle_is_not() {
+        let adj = vec![vec![1, 4], vec![0, 2], vec![1, 3], vec![2, 4], vec![3, 0]];
+        assert!(two_coloring(&adj).is_none());
+    }
+
+    #[test]
+    fn disconnected_components_each_colored() {
+        let adj = vec![vec![1], vec![0], vec![3], vec![2], vec![]];
+        let c = two_coloring(&adj).unwrap();
+        assert_ne!(c[0], c[1]);
+        assert_ne!(c[2], c[3]);
+        assert_eq!(c[4], 0);
+    }
+}

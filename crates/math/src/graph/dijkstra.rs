@@ -1,0 +1,139 @@
+//! Dijkstra shortest paths on adjacency-list graphs with `f64` weights.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct Dijkstra {
+    /// `dist[v]` is the shortest-path distance from the source to `v`,
+    /// or `f64::INFINITY` if unreachable.
+    pub dist: Vec<f64>,
+    /// `pred[v]` is the predecessor of `v` on a shortest path, or
+    /// `usize::MAX` for the source and unreachable vertices.
+    pub pred: Vec<usize>,
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; distances are finite and non-NaN.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes shortest paths from `src` over the adjacency list `adj`,
+/// where `adj[v]` lists `(neighbor, weight)` pairs.
+///
+/// # Panics
+///
+/// Panics if any edge weight is negative or NaN.
+///
+/// # Example
+///
+/// ```
+/// use qec_math::graph::dijkstra;
+///
+/// // 0 --1.0-- 1 --1.0-- 2, plus a 5.0 shortcut 0--2.
+/// let adj = vec![
+///     vec![(1, 1.0), (2, 5.0)],
+///     vec![(0, 1.0), (2, 1.0)],
+///     vec![(0, 5.0), (1, 1.0)],
+/// ];
+/// let d = dijkstra(&adj, 0);
+/// assert_eq!(d.dist[2], 2.0);
+/// assert_eq!(d.pred[2], 1);
+/// ```
+pub fn dijkstra(adj: &[Vec<(usize, f64)>], src: usize) -> Dijkstra {
+    let n = adj.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred = vec![usize::MAX; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[src] = 0.0;
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: src,
+    });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        for &(v, w) in &adj[u] {
+            assert!(w >= 0.0, "negative or NaN edge weight {w}");
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                pred[v] = u;
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+    Dijkstra { dist, pred }
+}
+
+/// Reconstructs the path from the Dijkstra source to `dst` as a vertex
+/// sequence `[src, ..., dst]`, or `None` if `dst` is unreachable.
+pub fn shortest_path_to(result: &Dijkstra, dst: usize) -> Option<Vec<usize>> {
+    if result.dist[dst].is_infinite() {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while result.pred[cur] != usize::MAX {
+        cur = result.pred[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_shortest_route_and_path() {
+        // Square with diagonal: 0-1 (1), 1-2 (1), 0-3 (1), 3-2 (1), 0-2 (3).
+        let adj = vec![
+            vec![(1, 1.0), (3, 1.0), (2, 3.0)],
+            vec![(0, 1.0), (2, 1.0)],
+            vec![(1, 1.0), (3, 1.0), (0, 3.0)],
+            vec![(0, 1.0), (2, 1.0)],
+        ];
+        let d = dijkstra(&adj, 0);
+        assert_eq!(d.dist[2], 2.0);
+        let path = shortest_path_to(&d, 2).unwrap();
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0], 0);
+        assert_eq!(path[2], 2);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let adj = vec![vec![], vec![]];
+        let d = dijkstra(&adj, 0);
+        assert!(d.dist[1].is_infinite());
+        assert!(shortest_path_to(&d, 1).is_none());
+        assert_eq!(d.dist[0], 0.0);
+        assert_eq!(shortest_path_to(&d, 0).unwrap(), vec![0]);
+    }
+}

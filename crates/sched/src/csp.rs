@@ -1,0 +1,286 @@
+//! Exact solver for the per-check scheduling subproblem (§V-C/D).
+//!
+//! Scheduling one weight-δ check in isolation needs only δ time
+//! variables with small domains, so an exhaustive backtracking search
+//! with iterative deepening on the completion time replaces the paper's
+//! MILP solver while returning the same (optimal) objective.
+
+/// One commutation constraint against an already-scheduled
+/// opposite-type check `K'`: over the shared qubits, the product
+/// `Π (t(q) − T(K', q))` must be positive, i.e. the number of shared
+/// qubits scheduled *before* their time in `K'` must be even.
+#[derive(Debug, Clone)]
+pub struct CommutationConstraint {
+    /// `(variable index, scheduled time in K')` per shared qubit.
+    pub terms: Vec<(usize, usize)>,
+}
+
+/// The per-check subproblem.
+#[derive(Debug, Clone, Default)]
+pub struct CheckProblem {
+    /// Number of time variables (one per qubit in the check).
+    pub num_vars: usize,
+    /// `(var, time)` pairs that are forbidden (uniqueness against
+    /// already-scheduled checks).
+    pub forbidden: Vec<(usize, usize)>,
+    /// `(var, time)` pairs that are *fixed* (shared-flag equality
+    /// constraints, §V-G1).
+    pub fixed: Vec<(usize, usize)>,
+    /// Variable pairs that may share a timestep (e.g. data qubits
+    /// reached through different flags); by default all variables of a
+    /// check must be pairwise distinct.
+    pub allow_equal: Vec<(usize, usize)>,
+    /// Commutation parity constraints.
+    pub commutation: Vec<CommutationConstraint>,
+}
+
+/// Result of solving a [`CheckProblem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckSolution {
+    /// Assigned time of each variable (1-based).
+    pub times: Vec<usize>,
+    /// The makespan `max(times)`.
+    pub t_max: usize,
+}
+
+/// Solves the subproblem, minimizing the check's `t_max`, with times in
+/// `1..=max_time`. Returns `None` if infeasible within that horizon.
+///
+/// # Panics
+///
+/// Panics if a constraint references an out-of-range variable.
+pub fn solve_check(problem: &CheckProblem, max_time: usize) -> Option<CheckSolution> {
+    let n = problem.num_vars;
+    for &(v, _) in problem
+        .forbidden
+        .iter()
+        .chain(problem.fixed.iter())
+    {
+        assert!(v < n, "constraint references variable {v} out of {n}");
+    }
+    let lower = problem
+        .fixed
+        .iter()
+        .map(|&(_, t)| t)
+        .chain(std::iter::once(n))
+        .max()
+        .unwrap_or(n);
+    for bound in lower..=max_time {
+        if let Some(times) = solve_with_bound(problem, bound) {
+            let t_max = *times.iter().max().expect("at least one variable");
+            return Some(CheckSolution { times, t_max });
+        }
+    }
+    None
+}
+
+fn solve_with_bound(problem: &CheckProblem, bound: usize) -> Option<Vec<usize>> {
+    let n = problem.num_vars;
+    // Candidate domains.
+    let mut domains: Vec<Vec<usize>> = vec![(1..=bound).collect(); n];
+    for &(v, t) in &problem.forbidden {
+        domains[v].retain(|&x| x != t);
+    }
+    for &(v, t) in &problem.fixed {
+        if t > bound {
+            return None;
+        }
+        domains[v].retain(|&x| x == t);
+    }
+    let mut equal_ok = vec![vec![false; n]; n];
+    for &(a, b) in &problem.allow_equal {
+        equal_ok[a][b] = true;
+        equal_ok[b][a] = true;
+    }
+    let mut assignment = vec![0usize; n];
+    let mut assigned = vec![false; n];
+    let mut nodes: usize = 0;
+    if backtrack(
+        problem,
+        &domains,
+        &equal_ok,
+        &mut assignment,
+        &mut assigned,
+        &mut nodes,
+    ) {
+        Some(assignment)
+    } else {
+        None
+    }
+}
+
+fn backtrack(
+    problem: &CheckProblem,
+    domains: &[Vec<usize>],
+    equal_ok: &[Vec<bool>],
+    assignment: &mut [usize],
+    assigned: &mut [bool],
+    nodes: &mut usize,
+) -> bool {
+    let n = assignment.len();
+    // Pick the unassigned variable with the smallest live domain.
+    let mut best: Option<(usize, usize)> = None;
+    for v in 0..n {
+        if assigned[v] {
+            continue;
+        }
+        let live = domains[v]
+            .iter()
+            .filter(|&&t| value_ok(v, t, equal_ok, assignment, assigned))
+            .count();
+        if best.is_none_or(|(_, c)| live < c) {
+            best = Some((v, live));
+        }
+    }
+    let Some((var, _)) = best else {
+        // Complete: check commutation parities.
+        return problem.commutation.iter().all(|c| {
+            let negatives = c
+                .terms
+                .iter()
+                .filter(|&&(v, t)| assignment[v] < t)
+                .count();
+            negatives % 2 == 0
+        });
+    };
+    *nodes += 1;
+    if *nodes > 2_000_000 {
+        return false; // node budget exceeded; treat as infeasible
+    }
+    for &t in &domains[var] {
+        if !value_ok(var, t, equal_ok, assignment, assigned) {
+            continue;
+        }
+        assignment[var] = t;
+        assigned[var] = true;
+        // Prune fully-assigned commutation groups early.
+        let consistent = problem.commutation.iter().all(|c| {
+            if c.terms.iter().any(|&(v, _)| !assigned[v]) {
+                return true;
+            }
+            c.terms
+                .iter()
+                .filter(|&&(v, tt)| assignment[v] < tt)
+                .count()
+                % 2
+                == 0
+        });
+        if consistent
+            && backtrack(problem, domains, equal_ok, assignment, assigned, nodes)
+        {
+            return true;
+        }
+        assigned[var] = false;
+    }
+    false
+}
+
+fn value_ok(
+    var: usize,
+    t: usize,
+    equal_ok: &[Vec<bool>],
+    assignment: &[usize],
+    assigned: &[bool],
+) -> bool {
+    for v in 0..assignment.len() {
+        if v != var && assigned[v] && assignment[v] == t && !equal_ok[var][v] {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_check_packs_tightly() {
+        let p = CheckProblem {
+            num_vars: 4,
+            ..CheckProblem::default()
+        };
+        let s = solve_check(&p, 8).unwrap();
+        assert_eq!(s.t_max, 4);
+        let mut times = s.times.clone();
+        times.sort_unstable();
+        assert_eq!(times, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn forbidden_times_push_makespan() {
+        let p = CheckProblem {
+            num_vars: 2,
+            forbidden: vec![(0, 1), (0, 2), (1, 1), (1, 2)],
+            ..CheckProblem::default()
+        };
+        let s = solve_check(&p, 8).unwrap();
+        assert_eq!(s.t_max, 4);
+    }
+
+    #[test]
+    fn fixed_times_respected() {
+        let p = CheckProblem {
+            num_vars: 3,
+            fixed: vec![(1, 5)],
+            ..CheckProblem::default()
+        };
+        let s = solve_check(&p, 8).unwrap();
+        assert_eq!(s.times[1], 5);
+        assert_eq!(s.t_max, 5);
+    }
+
+    #[test]
+    fn commutation_parity_enforced() {
+        // One shared qubit with T(K') = 3: t(0) must be > 3 (odd count
+        // of negatives forbidden), plus uniqueness-forbidden at 3.
+        let p = CheckProblem {
+            num_vars: 1,
+            forbidden: vec![(0, 3)],
+            commutation: vec![CommutationConstraint {
+                terms: vec![(0, 3)],
+            }],
+            ..CheckProblem::default()
+        };
+        let s = solve_check(&p, 8).unwrap();
+        assert_eq!(s.times[0], 4);
+    }
+
+    #[test]
+    fn two_term_commutation_allows_both_before() {
+        // Shared qubits with T = (3, 3): both-before (1,2) is legal.
+        let p = CheckProblem {
+            num_vars: 2,
+            forbidden: vec![(0, 3), (1, 3)],
+            commutation: vec![CommutationConstraint {
+                terms: vec![(0, 3), (1, 3)],
+            }],
+            ..CheckProblem::default()
+        };
+        let s = solve_check(&p, 8).unwrap();
+        let neg = s.times.iter().filter(|&&t| t < 3).count();
+        assert_eq!(neg % 2, 0);
+        assert_eq!(s.t_max, 2);
+    }
+
+    #[test]
+    fn allow_equal_permits_parallel_flags() {
+        let p = CheckProblem {
+            num_vars: 4,
+            allow_equal: vec![(0, 2), (1, 3)],
+            ..CheckProblem::default()
+        };
+        let s = solve_check(&p, 8).unwrap();
+        assert!(s.t_max <= 3);
+    }
+
+    #[test]
+    fn infeasible_horizon_returns_none() {
+        let p = CheckProblem {
+            num_vars: 3,
+            forbidden: vec![(0, 1), (1, 1), (2, 1)],
+            ..CheckProblem::default()
+        };
+        assert!(solve_check(&p, 2).is_none());
+    }
+}

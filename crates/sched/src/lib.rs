@@ -1,0 +1,38 @@
+//! Syndrome-extraction scheduling and circuit generation — §V of the
+//! paper.
+//!
+//! * [`csp`] — an exact backtracking solver for the per-check
+//!   scheduling subproblem (the paper uses CPLEX): all-different and
+//!   forbidden-time uniqueness constraints, commutation parity
+//!   constraints against already-scheduled checks, minimizing the
+//!   check's completion time by iterative deepening.
+//! * [`greedy`] — Algorithm 1: checks are scheduled one at a time,
+//!   each optimally given its predecessors, yielding
+//!   better-than-worst-case syndrome-extraction depth (Fig. 14).
+//! * [`circuit`] — memory-experiment circuit builders with the §III-A
+//!   noise model: the standard interleaved circuit for the planar
+//!   surface code (Tomita–Svore hints), greedy-scheduled direct
+//!   circuits for unflagged baselines, and the flag/proxy
+//!   phase-separated circuits for FPNs (§V-G).
+//!
+//! # Example
+//!
+//! ```
+//! use qec_code::planar::rotated_surface_code;
+//! use qec_sched::greedy::greedy_schedule;
+//!
+//! let code = rotated_surface_code(3);
+//! let schedule = greedy_schedule(&code);
+//! schedule.verify(&code).unwrap();
+//! assert!(schedule.makespan() <= 8); // ≤ δX + δZ
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod csp;
+pub mod greedy;
+
+pub use circuit::{build_code_capacity_circuit, build_memory_circuit, Basis, MemoryExperiment};
+pub use greedy::{greedy_schedule, try_greedy_schedule, Schedule, ScheduleError};

@@ -1,0 +1,430 @@
+//! Detector error models: every independent fault mechanism of a noisy
+//! circuit and the detectors/observables it flips.
+//!
+//! The model is computed with a single **backward sensitivity pass**:
+//! walking the circuit in reverse while maintaining, for each qubit,
+//! the set of detectors/observables an X (resp. Z) error at the current
+//! position would flip. Each noise channel then emits one mechanism per
+//! independent Pauli component. This is equivalent to propagating every
+//! fault forward (as Stim does) but costs a single pass.
+
+use crate::circuit::{Circuit, DetectorMeta, Op};
+use qec_math::{gf2, BitMatrix, BitVec};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One independent fault mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mechanism {
+    /// Probability of this fault occurring per shot.
+    pub probability: f64,
+    /// Sorted indices of detectors it flips.
+    pub detectors: Vec<u32>,
+    /// Sorted indices of logical observables it flips.
+    pub observables: Vec<u32>,
+}
+
+/// A circuit's detector error model.
+///
+/// # Example
+///
+/// ```
+/// use qec_sim::{Circuit, DetectorMeta, DetectorErrorModel};
+///
+/// let mut c = Circuit::new(2);
+/// c.reset(&[0, 1]);
+/// c.x_error(&[0], 0.125);
+/// c.cx(&[(0, 1)]);
+/// let m = c.measure(&[1], 0.0);
+/// c.add_detector(vec![m], DetectorMeta::check(0, 0));
+/// let dem = DetectorErrorModel::from_circuit(&c);
+/// assert_eq!(dem.mechanisms().len(), 1);
+/// assert_eq!(dem.mechanisms()[0].detectors, vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectorErrorModel {
+    num_detectors: usize,
+    num_observables: usize,
+    detector_meta: Vec<DetectorMeta>,
+    mechanisms: Vec<Mechanism>,
+}
+
+impl DetectorErrorModel {
+    /// Builds the detector error model of `circuit`.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let d = circuit.detectors().len();
+        let o = circuit.observables().len();
+        let width = d + o;
+        // effects[m]: which detectors/observables contain measurement m.
+        let mut effects = vec![BitVec::zeros(width); circuit.num_measurements()];
+        for (di, det) in circuit.detectors().iter().enumerate() {
+            for &m in &det.measurements {
+                effects[m].flip(di);
+            }
+        }
+        for (oi, obs) in circuit.observables().iter().enumerate() {
+            for &m in obs {
+                effects[m].flip(d + oi);
+            }
+        }
+        let nq = circuit.num_qubits();
+        let mut sens_x = vec![BitVec::zeros(width); nq];
+        let mut sens_z = vec![BitVec::zeros(width); nq];
+        // Walk measurement indices backward as we pass Measure ops.
+        let mut next_meas = circuit.num_measurements();
+        let mut raw: Vec<(BitVec, f64)> = Vec::new();
+        for op in circuit.ops().iter().rev() {
+            match op {
+                Op::H(ts) => {
+                    for &q in ts {
+                        sens_x.swap(q, q);
+                        let tmp = sens_x[q].clone();
+                        sens_x[q] = sens_z[q].clone();
+                        sens_z[q] = tmp;
+                    }
+                }
+                Op::Cx(pairs) => {
+                    // Forward: X_c -> X_c X_t, Z_t -> Z_t Z_c; backward
+                    // sensitivities compose accordingly.
+                    for &(c, t) in pairs.iter().rev() {
+                        let st = sens_x[t].clone();
+                        sens_x[c].xor_assign(&st);
+                        let sc = sens_z[c].clone();
+                        sens_z[t].xor_assign(&sc);
+                    }
+                }
+                Op::Reset(ts) => {
+                    for &q in ts {
+                        sens_x[q].clear();
+                        sens_z[q].clear();
+                    }
+                }
+                Op::Measure {
+                    targets,
+                    flip_probability,
+                } => {
+                    for (k, &q) in targets.iter().enumerate().rev() {
+                        let m = next_meas - (targets.len() - k);
+                        if *flip_probability > 0.0 {
+                            raw.push((effects[m].clone(), *flip_probability));
+                        }
+                        sens_x[q].xor_assign(&effects[m]);
+                    }
+                    next_meas -= targets.len();
+                }
+                Op::XError { targets, p } => {
+                    for &q in targets {
+                        raw.push((sens_x[q].clone(), *p));
+                    }
+                }
+                Op::ZError { targets, p } => {
+                    for &q in targets {
+                        raw.push((sens_z[q].clone(), *p));
+                    }
+                }
+                Op::PauliChannel1 { targets, px, py, pz } => {
+                    for &q in targets {
+                        if *px > 0.0 {
+                            raw.push((sens_x[q].clone(), *px));
+                        }
+                        if *py > 0.0 {
+                            raw.push((&sens_x[q] ^ &sens_z[q], *py));
+                        }
+                        if *pz > 0.0 {
+                            raw.push((sens_z[q].clone(), *pz));
+                        }
+                    }
+                }
+                Op::Depolarize1 { targets, p } => {
+                    let pp = p / 3.0;
+                    for &q in targets {
+                        raw.push((sens_x[q].clone(), pp));
+                        raw.push((&sens_x[q] ^ &sens_z[q], pp));
+                        raw.push((sens_z[q].clone(), pp));
+                    }
+                }
+                Op::Depolarize2 { pairs, p } => {
+                    let pp = p / 15.0;
+                    for &(a, b) in pairs {
+                        let singles = |q: usize, code: u8| -> BitVec {
+                            match code {
+                                1 => sens_x[q].clone(),
+                                2 => &sens_x[q] ^ &sens_z[q],
+                                3 => sens_z[q].clone(),
+                                _ => BitVec::zeros(width),
+                            }
+                        };
+                        for k in 1u8..16 {
+                            let ea = singles(a, k / 4);
+                            let eb = singles(b, k % 4);
+                            raw.push((&ea ^ &eb, pp));
+                        }
+                    }
+                }
+                Op::Tick => {}
+            }
+        }
+        // Merge mechanisms with identical effects:
+        // p <- p1 (1 - p2) + p2 (1 - p1) for independent faults.
+        let mut merged: HashMap<(Vec<u32>, Vec<u32>), f64> = HashMap::new();
+        for (effect, p) in raw {
+            if p <= 0.0 || effect.is_zero() {
+                continue;
+            }
+            let mut dets = Vec::new();
+            let mut obss = Vec::new();
+            for bit in effect.iter_ones() {
+                if bit < d {
+                    dets.push(bit as u32);
+                } else {
+                    obss.push((bit - d) as u32);
+                }
+            }
+            let entry = merged.entry((dets, obss)).or_insert(0.0);
+            *entry = *entry * (1.0 - p) + p * (1.0 - *entry);
+        }
+        let mut mechanisms: Vec<Mechanism> = merged
+            .into_iter()
+            .map(|((detectors, observables), probability)| Mechanism {
+                probability,
+                detectors,
+                observables,
+            })
+            .collect();
+        mechanisms.sort_by(|a, b| {
+            a.detectors
+                .cmp(&b.detectors)
+                .then(a.observables.cmp(&b.observables))
+        });
+        DetectorErrorModel {
+            num_detectors: d,
+            num_observables: o,
+            detector_meta: circuit.detectors().iter().map(|dd| dd.meta).collect(),
+            mechanisms,
+        }
+    }
+
+    /// Number of detectors.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Number of observables.
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    /// Metadata of each detector, aligned with detector indices.
+    pub fn detector_meta(&self) -> &[DetectorMeta] {
+        &self.detector_meta
+    }
+
+    /// All fault mechanisms.
+    pub fn mechanisms(&self) -> &[Mechanism] {
+        &self.mechanisms
+    }
+
+    /// Mechanisms that flip an observable while flipping **no**
+    /// detector: undetectable logical faults. A fault-tolerant circuit
+    /// has none.
+    pub fn undetectable_logical_mechanisms(&self) -> Vec<&Mechanism> {
+        self.mechanisms
+            .iter()
+            .filter(|m| m.detectors.is_empty() && !m.observables.is_empty())
+            .collect()
+    }
+
+    /// Estimates the **circuit-level distance**: the minimum number of
+    /// fault mechanisms whose combined detector effect cancels while
+    /// flipping at least one observable. This is the effective distance
+    /// `d_eff` of §II-F. Uses randomized information-set decoding with
+    /// `iterations` rounds; the result is an upper bound.
+    ///
+    /// Returns `usize::MAX` if no logical fault combination is found.
+    pub fn estimate_circuit_distance(&self, iterations: usize, rng: &mut impl Rng) -> usize {
+        let m = self.mechanisms.len();
+        if m == 0 {
+            return usize::MAX;
+        }
+        // det_matrix: D x m; obs_matrix: O x m.
+        let mut det_matrix = BitMatrix::zeros(self.num_detectors, m);
+        let mut obs_matrix = BitMatrix::zeros(self.num_observables, m);
+        for (j, mech) in self.mechanisms.iter().enumerate() {
+            for &di in &mech.detectors {
+                det_matrix.set(di as usize, j, true);
+            }
+            for &oi in &mech.observables {
+                obs_matrix.set(oi as usize, j, true);
+            }
+        }
+        let kernel = gf2::nullspace(&det_matrix);
+        let flips_logical = |v: &BitVec| !obs_matrix.mul_vec(v).is_zero();
+        let mut best = usize::MAX;
+        let consider = |v: &BitVec, best: &mut usize| {
+            let w = v.weight();
+            if w < *best && flips_logical(v) {
+                *best = w;
+            }
+        };
+        for row in kernel.iter_rows() {
+            consider(row, &mut best);
+        }
+        let mut perm: Vec<usize> = (0..m).collect();
+        use rand::seq::SliceRandom;
+        for _ in 0..iterations {
+            perm.shuffle(rng);
+            let mut permuted = BitMatrix::zeros(kernel.rows(), m);
+            for (r, row) in kernel.iter_rows().enumerate() {
+                for c in row.iter_ones() {
+                    permuted.set(r, perm[c], true);
+                }
+            }
+            let red = gf2::rref(&permuted);
+            let mut inv = vec![0usize; m];
+            for (i, &p) in perm.iter().enumerate() {
+                inv[p] = i;
+            }
+            for row in red.matrix.iter_rows().take(red.rank()) {
+                let back = BitVec::from_ones(m, row.iter_ones().map(|c| inv[c]));
+                consider(&back, &mut best);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn propagation_error_shows_both_detectors() {
+        // X on control propagates through CX to two measured qubits.
+        let mut c = Circuit::new(2);
+        c.reset(&[0, 1]);
+        c.x_error(&[0], 0.1);
+        c.cx(&[(0, 1)]);
+        let m = c.measure(&[0, 1], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        c.add_detector(vec![m + 1], DetectorMeta::check(1, 0));
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.mechanisms().len(), 1);
+        assert_eq!(dem.mechanisms()[0].detectors, vec![0, 1]);
+        assert!((dem.mechanisms()[0].probability - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_erases_earlier_errors() {
+        let mut c = Circuit::new(1);
+        c.x_error(&[0], 0.2);
+        c.reset(&[0]);
+        let m = c.measure(&[0], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert!(dem.mechanisms().is_empty());
+    }
+
+    #[test]
+    fn z_error_detected_after_hadamard() {
+        let mut c = Circuit::new(1);
+        c.reset(&[0]);
+        c.h(&[0]);
+        c.z_error(&[0], 0.3);
+        c.h(&[0]);
+        let m = c.measure(&[0], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.mechanisms().len(), 1);
+        assert_eq!(dem.mechanisms()[0].detectors, vec![0]);
+    }
+
+    #[test]
+    fn identical_mechanisms_merge() {
+        let mut c = Circuit::new(1);
+        c.reset(&[0]);
+        c.x_error(&[0], 0.1);
+        c.x_error(&[0], 0.1);
+        let m = c.measure(&[0], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.mechanisms().len(), 1);
+        // 0.1*0.9 + 0.9*0.1 = 0.18
+        assert!((dem.mechanisms()[0].probability - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_flip_mechanism() {
+        let mut c = Circuit::new(1);
+        c.reset(&[0]);
+        let m = c.measure(&[0], 0.05);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.mechanisms().len(), 1);
+        assert!((dem.mechanisms()[0].probability - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observable_effects_are_tracked() {
+        let mut c = Circuit::new(1);
+        c.reset(&[0]);
+        c.x_error(&[0], 0.01);
+        let m = c.measure(&[0], 0.0);
+        let obs = c.add_observable();
+        c.include_in_observable(obs, &[m]);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        assert_eq!(dem.mechanisms().len(), 1);
+        assert_eq!(dem.mechanisms()[0].observables, vec![0]);
+        assert_eq!(dem.undetectable_logical_mechanisms().len(), 1);
+    }
+
+    #[test]
+    fn depolarize2_distinct_components() {
+        let mut c = Circuit::new(2);
+        c.reset(&[0, 1]);
+        c.depolarize2(&[(0, 1)], 0.15);
+        let m = c.measure(&[0, 1], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        c.add_detector(vec![m + 1], DetectorMeta::check(1, 0));
+        let dem = DetectorErrorModel::from_circuit(&c);
+        // Z components are invisible; visible X-parts collapse to
+        // {d0}, {d1}, {d0,d1}.
+        assert_eq!(dem.mechanisms().len(), 3);
+        // Each detector-set saw several of the 15 components merge:
+        // e.g. {d0}: XI, XZ, YI, YZ, XI.. -> 4 components of p/15.
+        let p15: f64 = 0.15 / 15.0;
+        let merged4 = {
+            let mut acc: f64 = 0.0;
+            for _ in 0..4 {
+                acc = acc * (1.0 - p15) + p15 * (1.0 - acc);
+            }
+            acc
+        };
+        for mech in dem.mechanisms() {
+            assert!((mech.probability - merged4).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn circuit_distance_of_repetition_code() {
+        // 3-bit repetition memory: two parity checks, observable on one
+        // data qubit; single-qubit X noise on all three.
+        let mut c = Circuit::new(5);
+        c.reset(&[0, 1, 2, 3, 4]);
+        c.x_error(&[0, 1, 2], 0.01);
+        c.cx(&[(0, 3), (1, 3), (1, 4), (2, 4)]);
+        let m = c.measure(&[3, 4], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        c.add_detector(vec![m + 1], DetectorMeta::check(1, 0));
+        let md = c.measure(&[0, 1, 2], 0.0);
+        // Final data measurements recheck the two parities.
+        c.add_detector(vec![m, md, md + 1], DetectorMeta::check(0, 1));
+        c.add_detector(vec![m + 1, md + 1, md + 2], DetectorMeta::check(1, 1));
+        let obs = c.add_observable();
+        c.include_in_observable(obs, &[md]);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(8);
+        // Flipping the logical undetected needs all three X errors.
+        assert_eq!(dem.estimate_circuit_distance(20, &mut rng), 3);
+    }
+}

@@ -1,0 +1,385 @@
+//! Bit-parallel Pauli-frame sampling.
+//!
+//! The frame simulator tracks, for every qubit, whether each of 64
+//! simultaneous shots currently differs from the noiseless reference
+//! execution by an X and/or Z flip. Clifford gates map Pauli frames to
+//! Pauli frames with pure bit operations, so a batch of 64 shots costs
+//! barely more than one. This is the same strategy Stim uses for
+//! sampling memory experiments.
+//!
+//! Detectors must be deterministic under zero noise (checked separately
+//! with [`crate::TableauSimulator`]); their sampled value is then the
+//! XOR of the *flips* of their constituent measurements.
+
+use crate::circuit::{Circuit, Op};
+use qec_math::BitVec;
+use rand::{Rng, RngExt};
+
+/// Results of one 64-shot batch.
+#[derive(Debug, Clone)]
+pub struct ShotBatch {
+    /// One 64-bit mask per detector; bit `i` = detector fired in shot `i`.
+    pub detectors: Vec<u64>,
+    /// One 64-bit mask per observable; bit `i` = observable flipped.
+    pub observables: Vec<u64>,
+}
+
+impl ShotBatch {
+    /// Number of shots in the batch (always 64).
+    pub const SHOTS: usize = 64;
+
+    /// Extracts the detector outcomes of one shot as a [`BitVec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shot >= 64`.
+    pub fn detector_bits(&self, shot: usize) -> BitVec {
+        assert!(shot < 64, "batch holds 64 shots");
+        BitVec::from_ones(
+            self.detectors.len(),
+            self.detectors
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| (*m >> shot) & 1 == 1)
+                .map(|(d, _)| d),
+        )
+    }
+
+    /// Extracts the observable flips of one shot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shot >= 64`.
+    pub fn observable_bits(&self, shot: usize) -> BitVec {
+        assert!(shot < 64, "batch holds 64 shots");
+        BitVec::from_ones(
+            self.observables.len(),
+            self.observables
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| (*m >> shot) & 1 == 1)
+                .map(|(o, _)| o),
+        )
+    }
+
+    /// `true` if any shot in the batch fired any detector.
+    pub fn any_detection(&self) -> bool {
+        self.detectors.iter().any(|&m| m != 0)
+    }
+}
+
+/// Samples a 64-bit mask whose bits are independently 1 with
+/// probability `p`, by geometric skipping (cost ~ O(1 + 64p)).
+fn sample_mask(rng: &mut impl Rng, p: f64) -> u64 {
+    if p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return !0u64;
+    }
+    let log_keep = (1.0 - p).ln();
+    let mut mask = 0u64;
+    let mut i: usize = 0;
+    loop {
+        let u: f64 = rng.random();
+        let skip = ((1.0 - u).ln() / log_keep) as usize;
+        i += skip;
+        if i >= 64 {
+            return mask;
+        }
+        mask |= 1u64 << i;
+        i += 1;
+    }
+}
+
+/// A Pauli-frame sampler over a fixed circuit.
+///
+/// The sampler is stateless between batches, so it can be shared across
+/// threads (each thread brings its own RNG).
+///
+/// # Example
+///
+/// ```
+/// use qec_sim::{Circuit, DetectorMeta, FrameSampler};
+/// use rand::prelude::*;
+///
+/// let mut c = Circuit::new(2);
+/// c.reset(&[0, 1]);
+/// c.x_error(&[0], 0.5);
+/// c.cx(&[(0, 1)]);
+/// let m = c.measure(&[1], 0.0);
+/// c.add_detector(vec![m], DetectorMeta::check(0, 0));
+/// let sampler = FrameSampler::new(&c);
+/// let batch = sampler.sample_batch(&mut StdRng::seed_from_u64(1));
+/// // Roughly half the shots fire the detector.
+/// let fired = batch.detectors[0].count_ones();
+/// assert!(fired > 10 && fired < 54);
+/// ```
+#[derive(Debug)]
+pub struct FrameSampler<'c> {
+    circuit: &'c Circuit,
+}
+
+impl<'c> FrameSampler<'c> {
+    /// Creates a sampler over `circuit`.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        FrameSampler { circuit }
+    }
+
+    /// Runs 64 shots and returns their detector/observable outcomes.
+    pub fn sample_batch(&self, rng: &mut impl Rng) -> ShotBatch {
+        let n = self.circuit.num_qubits();
+        let mut x = vec![0u64; n];
+        let mut z = vec![0u64; n];
+        let mut record: Vec<u64> = Vec::with_capacity(self.circuit.num_measurements());
+        for op in self.circuit.ops() {
+            match op {
+                Op::H(targets) => {
+                    for &q in targets {
+                        std::mem::swap(&mut x[q], &mut z[q]);
+                    }
+                }
+                Op::Cx(pairs) => {
+                    for &(c, t) in pairs {
+                        x[t] ^= x[c];
+                        z[c] ^= z[t];
+                    }
+                }
+                Op::Reset(targets) => {
+                    for &q in targets {
+                        x[q] = 0;
+                        z[q] = 0;
+                    }
+                }
+                Op::Measure {
+                    targets,
+                    flip_probability,
+                } => {
+                    for &q in targets {
+                        let flips = sample_mask(rng, *flip_probability);
+                        record.push(x[q] ^ flips);
+                    }
+                }
+                Op::XError { targets, p } => {
+                    for &q in targets {
+                        x[q] ^= sample_mask(rng, *p);
+                    }
+                }
+                Op::ZError { targets, p } => {
+                    for &q in targets {
+                        z[q] ^= sample_mask(rng, *p);
+                    }
+                }
+                Op::PauliChannel1 { targets, px, py, pz } => {
+                    let total = px + py + pz;
+                    for &q in targets {
+                        let mut m = sample_mask(rng, total);
+                        while m != 0 {
+                            let bit = m & m.wrapping_neg();
+                            m &= m - 1;
+                            let u: f64 = rng.random::<f64>() * total;
+                            if u < px + py {
+                                x[q] ^= bit; // X or Y flips the X frame
+                            }
+                            if u >= *px {
+                                z[q] ^= bit; // Y or Z flips the Z frame
+                            }
+                        }
+                    }
+                }
+                Op::Depolarize1 { targets, p } => {
+                    for &q in targets {
+                        let mut m = sample_mask(rng, *p);
+                        while m != 0 {
+                            let bit = m & m.wrapping_neg();
+                            m &= m - 1;
+                            match rng.random_range(0..3u8) {
+                                0 => x[q] ^= bit,
+                                1 => {
+                                    x[q] ^= bit;
+                                    z[q] ^= bit;
+                                }
+                                _ => z[q] ^= bit,
+                            }
+                        }
+                    }
+                }
+                Op::Depolarize2 { pairs, p } => {
+                    for &(a, b) in pairs {
+                        let mut m = sample_mask(rng, *p);
+                        while m != 0 {
+                            let bit = m & m.wrapping_neg();
+                            m &= m - 1;
+                            // One of the 15 non-identity two-qubit Paulis.
+                            let k = rng.random_range(1..16u8);
+                            let (pa, pb) = (k / 4, k % 4);
+                            apply_pauli_bit(&mut x[a], &mut z[a], pa, bit);
+                            apply_pauli_bit(&mut x[b], &mut z[b], pb, bit);
+                        }
+                    }
+                }
+                Op::Tick => {}
+            }
+        }
+        let detectors = self
+            .circuit
+            .detectors()
+            .iter()
+            .map(|d| d.measurements.iter().fold(0u64, |acc, &m| acc ^ record[m]))
+            .collect();
+        let observables = self
+            .circuit
+            .observables()
+            .iter()
+            .map(|obs| obs.iter().fold(0u64, |acc, &m| acc ^ record[m]))
+            .collect();
+        ShotBatch {
+            detectors,
+            observables,
+        }
+    }
+}
+
+/// Applies Pauli code `code` (0 = I, 1 = X, 2 = Y, 3 = Z) to the given
+/// frame bit.
+fn apply_pauli_bit(x: &mut u64, z: &mut u64, code: u8, bit: u64) {
+    match code {
+        1 => *x ^= bit,
+        2 => {
+            *x ^= bit;
+            *z ^= bit;
+        }
+        3 => *z ^= bit,
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::DetectorMeta;
+    use rand::prelude::*;
+
+    #[test]
+    fn sample_mask_density_matches_p() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for &p in &[0.01f64, 0.1, 0.5, 0.9] {
+            let mut ones = 0usize;
+            let trials = 2000;
+            for _ in 0..trials {
+                ones += sample_mask(&mut rng, p).count_ones() as usize;
+            }
+            let freq = ones as f64 / (trials as f64 * 64.0);
+            assert!(
+                (freq - p).abs() < 0.02,
+                "p={p} measured {freq}"
+            );
+        }
+        assert_eq!(sample_mask(&mut rng, 0.0), 0);
+        assert_eq!(sample_mask(&mut rng, 1.0), !0u64);
+    }
+
+    #[test]
+    fn noiseless_circuit_fires_nothing() {
+        // Bell-pair parity: deterministic 0 detector.
+        let mut c = Circuit::new(3);
+        c.reset(&[0, 1, 2]);
+        c.h(&[0]);
+        c.cx(&[(0, 1)]);
+        c.cx(&[(0, 2), (1, 2)]);
+        let m = c.measure(&[2], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        let sampler = FrameSampler::new(&c);
+        let batch = sampler.sample_batch(&mut StdRng::seed_from_u64(7));
+        assert!(!batch.any_detection());
+    }
+
+    #[test]
+    fn x_error_propagates_through_cx() {
+        let mut c = Circuit::new(2);
+        c.reset(&[0, 1]);
+        c.x_error(&[0], 1.0);
+        c.cx(&[(0, 1)]);
+        let m = c.measure(&[0, 1], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        c.add_detector(vec![m + 1], DetectorMeta::check(1, 0));
+        let batch = FrameSampler::new(&c).sample_batch(&mut StdRng::seed_from_u64(3));
+        assert_eq!(batch.detectors[0], !0u64); // control flipped
+        assert_eq!(batch.detectors[1], !0u64); // propagated to target
+    }
+
+    #[test]
+    fn z_error_invisible_to_z_measurement() {
+        let mut c = Circuit::new(1);
+        c.reset(&[0]);
+        c.z_error(&[0], 1.0);
+        let m = c.measure(&[0], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        let batch = FrameSampler::new(&c).sample_batch(&mut StdRng::seed_from_u64(3));
+        assert_eq!(batch.detectors[0], 0);
+    }
+
+    #[test]
+    fn hadamard_exchanges_frames() {
+        // Z error + H -> X error -> visible.
+        let mut c = Circuit::new(1);
+        c.reset(&[0]);
+        c.z_error(&[0], 1.0);
+        c.h(&[0]);
+        let m = c.measure(&[0], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        let batch = FrameSampler::new(&c).sample_batch(&mut StdRng::seed_from_u64(3));
+        assert_eq!(batch.detectors[0], !0u64);
+    }
+
+    #[test]
+    fn measurement_flip_probability_respected() {
+        let mut c = Circuit::new(1);
+        c.reset(&[0]);
+        let m = c.measure(&[0], 0.25);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        let sampler = FrameSampler::new(&c);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut fired = 0usize;
+        for _ in 0..200 {
+            fired += sampler.sample_batch(&mut rng).detectors[0].count_ones() as usize;
+        }
+        let freq = fired as f64 / (200.0 * 64.0);
+        assert!((freq - 0.25).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn observable_tracks_logical_flip() {
+        let mut c = Circuit::new(1);
+        c.reset(&[0]);
+        c.x_error(&[0], 1.0);
+        let m = c.measure(&[0], 0.0);
+        let obs = c.add_observable();
+        c.include_in_observable(obs, &[m]);
+        let batch = FrameSampler::new(&c).sample_batch(&mut StdRng::seed_from_u64(3));
+        assert_eq!(batch.observables[0], !0u64);
+        assert_eq!(batch.observable_bits(17).weight(), 1);
+    }
+
+    #[test]
+    fn depolarize2_acts_on_both_qubits() {
+        let mut c = Circuit::new(2);
+        c.reset(&[0, 1]);
+        c.depolarize2(&[(0, 1)], 1.0);
+        let m = c.measure(&[0, 1], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        c.add_detector(vec![m + 1], DetectorMeta::check(1, 0));
+        let mut rng = StdRng::seed_from_u64(5);
+        let sampler = FrameSampler::new(&c);
+        let mut any0 = 0u64;
+        let mut any1 = 0u64;
+        for _ in 0..10 {
+            let b = sampler.sample_batch(&mut rng);
+            any0 |= b.detectors[0];
+            any1 |= b.detectors[1];
+        }
+        // Both qubits experience X flips across shots (8/15 of cases each).
+        assert!(any0.count_ones() > 20);
+        assert!(any1.count_ones() > 20);
+    }
+}

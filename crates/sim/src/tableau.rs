@@ -1,0 +1,390 @@
+//! Aaronson–Gottesman stabilizer tableau simulation.
+//!
+//! Used as the ground-truth simulator: it tracks the full stabilizer
+//! state, so it can verify that every detector of a generated circuit
+//! is deterministic under zero noise (the precondition for Pauli-frame
+//! sampling) and serve as an oracle in fault-injection tests.
+
+use crate::circuit::{Circuit, Op};
+use qec_math::BitVec;
+use rand::{Rng, RngExt};
+
+/// A Pauli operator label for fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pauli {
+    /// Bit flip.
+    X,
+    /// Bit and phase flip.
+    Y,
+    /// Phase flip.
+    Z,
+}
+
+/// A stabilizer-state simulator in the Aaronson–Gottesman tableau
+/// representation (destabilizers + stabilizers + signs).
+///
+/// # Example
+///
+/// ```
+/// use qec_sim::TableauSimulator;
+/// use rand::prelude::*;
+///
+/// let mut sim = TableauSimulator::new(2);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// sim.h(0);
+/// sim.cx(0, 1);
+/// let a = sim.measure(0, &mut rng);
+/// let b = sim.measure(1, &mut rng);
+/// assert_eq!(a, b); // Bell pair: perfectly correlated
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableauSimulator {
+    n: usize,
+    /// Rows `0..n` are destabilizers, `n..2n` stabilizers.
+    xs: Vec<BitVec>,
+    zs: Vec<BitVec>,
+    sign: Vec<bool>,
+}
+
+impl TableauSimulator {
+    /// Creates the all-`|0⟩` state on `n` qubits.
+    pub fn new(n: usize) -> Self {
+        let mut xs = vec![BitVec::zeros(n); 2 * n];
+        let mut zs = vec![BitVec::zeros(n); 2 * n];
+        for i in 0..n {
+            xs[i].set(i, true); // destabilizer X_i
+            zs[n + i].set(i, true); // stabilizer Z_i
+        }
+        TableauSimulator {
+            n,
+            xs,
+            zs,
+            sign: vec![false; 2 * n],
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Applies a Hadamard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn h(&mut self, q: usize) {
+        assert!(q < self.n);
+        for i in 0..2 * self.n {
+            let (x, z) = (self.xs[i].get(q), self.zs[i].get(q));
+            if x && z {
+                self.sign[i] = !self.sign[i];
+            }
+            self.xs[i].set(q, z);
+            self.zs[i].set(q, x);
+        }
+    }
+
+    /// Applies a CNOT with control `c`, target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range or `c == t`.
+    pub fn cx(&mut self, c: usize, t: usize) {
+        assert!(c < self.n && t < self.n && c != t);
+        for i in 0..2 * self.n {
+            let (xc, zc) = (self.xs[i].get(c), self.zs[i].get(c));
+            let (xt, zt) = (self.xs[i].get(t), self.zs[i].get(t));
+            if xc && zt && (xt == zc) {
+                self.sign[i] = !self.sign[i];
+            }
+            self.xs[i].set(t, xt ^ xc);
+            self.zs[i].set(c, zc ^ zt);
+        }
+    }
+
+    /// Applies an X gate.
+    pub fn x(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            if self.zs[i].get(q) {
+                self.sign[i] = !self.sign[i];
+            }
+        }
+    }
+
+    /// Applies a Z gate.
+    pub fn z(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            if self.xs[i].get(q) {
+                self.sign[i] = !self.sign[i];
+            }
+        }
+    }
+
+    /// Injects a Pauli fault.
+    pub fn apply_pauli(&mut self, q: usize, p: Pauli) {
+        match p {
+            Pauli::X => self.x(q),
+            Pauli::Y => {
+                self.x(q);
+                self.z(q);
+            }
+            Pauli::Z => self.z(q),
+        }
+    }
+
+    /// Phase contribution of multiplying row `i`'s Pauli into row `h`'s.
+    /// Returns the exponent of `i` (0..4) contributed by the per-qubit
+    /// Levi-Civita-style `g` function plus existing signs.
+    fn row_mult(&mut self, h: usize, i: usize) {
+        let n = self.n;
+        let mut phase: i32 = 2 * (self.sign[h] as i32) + 2 * (self.sign[i] as i32);
+        for q in 0..n {
+            let (x1, z1) = (self.xs[i].get(q), self.zs[i].get(q));
+            let (x2, z2) = (self.xs[h].get(q), self.zs[h].get(q));
+            phase += match (x1, z1) {
+                (false, false) => 0,
+                (true, true) => (z2 as i32) - (x2 as i32), // Y
+                (true, false) => (z2 as i32) * (2 * (x2 as i32) - 1), // X
+                (false, true) => (x2 as i32) * (1 - 2 * (z2 as i32)), // Z
+            };
+        }
+        debug_assert_eq!(phase.rem_euclid(4) % 2, 0, "phase must stay real");
+        self.sign[h] = phase.rem_euclid(4) == 2;
+        let (xi, zi) = (self.xs[i].clone(), self.zs[i].clone());
+        self.xs[h].xor_assign(&xi);
+        self.zs[h].xor_assign(&zi);
+    }
+
+    /// Measures qubit `q` in the Z basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn measure(&mut self, q: usize, rng: &mut impl Rng) -> bool {
+        assert!(q < self.n);
+        let n = self.n;
+        if let Some(p) = (n..2 * n).find(|&p| self.xs[p].get(q)) {
+            // Random outcome.
+            let outcome: bool = rng.random();
+            for i in (0..2 * n).filter(|&i| i != p) {
+                if self.xs[i].get(q) {
+                    self.row_mult(i, p);
+                }
+            }
+            // Destabilizer p-n := old stabilizer p; stabilizer p := ±Z_q.
+            self.xs[p - n] = self.xs[p].clone();
+            self.zs[p - n] = self.zs[p].clone();
+            self.sign[p - n] = self.sign[p];
+            self.xs[p] = BitVec::zeros(n);
+            self.zs[p] = BitVec::zeros(n);
+            self.zs[p].set(q, true);
+            self.sign[p] = outcome;
+            outcome
+        } else {
+            self.deterministic_outcome(q)
+        }
+    }
+
+    /// Computes the deterministic Z-measurement outcome of `q` without
+    /// disturbing the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not deterministic.
+    pub fn deterministic_outcome(&self, q: usize) -> bool {
+        let n = self.n;
+        assert!(
+            (n..2 * n).all(|p| !self.xs[p].get(q)),
+            "measurement of qubit {q} is random"
+        );
+        // Accumulate product of stabilizers indicated by destabilizers
+        // anticommuting with Z_q, on a scratch copy.
+        let mut scratch = self.clone();
+        scratch.xs.push(BitVec::zeros(n));
+        scratch.zs.push(BitVec::zeros(n));
+        scratch.sign.push(false);
+        let h = 2 * n;
+        for i in 0..n {
+            if scratch.xs[i].get(q) {
+                scratch.row_mult_into_scratch(h, i + n);
+            }
+        }
+        scratch.sign[h]
+    }
+
+    fn row_mult_into_scratch(&mut self, h: usize, i: usize) {
+        // Same as row_mult but h may be the scratch row beyond 2n.
+        let n = self.n;
+        let mut phase: i32 = 2 * (self.sign[h] as i32) + 2 * (self.sign[i] as i32);
+        for q in 0..n {
+            let (x1, z1) = (self.xs[i].get(q), self.zs[i].get(q));
+            let (x2, z2) = (self.xs[h].get(q), self.zs[h].get(q));
+            phase += match (x1, z1) {
+                (false, false) => 0,
+                (true, true) => (z2 as i32) - (x2 as i32),
+                (true, false) => (z2 as i32) * (2 * (x2 as i32) - 1),
+                (false, true) => (x2 as i32) * (1 - 2 * (z2 as i32)),
+            };
+        }
+        self.sign[h] = phase.rem_euclid(4) == 2;
+        let (xi, zi) = (self.xs[i].clone(), self.zs[i].clone());
+        self.xs[h].xor_assign(&xi);
+        self.zs[h].xor_assign(&zi);
+    }
+
+    /// Resets qubit `q` to `|0⟩` (measure, flip if 1).
+    pub fn reset(&mut self, q: usize, rng: &mut impl Rng) {
+        if self.measure(q, rng) {
+            self.x(q);
+        }
+    }
+
+    /// Runs a circuit (ignoring its noise channels), optionally
+    /// injecting the given Paulis immediately **before** the op at
+    /// `inject.0`. Returns the measurement record.
+    pub fn run(
+        circuit: &Circuit,
+        inject: Option<(usize, &[(usize, Pauli)])>,
+        rng: &mut impl Rng,
+    ) -> Vec<bool> {
+        let mut sim = TableauSimulator::new(circuit.num_qubits());
+        let mut record = Vec::with_capacity(circuit.num_measurements());
+        for (idx, op) in circuit.ops().iter().enumerate() {
+            if let Some((at, paulis)) = inject {
+                if at == idx {
+                    for &(q, p) in paulis {
+                        sim.apply_pauli(q, p);
+                    }
+                }
+            }
+            match op {
+                Op::H(ts) => ts.iter().for_each(|&q| sim.h(q)),
+                Op::Cx(ps) => ps.iter().for_each(|&(c, t)| sim.cx(c, t)),
+                Op::Reset(ts) => ts.iter().for_each(|&q| sim.reset(q, rng)),
+                Op::Measure { targets, .. } => {
+                    for &q in targets {
+                        record.push(sim.measure(q, rng));
+                    }
+                }
+                // Noise channels are ignored: the tableau simulator is
+                // the noiseless reference.
+                _ => {}
+            }
+        }
+        record
+    }
+
+    /// Checks that every detector of `circuit` is deterministic (value
+    /// 0) under noiseless execution, across `trials` random runs
+    /// (random X-check outcomes must cancel within each detector).
+    ///
+    /// Returns the index of the first violating detector, if any.
+    pub fn find_nondeterministic_detector(
+        circuit: &Circuit,
+        trials: usize,
+        rng: &mut impl Rng,
+    ) -> Option<usize> {
+        for _ in 0..trials {
+            let record = Self::run(circuit, None, rng);
+            for (d, det) in circuit.detectors().iter().enumerate() {
+                let parity = det
+                    .measurements
+                    .iter()
+                    .fold(false, |acc, &m| acc ^ record[m]);
+                if parity {
+                    return Some(d);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn computational_basis_measurements() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut sim = TableauSimulator::new(2);
+        assert!(!sim.measure(0, &mut rng));
+        sim.x(0);
+        assert!(sim.measure(0, &mut rng));
+        assert!(!sim.measure(1, &mut rng));
+    }
+
+    #[test]
+    fn bell_pair_correlations() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let mut sim = TableauSimulator::new(2);
+            sim.h(0);
+            sim.cx(0, 1);
+            let a = sim.measure(0, &mut rng);
+            let b = sim.measure(1, &mut rng);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn plus_state_measurement_is_random() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ones = 0;
+        for _ in 0..100 {
+            let mut sim = TableauSimulator::new(1);
+            sim.h(0);
+            if sim.measure(0, &mut rng) {
+                ones += 1;
+            }
+        }
+        assert!(ones > 20 && ones < 80);
+    }
+
+    #[test]
+    fn ghz_parity_is_even_under_xx_measurement() {
+        // Measure stabilizer X⊗X of a Bell pair via an ancilla.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let mut sim = TableauSimulator::new(3);
+            sim.h(0);
+            sim.cx(0, 1);
+            // Ancilla-based X⊗X parity: H(anc), CX(anc,0), CX(anc,1), H(anc).
+            sim.h(2);
+            sim.cx(2, 0);
+            sim.cx(2, 1);
+            sim.h(2);
+            assert!(!sim.measure(2, &mut rng), "Bell pair stabilizes XX");
+        }
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sim = TableauSimulator::new(1);
+        sim.h(0);
+        sim.reset(0, &mut rng);
+        assert!(!sim.measure(0, &mut rng));
+    }
+
+    #[test]
+    fn y_injection_flips_both_frames() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sim = TableauSimulator::new(1);
+        sim.apply_pauli(0, Pauli::Y);
+        assert!(sim.measure(0, &mut rng));
+    }
+
+    #[test]
+    fn deterministic_outcome_respects_stabilizer_signs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut sim = TableauSimulator::new(2);
+        sim.cx(0, 1);
+        sim.x(0);
+        sim.cx(0, 1); // net: X on 0 and 1
+        assert!(sim.measure(0, &mut rng));
+        assert!(sim.measure(1, &mut rng));
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: protect 8 logical qubits with the `[[30,8,3,3]]` {5,5}
+//! hyperbolic surface code on a degree-4 Flag-Proxy Network, run a
+//! noisy memory experiment and decode it with the flagged MWPM decoder.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fpn_repro::prelude::*;
+
+fn main() -> Result<(), CodeError> {
+    // 1. Build the code from its triangle-group presentation.
+    let code = hyperbolic_surface_code(&SURFACE_REGISTRY[12])?;
+    println!("code: {} (n={}, k={})", code.name(), code.n(), code.k());
+
+    // 2. Realize it as a Flag-Proxy Network with flag sharing.
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+    let metrics = ArchitectureMetrics::compute(&code, &fpn);
+    println!(
+        "FPN: {} physical qubits ({} data, {} parity, {} flags, {} proxies), max degree {}",
+        metrics.total,
+        metrics.num_data,
+        metrics.num_parity,
+        metrics.num_flags,
+        metrics.num_proxies,
+        metrics.max_degree
+    );
+    println!(
+        "effective rate k/N = {:.4}  ({:.1}x the d=5 planar surface code)",
+        metrics.effective_rate,
+        metrics.effective_rate * 49.0
+    );
+
+    // 3. Generate the noisy memory-Z experiment (3 rounds at p = 1e-3).
+    let noise = NoiseModel::new(1e-3);
+    let experiment = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+    println!(
+        "circuit: {} qubits, {} measurements, {} detectors, round latency {:.0} ns",
+        experiment.circuit.num_qubits(),
+        experiment.circuit.num_measurements(),
+        experiment.circuit.detectors().len(),
+        experiment.round_latency_ns
+    );
+
+    // 4. Decode 50k shots with the flagged MWPM decoder.
+    let pipeline = DecodingPipeline::new(&code, &experiment, DecoderKind::FlaggedMwpm, &noise);
+    let stats = run_ber(&experiment.circuit, pipeline.decoder(), 50_000, 42, 4);
+    println!(
+        "block error rate: {:.2e} over {} shots ({:.2e} per logical qubit)",
+        stats.ber(),
+        stats.shots,
+        stats.ber_norm()
+    );
+    Ok(())
+}

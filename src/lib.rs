@@ -1,0 +1,16 @@
+//! Workspace façade for the Flag-Proxy Networks reproduction.
+//!
+//! This crate re-exports the whole pipeline so the examples under
+//! `examples/` and the integration tests under `tests/` can use one
+//! import. Downstream users should depend on the individual crates
+//! (`fpn-core` and friends) instead.
+
+pub use fpn_core;
+pub use fpn_core::prelude;
+pub use qec_arch;
+pub use qec_code;
+pub use qec_decode;
+pub use qec_group;
+pub use qec_math;
+pub use qec_sched;
+pub use qec_sim;

@@ -1,0 +1,164 @@
+//! Cross-crate integration tests: the full code → FPN → schedule →
+//! circuit → sample → decode pipeline.
+
+use fpn_repro::prelude::*;
+use fpn_repro::qec_sim::TableauSimulator;
+use rand::prelude::*;
+
+#[test]
+fn noiseless_pipeline_never_fails() {
+    // Zero noise: no detectors fire, no observable flips, BER = 0.
+    let code = hyperbolic_surface_code(&SURFACE_REGISTRY[12]).unwrap();
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+    let exp = build_memory_circuit(&code, &fpn, None, 3, Basis::Z);
+    let sampler = FrameSampler::new(&exp.circuit);
+    let batch = sampler.sample_batch(&mut StdRng::seed_from_u64(1));
+    assert!(!batch.any_detection());
+    assert!(batch.observables.iter().all(|&m| m == 0));
+}
+
+#[test]
+fn detectors_deterministic_across_architectures() {
+    let checks: Vec<(CssCode, FpnConfig)> = vec![
+        (rotated_surface_code(3), FpnConfig::direct()),
+        (toric_surface_code(2).unwrap(), FpnConfig::direct()),
+        (toric_color_code(2).unwrap(), FpnConfig::shared()),
+        (
+            hyperbolic_surface_code(&SURFACE_REGISTRY[5]).unwrap(), // [[12,4]] {4,6}
+            FpnConfig::flags_only(),
+        ),
+        (
+            hyperbolic_color_code(&COLOR_REGISTRY[0]).unwrap(),
+            FpnConfig::shared(),
+        ),
+    ];
+    let mut rng = StdRng::seed_from_u64(99);
+    for (code, config) in &checks {
+        let fpn = FlagProxyNetwork::build(code, config);
+        for basis in [Basis::X, Basis::Z] {
+            let exp = build_memory_circuit(code, &fpn, None, 2, basis);
+            assert_eq!(
+                TableauSimulator::find_nondeterministic_detector(&exp.circuit, 2, &mut rng),
+                None,
+                "{} {:?}",
+                code.name(),
+                basis
+            );
+        }
+    }
+}
+
+#[test]
+fn planar_distance_scaling_visible_in_ber() {
+    // At p = 2e-3, d=5 must beat d=3 clearly.
+    let noise = NoiseModel::new(2e-3);
+    let mut bers = Vec::new();
+    for d in [3usize, 5] {
+        let code = rotated_surface_code(d);
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+        let exp = build_memory_circuit(&code, &fpn, Some(&noise), d, Basis::Z);
+        let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::PlainMwpm, &noise);
+        let stats = run_ber(&exp.circuit, pipeline.decoder(), 6_000, 7, 4);
+        bers.push(stats.ber());
+    }
+    assert!(
+        bers[1] < bers[0] * 0.8,
+        "d=5 ({}) should beat d=3 ({})",
+        bers[1],
+        bers[0]
+    );
+}
+
+#[test]
+fn flag_protocol_restores_effective_distance_surface() {
+    // The Fig. 19 mechanism: every single fault is corrected on the FPN
+    // with the flagged decoder; the unflagged baseline fails some.
+    let code = hyperbolic_surface_code(&SURFACE_REGISTRY[12]).unwrap();
+    let noise = NoiseModel::new(1e-3);
+    let shared = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+    for basis in [Basis::X, Basis::Z] {
+        let exp = build_memory_circuit(&code, &shared, Some(&noise), 3, basis);
+        let flagged = DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedMwpm, &noise);
+        assert_eq!(
+            count_single_fault_failures(flagged.dem(), flagged.decoder()),
+            0,
+            "flagged MWPM corrects every single fault ({basis:?})"
+        );
+        let plain = DecodingPipeline::new(&code, &exp, DecoderKind::PlainMwpm, &noise);
+        assert!(
+            count_single_fault_failures(plain.dem(), plain.decoder()) > 0,
+            "plain MWPM misses propagation faults ({basis:?})"
+        );
+    }
+}
+
+#[test]
+fn flag_protocol_restores_effective_distance_color() {
+    // The Fig. 20 mechanism for color codes.
+    let code = toric_color_code(2).unwrap();
+    let noise = NoiseModel::new(1e-3);
+    let shared = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+    for basis in [Basis::X, Basis::Z] {
+        let exp = build_memory_circuit(&code, &shared, Some(&noise), 2, basis);
+        let flagged =
+            DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedRestriction, &noise);
+        let chamberland =
+            DecodingPipeline::new(&code, &exp, DecoderKind::ChamberlandRestriction, &noise);
+        let f = count_single_fault_failures(flagged.dem(), flagged.decoder());
+        let c = count_single_fault_failures(chamberland.dem(), chamberland.decoder());
+        assert!(f <= 2, "flagged restriction near-perfect, got {f} ({basis:?})");
+        assert!(
+            c > 10 * f.max(1),
+            "Chamberland baseline much worse: {c} vs {f} ({basis:?})"
+        );
+    }
+}
+
+#[test]
+fn planar_circuit_distance_matches_code_distance() {
+    let code = rotated_surface_code(3);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(1e-3);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+    let dem = DetectorErrorModel::from_circuit(&exp.circuit);
+    let mut rng = StdRng::seed_from_u64(3);
+    assert_eq!(dem.estimate_circuit_distance(12, &mut rng), 3);
+}
+
+#[test]
+fn effective_rates_beat_planar_reference() {
+    // The Fig. 12 claim for every mid-size registry code.
+    for spec in SURFACE_REGISTRY.iter().filter(|s| s.expected_n <= 200) {
+        let code = hyperbolic_surface_code(spec).unwrap();
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+        let m = ArchitectureMetrics::compute(&code, &fpn);
+        assert!(
+            m.effective_rate > 1.0 / 49.0,
+            "{} Reff {}",
+            code.name(),
+            m.effective_rate
+        );
+        assert!(m.max_degree <= 4);
+    }
+}
+
+#[test]
+fn fpn_ber_improves_at_lower_noise() {
+    // Coarse slope sanity: p=5e-4 is much better than p=2e-3.
+    let code = hyperbolic_surface_code(&SURFACE_REGISTRY[12]).unwrap();
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+    let mut bers = Vec::new();
+    for p in [2e-3, 5e-4] {
+        let noise = NoiseModel::new(p);
+        let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+        let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedMwpm, &noise);
+        let stats = run_ber(&exp.circuit, pipeline.decoder(), 12_000, 21, 4);
+        bers.push(stats.ber().max(1e-5));
+    }
+    assert!(
+        bers[1] < bers[0] / 4.0,
+        "BER(5e-4)={} should be well below BER(2e-3)={}",
+        bers[1],
+        bers[0]
+    );
+}

@@ -1,0 +1,193 @@
+//! Property-based tests on the core substrates.
+
+use fpn_repro::qec_math::graph::matching::{brute_force_max_weight, max_weight_matching};
+use fpn_repro::qec_math::{gf2, BitMatrix, BitVec};
+use fpn_repro::qec_sched::try_greedy_schedule;
+use fpn_repro::qec_sim::{Circuit, DetectorErrorModel, DetectorMeta, Pauli, TableauSimulator};
+use fpn_repro::prelude::*;
+use proptest::prelude::*;
+use rand::prelude::*;
+
+fn arb_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = BitMatrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(proptest::collection::vec(any::<bool>(), c), r)
+            .prop_map(move |rows| {
+                let bits: Vec<Vec<usize>> = rows
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .enumerate()
+                            .filter(|(_, &b)| b)
+                            .map(|(i, _)| i)
+                            .collect()
+                    })
+                    .collect();
+                BitMatrix::from_rows_of_ones(rows.len(), c, &bits)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nullspace_annihilates_and_has_full_corank(m in arb_matrix(8, 12)) {
+        let ns = gf2::nullspace(&m);
+        prop_assert_eq!(ns.rows(), m.cols() - gf2::rank(&m));
+        for v in ns.iter_rows() {
+            prop_assert!(m.mul_vec(v).is_zero());
+        }
+        prop_assert_eq!(gf2::rank(&ns), ns.rows());
+    }
+
+    #[test]
+    fn solve_agrees_with_mul(m in arb_matrix(8, 10), rhs_bits in proptest::collection::vec(any::<bool>(), 8)) {
+        let b = BitVec::from_bools(&rhs_bits[..m.rows()]);
+        if let Some(x) = gf2::solve(&m, &b) {
+            prop_assert_eq!(m.mul_vec(&x), b);
+        } else {
+            // Inconsistent: b must not be in the column space.
+            prop_assert!(!gf2::in_row_space(&m.transposed(), &b));
+        }
+    }
+
+    #[test]
+    fn matrix_multiplication_is_associative_on_vectors(
+        a in arb_matrix(6, 6),
+        b_bits in proptest::collection::vec(any::<bool>(), 6),
+    ) {
+        let cols = a.cols();
+        let v = BitVec::from_bools(&b_bits[..cols]);
+        let av = a.mul_vec(&v);
+        // (Aᵀ)ᵀ v == A v
+        prop_assert_eq!(a.transposed().transposed().mul_vec(&v), av);
+    }
+
+    #[test]
+    fn blossom_matches_brute_force(
+        n in 2usize..8,
+        seed in any::<u64>(),
+        density in 0.2f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.random_bool(density) {
+                    edges.push((u, v, rng.random_range(1..40i64)));
+                }
+            }
+        }
+        let m = max_weight_matching(n, &edges);
+        prop_assert_eq!(m.weight, brute_force_max_weight(n, &edges));
+    }
+
+    #[test]
+    fn random_css_codes_schedule_validly(seed in any::<u64>()) {
+        // Random CSS code: random H_X, then H_Z rows drawn from its
+        // nullspace; Algorithm 1 must produce a valid schedule.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(6..12usize);
+        let x_rows = rng.random_range(1..4usize);
+        let mut hx = BitMatrix::zeros(x_rows, n);
+        for r in 0..x_rows {
+            for c in 0..n {
+                if rng.random_bool(0.4) {
+                    hx.set(r, c, true);
+                }
+            }
+        }
+        let kernel = gf2::nullspace(&hx);
+        prop_assume!(kernel.rows() >= 2);
+        let mut hz = BitMatrix::zeros(0, n);
+        for _ in 0..rng.random_range(1..3usize) {
+            // Random kernel combination with at least two qubits.
+            let mut v = BitVec::zeros(n);
+            for row in kernel.iter_rows() {
+                if rng.random_bool(0.5) {
+                    v.xor_assign(row);
+                }
+            }
+            if v.weight() >= 2 {
+                hz.push_row(v);
+            }
+        }
+        prop_assume!(hz.rows() >= 1);
+        prop_assume!(hx.iter_rows().all(|r| r.weight() >= 2));
+        let code = CssCode::new("random", CodeFamily::Custom, hx, hz).unwrap();
+        let schedule = try_greedy_schedule(&code).expect("schedulable");
+        schedule.verify(&code).expect("valid schedule");
+    }
+
+    #[test]
+    fn dem_predicts_tableau_fault_propagation(seed in any::<u64>()) {
+        // Random parity-check-style circuit, random single Pauli fault:
+        // the tableau's detector diff must equal the DEM's mechanism.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_data = rng.random_range(2..5usize);
+        let n_anc = rng.random_range(1..4usize);
+        let nq = n_data + n_anc;
+        let mut circuit = Circuit::new(nq);
+        circuit.reset(&(0..nq).collect::<Vec<_>>());
+        let mut cx_ops: Vec<(usize, usize)> = Vec::new();
+        for a in 0..n_anc {
+            for d in 0..n_data {
+                if rng.random_bool(0.5) {
+                    cx_ops.push((d, n_data + a));
+                }
+            }
+        }
+        prop_assume!(!cx_ops.is_empty());
+        // Insert the fault channel at a random point between CXs.
+        let fault_at = rng.random_range(0..=cx_ops.len());
+        let fault_qubit = rng.random_range(0..nq);
+        let pauli = [Pauli::X, Pauli::Y, Pauli::Z][rng.random_range(0..3usize)];
+        for (i, &pair) in cx_ops.iter().enumerate() {
+            if i == fault_at {
+                match pauli {
+                    Pauli::X => circuit.x_error(&[fault_qubit], 0.25),
+                    Pauli::Z => circuit.z_error(&[fault_qubit], 0.25),
+                    Pauli::Y => circuit.pauli_channel1(&[fault_qubit], 0.0, 0.25, 0.0),
+                }
+            }
+            circuit.cx(&[pair]);
+        }
+        if fault_at == cx_ops.len() {
+            match pauli {
+                Pauli::X => circuit.x_error(&[fault_qubit], 0.25),
+                Pauli::Z => circuit.z_error(&[fault_qubit], 0.25),
+                Pauli::Y => circuit.pauli_channel1(&[fault_qubit], 0.0, 0.25, 0.0),
+            }
+        }
+        let first = circuit.measure(&(n_data..nq).collect::<Vec<_>>(), 0.0);
+        for a in 0..n_anc {
+            circuit.add_detector(vec![first + a], DetectorMeta::check(a, 0));
+        }
+        // DEM prediction.
+        let dem = DetectorErrorModel::from_circuit(&circuit);
+        prop_assert!(dem.mechanisms().len() <= 1);
+        let predicted: Vec<u32> = dem
+            .mechanisms()
+            .first()
+            .map(|m| m.detectors.clone())
+            .unwrap_or_default();
+        // Tableau ground truth: inject the same Pauli just before the
+        // op following the noise channel.
+        let inject_op_index = 1 + fault_at; // after Reset + fault_at CXs
+        let mut trng = StdRng::seed_from_u64(7);
+        let clean = TableauSimulator::run(&circuit, None, &mut trng);
+        let mut trng = StdRng::seed_from_u64(7);
+        let faulty = TableauSimulator::run(
+            &circuit,
+            Some((1 + inject_op_index, &[(fault_qubit, pauli)])),
+            &mut trng,
+        );
+        let mut flipped: Vec<u32> = Vec::new();
+        for a in 0..n_anc {
+            if clean[a] != faulty[a] {
+                flipped.push(a as u32);
+            }
+        }
+        prop_assert_eq!(predicted, flipped);
+    }
+}
