@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Hermetic CI for the fpn-repro workspace.
+#
+# The workspace has zero external dependencies, so everything builds
+# and tests with --offline: a network-less container is the expected
+# environment, not a degraded one.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline
+cargo test -q --offline

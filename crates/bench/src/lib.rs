@@ -1,8 +1,9 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! Shared fixtures for the `qec-bench` timing binary.
 //!
-//! The performance benchmarks live under `benches/`; the experiment
-//! binaries that regenerate the paper's tables and figures live in
-//! `fpn-core` (see DESIGN.md for the mapping).
+//! The component benchmarks live in `src/main.rs` (run with
+//! `cargo run --release -p qec-bench`; one JSON line per component);
+//! the experiment binaries that regenerate the paper's tables and
+//! figures live in `fpn-core` (see DESIGN.md for the mapping).
 
 use fpn_core::prelude::*;
 

@@ -1,0 +1,159 @@
+//! Plain-timing component benchmarks.
+//!
+//! Replaces the former Criterion harness with `std::time::Instant`
+//! wall-clock timing so the workspace needs no external dependencies.
+//! Each component emits exactly one JSON line on stdout:
+//!
+//! ```json
+//! {"component":"frame_sampler_batched_d5_10k","iters":157,"total_ns":...,"per_iter_ns":...}
+//! ```
+//!
+//! The headline measurement is the batched Pauli-frame sampler against
+//! the scalar per-shot loop at 10 000 shots on the d=5 rotated surface
+//! code; the emitted `speedup` line records the ratio and whether it
+//! clears the 10× target the batched engine is designed for.
+//!
+//! Run with `cargo run --release -p qec-bench`.
+
+use fpn_core::prelude::*;
+use qec_bench::{memory_experiment, small_fpn, small_hyperbolic_code};
+use qec_group::{enumerate_cosets, von_dyck};
+use qec_math::graph::matching::min_weight_perfect_matching;
+use qec_math::rng::{Rng, Xoshiro256StarStar};
+use qec_sim::FrameBatch;
+use std::time::Instant;
+
+/// Times `iters` runs of `f`, keeping a liveness checksum so the work
+/// cannot be optimized away, and emits one JSON line.
+fn bench(component: &str, iters: usize, mut f: impl FnMut() -> usize) -> u128 {
+    let start = Instant::now();
+    let mut checksum = 0usize;
+    for _ in 0..iters {
+        checksum = checksum.wrapping_add(f());
+    }
+    let total_ns = start.elapsed().as_nanos();
+    println!(
+        "{{\"component\":\"{component}\",\"iters\":{iters},\"total_ns\":{total_ns},\
+         \"per_iter_ns\":{},\"checksum\":{checksum}}}",
+        total_ns / iters.max(1) as u128,
+    );
+    total_ns
+}
+
+fn bench_blossom() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(40);
+    for &n in &[16usize, 40] {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v, rng.gen_range(1..1000i64)));
+            }
+        }
+        bench(&format!("blossom_mwpm_complete_k{n}"), 20, || {
+            min_weight_perfect_matching(n, &edges).unwrap().weight as usize
+        });
+    }
+}
+
+/// Batched vs. per-shot sampling at 10k shots on the d=5 planar code —
+/// the acceptance measurement for the batched engine.
+fn bench_sampling() {
+    const SHOTS: usize = 10_000;
+    let code = rotated_surface_code(5);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let exp = memory_experiment(&code, &fpn, 1e-3);
+    let sampler = FrameSampler::new(&exp.circuit);
+    let batches = SHOTS.div_ceil(64);
+
+    let mut scratch = FrameBatch::new();
+    let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+    let batched_ns = bench("frame_sampler_batched_d5_10k", 1, || {
+        let mut fired = 0usize;
+        for b in 0..batches {
+            let mut rng_b = rng.fork(b as u64);
+            let batch = sampler.sample_batch_with(&mut scratch, &mut rng_b);
+            fired += batch.detectors.iter().map(|m| m.count_ones() as usize).sum::<usize>();
+        }
+        fired
+    });
+
+    let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+    let scalar_ns = bench("frame_sampler_per_shot_d5_10k", 1, || {
+        let mut fired = 0usize;
+        for _ in 0..batches * 64 {
+            fired += sampler.sample_shot(&mut rng).detectors.weight();
+        }
+        fired
+    });
+
+    let speedup = scalar_ns as f64 / batched_ns.max(1) as f64;
+    println!(
+        "{{\"component\":\"frame_sampler_speedup_batched_vs_per_shot\",\
+         \"shots\":{},\"speedup\":{speedup:.1},\"pass_10x\":{}}}",
+        batches * 64,
+        speedup >= 10.0,
+    );
+}
+
+fn bench_dem() {
+    let code = small_hyperbolic_code();
+    let fpn = small_fpn(&code);
+    let exp = memory_experiment(&code, &fpn, 1e-3);
+    bench("dem_hyperbolic_30_fpn", 5, || {
+        DetectorErrorModel::from_circuit(&exp.circuit).mechanisms().len()
+    });
+}
+
+fn bench_decoding() {
+    let code = small_hyperbolic_code();
+    let fpn = small_fpn(&code);
+    let noise = NoiseModel::new(1e-3);
+    let exp = memory_experiment(&code, &fpn, 1e-3);
+    let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedMwpm, &noise);
+    let sampler = FrameSampler::new(&exp.circuit);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+    // Pre-sample shots that actually fire detectors.
+    let mut shots = Vec::new();
+    while shots.len() < 256 {
+        let batch = sampler.sample_batch(&mut rng);
+        for s in 0..64 {
+            let d = batch.detector_bits(s);
+            if !d.is_zero() {
+                shots.push(d);
+            }
+        }
+    }
+    let mut i = 0usize;
+    bench("flagged_mwpm_decode_shot", 256, || {
+        let shot = &shots[i % shots.len()];
+        i += 1;
+        pipeline.decoder().decode(shot).weight()
+    });
+}
+
+fn bench_scheduling() {
+    let code = small_hyperbolic_code();
+    bench("greedy_schedule_30_8", 10, || {
+        greedy_schedule(&code).makespan()
+    });
+}
+
+fn bench_construction() {
+    let pres = von_dyck(3, 5, &[]);
+    bench("todd_coxeter_a5", 10, || {
+        enumerate_cosets(&pres, &[], 1000).unwrap().num_cosets()
+    });
+    let code = small_hyperbolic_code();
+    bench("fpn_build_30_8", 10, || {
+        FlagProxyNetwork::build(&code, &FpnConfig::shared()).num_qubits()
+    });
+}
+
+fn main() {
+    bench_blossom();
+    bench_sampling();
+    bench_dem();
+    bench_decoding();
+    bench_scheduling();
+    bench_construction();
+}

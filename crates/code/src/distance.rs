@@ -11,7 +11,7 @@
 //! is known.
 
 use qec_math::{gf2, BitMatrix, BitVec};
-use rand::prelude::*;
+use qec_math::rng::{Rng, Xoshiro256StarStar};
 
 /// Distance estimates for a CSS code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,7 +83,7 @@ pub fn min_logical_weight(
 
     let mut perm: Vec<usize> = (0..n).collect();
     for _ in 0..iterations {
-        perm.shuffle(rng);
+        rng.shuffle(&mut perm);
         // Permute columns, reduce, un-permute.
         let mut permuted = BitMatrix::zeros(kernel.rows(), n);
         for (r, row) in kernel.iter_rows().enumerate() {
@@ -113,7 +113,7 @@ pub fn estimate_distances(
     iterations: usize,
     seed: u64,
 ) -> DistanceEstimate {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let dx = min_logical_weight(hz, hx, iterations, &mut rng);
     let dz = min_logical_weight(hx, hz, iterations, &mut rng);
     DistanceEstimate { dx, dz }

@@ -7,9 +7,9 @@ use qec_decode::{
 };
 use qec_math::BitVec;
 use qec_sched::{Basis, MemoryExperiment};
+use qec_math::rng::Xoshiro256StarStar;
 use qec_sim::noise::NoiseModel;
-use qec_sim::{Circuit, DetectorErrorModel, FrameSampler};
-use rand::prelude::*;
+use qec_sim::{Circuit, DetectorErrorModel, FrameBatch, FrameSampler};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which decoder to instantiate for an experiment.
@@ -154,6 +154,13 @@ impl BerStats {
 /// 64-shot batches), decoding each with `decoder`, split across
 /// `threads` worker threads.
 ///
+/// Batches are handed out by an atomic work-stealing counter, and
+/// batch `b` always draws from the forked RNG stream
+/// [`Xoshiro256StarStar::from_seed_stream`]`(seed, b)` regardless of
+/// which worker executes it, so the result is **bit-identical for any
+/// thread count**. Each worker owns one [`FrameBatch`] scratch, so
+/// steady-state sampling does not reallocate frame storage.
+///
 /// A trial fails when the decoder's predicted observable flips differ
 /// from the actual flips in any logical qubit.
 ///
@@ -179,20 +186,20 @@ pub fn run_ber(
     let next_batch = AtomicUsize::new(0);
     let k = circuit.observables().len();
     std::thread::scope(|scope| {
-        for tid in 0..threads {
+        for _ in 0..threads {
             let failures = &failures;
             let next_batch = &next_batch;
             scope.spawn(move || {
                 let sampler = FrameSampler::new(circuit);
+                let mut scratch = FrameBatch::new();
                 let mut local_failures = 0usize;
                 loop {
                     let b = next_batch.fetch_add(1, Ordering::Relaxed);
                     if b >= batches {
                         break;
                     }
-                    let mut rng =
-                        StdRng::seed_from_u64(seed ^ (b as u64).wrapping_mul(0x9e3779b97f4a7c15));
-                    let batch = sampler.sample_batch(&mut rng);
+                    let mut rng = Xoshiro256StarStar::from_seed_stream(seed, b as u64);
+                    let batch = sampler.sample_batch_with(&mut scratch, &mut rng);
                     for shot in 0..64 {
                         let actual = batch.observable_bits(shot);
                         let dets = batch.detector_bits(shot);
@@ -209,7 +216,6 @@ pub fn run_ber(
                     }
                 }
                 failures.fetch_add(local_failures, Ordering::Relaxed);
-                let _ = tid;
             });
         }
     });

@@ -227,8 +227,12 @@ impl DecodingHypergraph {
                 }
             }
         }
-        // Per-detector index into the primitive catalogue.
-        let primitive_list: Vec<(&Vec<u32>, &HashSet<Vec<u32>>)> = variants.iter().collect();
+        // Per-detector index into the primitive catalogue, in sigma
+        // order: decompositions must not depend on per-process hash
+        // randomization, or decoder weights (and hence BERs) would
+        // differ between runs with the same seed.
+        let mut primitive_list: Vec<(&Vec<u32>, &HashSet<Vec<u32>>)> = variants.iter().collect();
+        primitive_list.sort_by(|a, b| a.0.cmp(b.0));
         let mut by_detector: HashMap<u32, Vec<usize>> = HashMap::new();
         for (pi, (sigma, _)) in primitive_list.iter().enumerate() {
             for &d in sigma.iter() {
@@ -298,7 +302,9 @@ impl DecodingHypergraph {
                 if rest.len() >= sigma.len() {
                     continue;
                 }
-                for lam_a in plams.iter() {
+                let mut lams: Vec<&Vec<u32>> = plams.iter().collect();
+                lams.sort();
+                for lam_a in lams {
                     let lam_rest = xor_sorted(lambda, lam_a);
                     if let Some(mut tail) = split(
                         &rest,

@@ -1,0 +1,157 @@
+//! Fixed-seed golden regression tests for the three decoders.
+//!
+//! Each test replays a deterministic stream of syndromes (mechanisms of
+//! a pinned detector error model fired by a seeded RNG) through a
+//! decoder and folds every correction into a 64-bit FNV-1a fingerprint.
+//! The pinned constants freeze today's decoder behaviour: any change to
+//! matching weights, tie-breaking, lifting or the RNG itself shows up
+//! as a fingerprint mismatch. The hand-derivable cases alongside them
+//! pin *correct* behaviour, so a fingerprint change plus green
+//! hand-cases means "intentional behaviour change — re-pin", while a
+//! hand-case failure means "regression".
+
+use qec_decode::{
+    ColorCodeContext, Decoder, MwpmConfig, MwpmDecoder, RestrictionConfig, RestrictionDecoder,
+    UnionFindConfig, UnionFindDecoder,
+};
+use qec_math::rng::{Rng, Xoshiro256StarStar};
+use qec_math::BitVec;
+use qec_sim::{Circuit, DetectorErrorModel, DetectorMeta};
+
+/// Two-round distance-3 repetition-code memory: data 0,1,2; checks
+/// (0,1) and (1,2); observable on qubit 0. Small enough to hand-derive,
+/// rich enough (time-like + space-like edges) to exercise matching.
+fn repetition_dem(p: f64) -> DetectorErrorModel {
+    let mut c = Circuit::new(5);
+    c.reset(&[0, 1, 2, 3, 4]);
+    c.x_error(&[0, 1, 2], p);
+    c.cx(&[(0, 3), (1, 3), (1, 4), (2, 4)]);
+    let m = c.measure(&[3, 4], 1e-3);
+    c.add_detector(vec![m], DetectorMeta::check(0, 0));
+    c.add_detector(vec![m + 1], DetectorMeta::check(1, 0));
+    let md = c.measure(&[0, 1, 2], 0.0);
+    c.add_detector(vec![m, md, md + 1], DetectorMeta::check(0, 1));
+    c.add_detector(vec![m + 1, md + 1, md + 2], DetectorMeta::check(1, 1));
+    let obs = c.add_observable();
+    c.include_in_observable(obs, &[md]);
+    DetectorErrorModel::from_circuit(&c)
+}
+
+/// Miniature color-code-like model: R, G, B plaquettes all touching
+/// data qubit 0, which carries the observable (same shape as the
+/// restriction decoder's unit fixture, rebuilt here because test
+/// binaries cannot reach `#[cfg(test)]` items).
+fn color_dem() -> (DetectorErrorModel, ColorCodeContext) {
+    let mut c = Circuit::new(5);
+    c.reset(&[0, 1, 2, 3, 4]);
+    c.x_error(&[0, 1], 0.01);
+    c.cx(&[(0, 2), (1, 2), (0, 3), (0, 4)]);
+    let m = c.measure(&[2, 3, 4], 0.0);
+    c.add_detector(vec![m], DetectorMeta::colored_check(0, 0, 0));
+    c.add_detector(vec![m + 1], DetectorMeta::colored_check(1, 0, 1));
+    c.add_detector(vec![m + 2], DetectorMeta::colored_check(2, 0, 2));
+    let md = c.measure(&[0, 1], 0.0);
+    c.add_detector(vec![m, md, md + 1], DetectorMeta::colored_check(0, 1, 0));
+    c.add_detector(vec![m + 1, md], DetectorMeta::colored_check(1, 1, 1));
+    c.add_detector(vec![m + 2, md], DetectorMeta::colored_check(2, 1, 2));
+    let obs = c.add_observable();
+    c.include_in_observable(obs, &[md]);
+    let ctx = ColorCodeContext {
+        plaquette_colors: vec![0, 1, 2],
+        plaquette_supports: vec![vec![0, 1], vec![0], vec![0]],
+        qubit_observables: vec![vec![0], vec![]],
+    };
+    (DetectorErrorModel::from_circuit(&c), ctx)
+}
+
+/// Replays `shots` seeded syndromes through `decoder` and returns an
+/// FNV-1a fingerprint of every (syndrome, correction) pair.
+///
+/// Syndromes are built by firing each DEM mechanism independently with
+/// probability 0.2, so multi-error patterns (where decoders genuinely
+/// differ) are well represented.
+fn fingerprint(dem: &DetectorErrorModel, decoder: &dyn Decoder, shots: usize, seed: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut h = FNV_OFFSET;
+    let mut fold = |x: u64| {
+        h = (h ^ x).wrapping_mul(FNV_PRIME);
+    };
+    for _ in 0..shots {
+        let mut syndrome = BitVec::zeros(dem.num_detectors());
+        for mech in dem.mechanisms() {
+            if rng.gen_bool(0.2) {
+                for &d in &mech.detectors {
+                    syndrome.flip(d as usize);
+                }
+            }
+        }
+        for d in syndrome.iter_ones() {
+            fold(d as u64 + 1);
+        }
+        let correction = decoder.decode(&syndrome);
+        for o in correction.iter_ones() {
+            fold(0x8000_0000_0000_0000 | o as u64);
+        }
+        fold(u64::MAX);
+    }
+    h
+}
+
+/// Asserts the decoder corrects every single mechanism of its own DEM
+/// (the hand-derivable half of each golden test).
+fn assert_single_faults_corrected(dem: &DetectorErrorModel, decoder: &dyn Decoder) {
+    for mech in dem.mechanisms() {
+        let dets = BitVec::from_ones(
+            dem.num_detectors(),
+            mech.detectors.iter().map(|&d| d as usize),
+        );
+        let predicted = decoder.decode(&dets);
+        let actual = BitVec::from_ones(
+            dem.num_observables(),
+            mech.observables.iter().map(|&o| o as usize),
+        );
+        assert_eq!(predicted, actual, "mechanism {mech:?}");
+    }
+}
+
+const MWPM_GOLDEN: u64 = 0x980c_3861_500c_87db;
+const UNIONFIND_GOLDEN: u64 = 0x7e90_20bd_d1c1_d00c;
+const RESTRICTION_GOLDEN: u64 = 0x6191_30b7_b57e_c496;
+
+#[test]
+fn mwpm_golden_fingerprint() {
+    let dem = repetition_dem(0.01);
+    let decoder = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
+    assert_single_faults_corrected(&dem, &decoder);
+    let fp = fingerprint(&dem, &decoder, 200, 0x601d_0001);
+    assert_eq!(
+        fp, MWPM_GOLDEN,
+        "MWPM corrections changed; got {fp:#018x} — re-pin only if intentional",
+    );
+}
+
+#[test]
+fn unionfind_golden_fingerprint() {
+    let dem = repetition_dem(0.01);
+    let decoder = UnionFindDecoder::new(&dem, UnionFindConfig::unflagged());
+    assert_single_faults_corrected(&dem, &decoder);
+    let fp = fingerprint(&dem, &decoder, 200, 0x601d_0002);
+    assert_eq!(
+        fp, UNIONFIND_GOLDEN,
+        "union-find corrections changed; got {fp:#018x} — re-pin only if intentional",
+    );
+}
+
+#[test]
+fn restriction_golden_fingerprint() {
+    let (dem, ctx) = color_dem();
+    let decoder = RestrictionDecoder::new(&dem, ctx, RestrictionConfig::flagged(0.01));
+    assert_single_faults_corrected(&dem, &decoder);
+    let fp = fingerprint(&dem, &decoder, 200, 0x601d_0003);
+    assert_eq!(
+        fp, RESTRICTION_GOLDEN,
+        "restriction corrections changed; got {fp:#018x} — re-pin only if intentional",
+    );
+}

@@ -610,7 +610,7 @@ pub fn brute_force_max_weight(n: usize, edges: &[(usize, usize, i64)]) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use crate::rng::{Rng, Xoshiro256StarStar};
 
     fn check_valid(n: usize, edges: &[(usize, usize, i64)], m: &Matching) {
         let mut adj = vec![vec![None; n]; n];
@@ -692,14 +692,14 @@ mod tests {
 
     #[test]
     fn randomized_against_brute_force() {
-        let mut rng = StdRng::seed_from_u64(0x5eed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x5eed);
         for trial in 0..300 {
-            let n = rng.random_range(2..9usize);
+            let n = rng.gen_range(2..9usize);
             let mut edges = Vec::new();
             for u in 0..n {
                 for v in (u + 1)..n {
-                    if rng.random_bool(0.6) {
-                        edges.push((u, v, rng.random_range(1..50i64)));
+                    if rng.gen_bool(0.6) {
+                        edges.push((u, v, rng.gen_range(1..50i64)));
                     }
                 }
             }
@@ -712,14 +712,14 @@ mod tests {
 
     #[test]
     fn randomized_perfect_matching_optimality() {
-        let mut rng = StdRng::seed_from_u64(0xabcd);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xabcd);
         for _ in 0..150 {
-            let n = 2 * rng.random_range(1..5usize);
+            let n = 2 * rng.gen_range(1..5usize);
             // Complete graph guarantees a perfect matching exists.
             let mut edges = Vec::new();
             for u in 0..n {
                 for v in (u + 1)..n {
-                    edges.push((u, v, rng.random_range(-20..100i64)));
+                    edges.push((u, v, rng.gen_range(-20..100i64)));
                 }
             }
             let m = min_weight_perfect_matching(n, &edges).unwrap();
@@ -736,12 +736,12 @@ mod tests {
     fn larger_instance_stays_consistent() {
         // Sanity: a 40-vertex complete graph runs and yields a perfect
         // matching with symmetric mates.
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
         let n = 40;
         let mut edges = Vec::new();
         for u in 0..n {
             for v in (u + 1)..n {
-                edges.push((u, v, rng.random_range(1..1000i64)));
+                edges.push((u, v, rng.gen_range(1..1000i64)));
             }
         }
         let m = min_weight_perfect_matching(n, &edges).unwrap();

@@ -12,6 +12,10 @@
 //!   implementation of maximum-weight general matching, from which
 //!   minimum-weight perfect matching (the core of MWPM decoding) and
 //!   maximum-weight matching (used for flag sharing) are derived.
+//! * **Deterministic RNG** ([`rng`]): splitmix64 seeding and
+//!   xoshiro256** generation with per-stream forking, so the workspace
+//!   needs no external `rand` dependency and Monte-Carlo results are
+//!   bit-reproducible across thread counts.
 //!
 //! # Example
 //!
@@ -32,6 +36,8 @@ mod bitmat;
 mod bitvec;
 pub mod gf2;
 pub mod graph;
+pub mod rng;
 
 pub use bitmat::BitMatrix;
 pub use bitvec::BitVec;
+pub use rng::{Rng, Xoshiro256StarStar};

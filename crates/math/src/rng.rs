@@ -1,0 +1,340 @@
+//! Deterministic, dependency-free pseudo-random number generation.
+//!
+//! The whole workspace builds offline, so instead of the `rand` crate we
+//! carry the two tiny, well-studied generators the sampling engine
+//! actually needs:
+//!
+//! * [`SplitMix64`] — a 64-bit mixing sequence used to expand seeds and
+//!   derive independent streams (Steele, Lea & Flood 2014).
+//! * [`Xoshiro256StarStar`] — the workhorse generator (Blackman &
+//!   Vigna 2018): 256 bits of state, period 2²⁵⁶ − 1, passes BigCrush,
+//!   and costs a handful of ALU ops per draw.
+//!
+//! # Stream forking
+//!
+//! Monte-Carlo runs are sharded across threads, and results must be
+//! bit-identical regardless of the thread count. The scheme: work is
+//! split into numbered batches, and batch `b` of a run seeded with `s`
+//! always draws from [`Xoshiro256StarStar::from_seed_stream`]`(s, b)`,
+//! no matter which thread executes it. Distinct streams are injected
+//! into the SplitMix64 seeding chain through an odd-constant
+//! multiplication (a bijection on `u64`), so every `(seed, stream)`
+//! pair yields a distinct, fully avalanched initial state.
+//!
+//! # Example
+//!
+//! ```
+//! use qec_math::rng::{Rng, Xoshiro256StarStar};
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+//! let x = rng.gen_range(0..10usize);
+//! assert!(x < 10);
+//! let mut again = Xoshiro256StarStar::seed_from_u64(7);
+//! assert_eq!(again.gen_range(0..10usize), x); // fully deterministic
+//! ```
+
+/// A source of uniform random 64-bit words, plus the small derived
+/// surface the workspace uses (floats, bounded integers, Bernoulli
+/// draws, shuffles).
+///
+/// Every derived method consumes a deterministic number of `next_u64`
+/// draws for a given argument, so sequences are reproducible across
+/// platforms (all arithmetic is exact integer or IEEE-754 double).
+pub trait Rng {
+    /// The next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        // Top 53 bits scaled by 2^-53: exact, uniform, and never 1.0.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.gen_f64() < p
+        }
+    }
+
+    /// A uniform value from `range` (half-open `a..b` or inclusive
+    /// `a..=b` over the built-in integer types).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Fisher–Yates shuffle of `slice` in place.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = next_below(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Uniform `u64` in `[0, bound)` by bitmask rejection: unbiased and
+/// deterministic (the draw count depends only on the rejected values).
+fn next_below(rng: &mut impl Rng, bound: u64) -> u64 {
+    debug_assert!(bound > 0, "empty sampling bound");
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let mask = bound.next_power_of_two() - 1;
+    loop {
+        let v = rng.next_u64() & mask;
+        if v < bound {
+            return v;
+        }
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one uniform element.
+    fn sample(self, rng: &mut impl Rng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut impl Rng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add(next_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut impl Rng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = end.wrapping_sub(start) as $u as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(next_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(
+    u8 => u8,
+    u16 => u16,
+    u32 => u32,
+    u64 => u64,
+    usize => usize,
+    i8 => u8,
+    i16 => u16,
+    i32 => u32,
+    i64 => u64,
+    isize => usize,
+);
+
+/// The SplitMix64 sequence: a fast 64-bit generator whose main job here
+/// is expanding a single `u64` seed into well-mixed generator state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Starts the sequence at `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Odd constant folding a stream id into the seeding chain; odd
+/// multiplication is a bijection on `u64`, so distinct streams always
+/// seed distinct SplitMix64 chains.
+const STREAM_MIX: u64 = 0xd2b7_4407_b1ce_6e93;
+
+/// The xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seeds stream 0 from a single `u64`, expanding it through
+    /// SplitMix64 (the initialization Blackman & Vigna recommend).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self::from_seed_stream(seed, 0)
+    }
+
+    /// Seeds stream `stream` of run `seed` — see the module docs on
+    /// stream forking. Stream 0 coincides with [`seed_from_u64`].
+    ///
+    /// [`seed_from_u64`]: Self::seed_from_u64
+    pub fn from_seed_stream(seed: u64, stream: u64) -> Self {
+        let mut sm = SplitMix64::new(seed ^ stream.wrapping_mul(STREAM_MIX));
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // SplitMix64 output is a bijection of a counter, so four
+        // consecutive outputs can never all be zero; xoshiro's one
+        // forbidden state is unreachable.
+        Xoshiro256StarStar { s }
+    }
+
+    /// Derives an independent child generator keyed by `stream`,
+    /// advancing `self` by one draw. Children with distinct keys are
+    /// independent of each other and of the parent's future output.
+    pub fn fork(&mut self, stream: u64) -> Self {
+        Self::from_seed_stream(self.next_u64(), stream)
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference sequence for seed 1234567 from the public-domain
+        // splitmix64.c by Sebastiano Vigna.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_nontrivial() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(42);
+        let mut b = Xoshiro256StarStar::seed_from_u64(42);
+        let seq_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let seq_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(seq_a, seq_b);
+        let mut c = Xoshiro256StarStar::seed_from_u64(43);
+        assert_ne!(seq_a, (0..8).map(|_| c.next_u64()).collect::<Vec<_>>());
+        // No trivially repeating word.
+        assert_ne!(seq_a[0], seq_a[1]);
+    }
+
+    #[test]
+    fn streams_are_distinct_and_stream0_matches_plain_seed() {
+        let mut base = Xoshiro256StarStar::seed_from_u64(9);
+        let mut s0 = Xoshiro256StarStar::from_seed_stream(9, 0);
+        assert_eq!(base.next_u64(), s0.next_u64());
+        let mut s1 = Xoshiro256StarStar::from_seed_stream(9, 1);
+        let mut s2 = Xoshiro256StarStar::from_seed_stream(9, 2);
+        let a: Vec<u64> = (0..4).map(|_| s1.next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|_| s2.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_p() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(17);
+        for &p in &[0.1f64, 0.5, 0.9] {
+            let hits = (0..20_000).filter(|_| rng.gen_bool(p)).count();
+            let freq = hits as f64 / 20_000.0;
+            assert!((freq - p).abs() < 0.02, "p={p} freq={freq}");
+        }
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_range_covers_and_stays_in_bounds() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(23);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit");
+        for _ in 0..500 {
+            let v = rng.gen_range(-20..100i64);
+            assert!((-20..100).contains(&v));
+            let w = rng.gen_range(3..=5u8);
+            assert!((3..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_unbiased_over_non_power_of_two() {
+        // Bitmask rejection: residue frequencies of 0..3 stay within
+        // binomial noise of 1/3 each.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(31);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(0..3usize)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / 30_000.0;
+            assert!((f - 1.0 / 3.0).abs() < 0.01, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // With overwhelming probability the order changed.
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_children_are_independent() {
+        let mut parent = Xoshiro256StarStar::seed_from_u64(77);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let a: Vec<u64> = (0..4).map(|_| c1.next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|_| c2.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+}

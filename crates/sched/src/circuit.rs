@@ -675,11 +675,11 @@ mod tests {
     use qec_code::hyperbolic::{hyperbolic_surface_code, toric_surface_code, SURFACE_REGISTRY};
     use qec_code::planar::rotated_surface_code;
     use qec_sim::{FrameSampler, TableauSimulator};
-    use rand::prelude::*;
+    use qec_math::rng::Xoshiro256StarStar;
 
     fn assert_deterministic(code: &CssCode, fpn: &FlagProxyNetwork, basis: Basis) {
         let exp = build_memory_circuit(code, fpn, None, 2, basis);
-        let mut rng = StdRng::seed_from_u64(12345);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(12345);
         let bad =
             TableauSimulator::find_nondeterministic_detector(&exp.circuit, 3, &mut rng);
         assert_eq!(bad, None, "nondeterministic detector in {basis:?} memory");
@@ -717,7 +717,7 @@ mod tests {
         let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
         let exp = build_memory_circuit(&code, &fpn, None, 3, Basis::Z);
         let sampler = FrameSampler::new(&exp.circuit);
-        let batch = sampler.sample_batch(&mut StdRng::seed_from_u64(3));
+        let batch = sampler.sample_batch(&mut Xoshiro256StarStar::seed_from_u64(3));
         assert!(!batch.any_detection());
         assert!(batch.observables.iter().all(|&m| m == 0));
     }
@@ -823,7 +823,7 @@ mod tests {
                 })
                 .count();
             assert_eq!(noise_ops, 1);
-            let mut rng = StdRng::seed_from_u64(5);
+            let mut rng = Xoshiro256StarStar::seed_from_u64(5);
             // Noiseless version (p=0) must have deterministic detectors.
             let clean = build_code_capacity_circuit(&code, &fpn, 0.0, basis);
             assert_eq!(
@@ -862,7 +862,7 @@ mod tests {
         let noise = NoiseModel::new(5e-3);
         let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
         let sampler = FrameSampler::new(&exp.circuit);
-        let batch = sampler.sample_batch(&mut StdRng::seed_from_u64(5));
+        let batch = sampler.sample_batch(&mut Xoshiro256StarStar::seed_from_u64(5));
         assert!(batch.any_detection());
     }
 }

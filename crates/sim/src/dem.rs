@@ -10,7 +10,7 @@
 
 use crate::circuit::{Circuit, DetectorMeta, Op};
 use qec_math::{gf2, BitMatrix, BitVec};
-use rand::Rng;
+use qec_math::rng::Rng;
 use std::collections::HashMap;
 
 /// One independent fault mechanism.
@@ -270,9 +270,8 @@ impl DetectorErrorModel {
             consider(row, &mut best);
         }
         let mut perm: Vec<usize> = (0..m).collect();
-        use rand::seq::SliceRandom;
         for _ in 0..iterations {
-            perm.shuffle(rng);
+            rng.shuffle(&mut perm);
             let mut permuted = BitMatrix::zeros(kernel.rows(), m);
             for (r, row) in kernel.iter_rows().enumerate() {
                 for c in row.iter_ones() {
@@ -296,7 +295,7 @@ impl DetectorErrorModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use qec_math::rng::Xoshiro256StarStar;
 
     #[test]
     fn propagation_error_shows_both_detectors() {
@@ -423,7 +422,7 @@ mod tests {
         let obs = c.add_observable();
         c.include_in_observable(obs, &[md]);
         let dem = DetectorErrorModel::from_circuit(&c);
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(8);
         // Flipping the logical undetected needs all three X errors.
         assert_eq!(dem.estimate_circuit_distance(20, &mut rng), 3);
     }

@@ -2,18 +2,30 @@
 //!
 //! The frame simulator tracks, for every qubit, whether each of 64
 //! simultaneous shots currently differs from the noiseless reference
-//! execution by an X and/or Z flip. Clifford gates map Pauli frames to
-//! Pauli frames with pure bit operations, so a batch of 64 shots costs
-//! barely more than one. This is the same strategy Stim uses for
-//! sampling memory experiments.
+//! execution by an X and/or Z flip. The 64 shots live in the bits of
+//! one `u64` word per qubit per basis, so Clifford gates map Pauli
+//! frames to Pauli frames with pure bit operations and a batch of 64
+//! shots costs barely more than one. This is the same strategy Stim
+//! uses for sampling memory experiments.
+//!
+//! Two sampling paths are provided:
+//!
+//! * [`FrameSampler::sample_batch_with`] — the production path: 64
+//!   shots per instruction sweep, writing into a caller-owned
+//!   [`FrameBatch`] scratch so the hot loop never reallocates frames.
+//! * [`FrameSampler::sample_shot`] — a deliberately scalar one-shot
+//!   reference implementation (one `bool` per qubit per basis). It
+//!   exists as the baseline the batched engine is benchmarked against
+//!   (`qec-bench` reports the speedup) and as an independent
+//!   cross-check of the batch semantics.
 //!
 //! Detectors must be deterministic under zero noise (checked separately
 //! with [`crate::TableauSimulator`]); their sampled value is then the
 //! XOR of the *flips* of their constituent measurements.
 
 use crate::circuit::{Circuit, Op};
+use qec_math::rng::Rng;
 use qec_math::BitVec;
-use rand::{Rng, RngExt};
 
 /// Results of one 64-shot batch.
 #[derive(Debug, Clone)]
@@ -68,6 +80,42 @@ impl ShotBatch {
     }
 }
 
+/// One shot sampled by the scalar reference path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShotRecord {
+    /// Detector outcomes.
+    pub detectors: BitVec,
+    /// Observable flips.
+    pub observables: BitVec,
+}
+
+/// Reusable scratch space for batched sampling: the X/Z frame words and
+/// the measurement-flip record. Allocate once per worker thread and
+/// pass to [`FrameSampler::sample_batch_with`] so steady-state sampling
+/// reuses frame and record storage across batches.
+#[derive(Debug, Default, Clone)]
+pub struct FrameBatch {
+    x: Vec<u64>,
+    z: Vec<u64>,
+    record: Vec<u64>,
+}
+
+impl FrameBatch {
+    /// Creates an empty scratch buffer; it sizes itself on first use.
+    pub fn new() -> Self {
+        FrameBatch::default()
+    }
+
+    fn reset_for(&mut self, num_qubits: usize, num_measurements: usize) {
+        self.x.clear();
+        self.z.clear();
+        self.x.resize(num_qubits, 0);
+        self.z.resize(num_qubits, 0);
+        self.record.clear();
+        self.record.reserve(num_measurements);
+    }
+}
+
 /// Samples a 64-bit mask whose bits are independently 1 with
 /// probability `p`, by geometric skipping (cost ~ O(1 + 64p)).
 fn sample_mask(rng: &mut impl Rng, p: f64) -> u64 {
@@ -81,7 +129,7 @@ fn sample_mask(rng: &mut impl Rng, p: f64) -> u64 {
     let mut mask = 0u64;
     let mut i: usize = 0;
     loop {
-        let u: f64 = rng.random();
+        let u = rng.gen_f64();
         let skip = ((1.0 - u).ln() / log_keep) as usize;
         i += skip;
         if i >= 64 {
@@ -95,13 +143,13 @@ fn sample_mask(rng: &mut impl Rng, p: f64) -> u64 {
 /// A Pauli-frame sampler over a fixed circuit.
 ///
 /// The sampler is stateless between batches, so it can be shared across
-/// threads (each thread brings its own RNG).
+/// threads (each thread brings its own RNG and [`FrameBatch`] scratch).
 ///
 /// # Example
 ///
 /// ```
 /// use qec_sim::{Circuit, DetectorMeta, FrameSampler};
-/// use rand::prelude::*;
+/// use qec_math::rng::Xoshiro256StarStar;
 ///
 /// let mut c = Circuit::new(2);
 /// c.reset(&[0, 1]);
@@ -110,7 +158,7 @@ fn sample_mask(rng: &mut impl Rng, p: f64) -> u64 {
 /// let m = c.measure(&[1], 0.0);
 /// c.add_detector(vec![m], DetectorMeta::check(0, 0));
 /// let sampler = FrameSampler::new(&c);
-/// let batch = sampler.sample_batch(&mut StdRng::seed_from_u64(1));
+/// let batch = sampler.sample_batch(&mut Xoshiro256StarStar::seed_from_u64(1));
 /// // Roughly half the shots fire the detector.
 /// let fired = batch.detectors[0].count_ones();
 /// assert!(fired > 10 && fired < 54);
@@ -126,12 +174,27 @@ impl<'c> FrameSampler<'c> {
         FrameSampler { circuit }
     }
 
-    /// Runs 64 shots and returns their detector/observable outcomes.
+    /// Runs 64 shots and returns their detector/observable outcomes,
+    /// allocating fresh scratch. Convenience wrapper around
+    /// [`sample_batch_with`](Self::sample_batch_with) for callers off
+    /// the hot path.
     pub fn sample_batch(&self, rng: &mut impl Rng) -> ShotBatch {
+        let mut scratch = FrameBatch::new();
+        self.sample_batch_with(&mut scratch, rng)
+    }
+
+    /// Runs 64 shots using caller-owned scratch buffers.
+    ///
+    /// This is the hot path of every Monte-Carlo experiment: one
+    /// instruction sweep advances all 64 shots, and `scratch` is reused
+    /// across calls so steady-state sampling does not reallocate frame
+    /// or record storage.
+    pub fn sample_batch_with(&self, scratch: &mut FrameBatch, rng: &mut impl Rng) -> ShotBatch {
         let n = self.circuit.num_qubits();
-        let mut x = vec![0u64; n];
-        let mut z = vec![0u64; n];
-        let mut record: Vec<u64> = Vec::with_capacity(self.circuit.num_measurements());
+        scratch.reset_for(n, self.circuit.num_measurements());
+        let x = &mut scratch.x;
+        let z = &mut scratch.z;
+        let record = &mut scratch.record;
         for op in self.circuit.ops() {
             match op {
                 Op::H(targets) => {
@@ -177,7 +240,7 @@ impl<'c> FrameSampler<'c> {
                         while m != 0 {
                             let bit = m & m.wrapping_neg();
                             m &= m - 1;
-                            let u: f64 = rng.random::<f64>() * total;
+                            let u: f64 = rng.gen_f64() * total;
                             if u < px + py {
                                 x[q] ^= bit; // X or Y flips the X frame
                             }
@@ -193,7 +256,7 @@ impl<'c> FrameSampler<'c> {
                         while m != 0 {
                             let bit = m & m.wrapping_neg();
                             m &= m - 1;
-                            match rng.random_range(0..3u8) {
+                            match rng.gen_range(0..3u8) {
                                 0 => x[q] ^= bit,
                                 1 => {
                                     x[q] ^= bit;
@@ -211,7 +274,7 @@ impl<'c> FrameSampler<'c> {
                             let bit = m & m.wrapping_neg();
                             m &= m - 1;
                             // One of the 15 non-identity two-qubit Paulis.
-                            let k = rng.random_range(1..16u8);
+                            let k = rng.gen_range(1..16u8);
                             let (pa, pb) = (k / 4, k % 4);
                             apply_pauli_bit(&mut x[a], &mut z[a], pa, bit);
                             apply_pauli_bit(&mut x[b], &mut z[b], pb, bit);
@@ -238,6 +301,128 @@ impl<'c> FrameSampler<'c> {
             observables,
         }
     }
+
+    /// Runs **one** shot with a scalar (non-bit-packed) frame: one
+    /// boolean X/Z pair per qubit, one Bernoulli draw per noise-channel
+    /// target.
+    ///
+    /// This is the per-shot loop the batched engine replaces. It is
+    /// kept as the benchmark baseline and as a semantic cross-check; it
+    /// consumes the RNG differently from the batched path, so identical
+    /// seeds do not reproduce identical shots across the two paths.
+    pub fn sample_shot(&self, rng: &mut impl Rng) -> ShotRecord {
+        let n = self.circuit.num_qubits();
+        let mut x = vec![false; n];
+        let mut z = vec![false; n];
+        let mut record: Vec<bool> = Vec::with_capacity(self.circuit.num_measurements());
+        for op in self.circuit.ops() {
+            match op {
+                Op::H(targets) => {
+                    for &q in targets {
+                        let (xq, zq) = (x[q], z[q]);
+                        x[q] = zq;
+                        z[q] = xq;
+                    }
+                }
+                Op::Cx(pairs) => {
+                    for &(c, t) in pairs {
+                        let (xc, zt) = (x[c], z[t]);
+                        x[t] ^= xc;
+                        z[c] ^= zt;
+                    }
+                }
+                Op::Reset(targets) => {
+                    for &q in targets {
+                        x[q] = false;
+                        z[q] = false;
+                    }
+                }
+                Op::Measure {
+                    targets,
+                    flip_probability,
+                } => {
+                    for &q in targets {
+                        record.push(x[q] ^ rng.gen_bool(*flip_probability));
+                    }
+                }
+                Op::XError { targets, p } => {
+                    for &q in targets {
+                        x[q] ^= rng.gen_bool(*p);
+                    }
+                }
+                Op::ZError { targets, p } => {
+                    for &q in targets {
+                        z[q] ^= rng.gen_bool(*p);
+                    }
+                }
+                Op::PauliChannel1 { targets, px, py, pz } => {
+                    let total = px + py + pz;
+                    for &q in targets {
+                        if rng.gen_bool(total) {
+                            let u: f64 = rng.gen_f64() * total;
+                            if u < px + py {
+                                x[q] = !x[q];
+                            }
+                            if u >= *px {
+                                z[q] = !z[q];
+                            }
+                        }
+                    }
+                }
+                Op::Depolarize1 { targets, p } => {
+                    for &q in targets {
+                        if rng.gen_bool(*p) {
+                            match rng.gen_range(0..3u8) {
+                                0 => x[q] = !x[q],
+                                1 => {
+                                    x[q] = !x[q];
+                                    z[q] = !z[q];
+                                }
+                                _ => z[q] = !z[q],
+                            }
+                        }
+                    }
+                }
+                Op::Depolarize2 { pairs, p } => {
+                    for &(a, b) in pairs {
+                        if rng.gen_bool(*p) {
+                            let k = rng.gen_range(1..16u8);
+                            let (pa, pb) = (k / 4, k % 4);
+                            apply_pauli_bool(&mut x[a], &mut z[a], pa);
+                            apply_pauli_bool(&mut x[b], &mut z[b], pb);
+                        }
+                    }
+                }
+                Op::Tick => {}
+            }
+        }
+        let detectors = BitVec::from_ones(
+            self.circuit.detectors().len(),
+            self.circuit
+                .detectors()
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| {
+                    d.measurements
+                        .iter()
+                        .fold(false, |acc, &m| acc ^ record[m])
+                })
+                .map(|(i, _)| i),
+        );
+        let observables = BitVec::from_ones(
+            self.circuit.observables().len(),
+            self.circuit
+                .observables()
+                .iter()
+                .enumerate()
+                .filter(|(_, obs)| obs.iter().fold(false, |acc, &m| acc ^ record[m]))
+                .map(|(i, _)| i),
+        );
+        ShotRecord {
+            detectors,
+            observables,
+        }
+    }
 }
 
 /// Applies Pauli code `code` (0 = I, 1 = X, 2 = Y, 3 = Z) to the given
@@ -254,15 +439,28 @@ fn apply_pauli_bit(x: &mut u64, z: &mut u64, code: u8, bit: u64) {
     }
 }
 
+/// Scalar twin of [`apply_pauli_bit`].
+fn apply_pauli_bool(x: &mut bool, z: &mut bool, code: u8) {
+    match code {
+        1 => *x = !*x,
+        2 => {
+            *x = !*x;
+            *z = !*z;
+        }
+        3 => *z = !*z,
+        _ => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::circuit::DetectorMeta;
-    use rand::prelude::*;
+    use qec_math::rng::Xoshiro256StarStar;
 
     #[test]
     fn sample_mask_density_matches_p() {
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(99);
         for &p in &[0.01f64, 0.1, 0.5, 0.9] {
             let mut ones = 0usize;
             let trials = 2000;
@@ -270,10 +468,7 @@ mod tests {
                 ones += sample_mask(&mut rng, p).count_ones() as usize;
             }
             let freq = ones as f64 / (trials as f64 * 64.0);
-            assert!(
-                (freq - p).abs() < 0.02,
-                "p={p} measured {freq}"
-            );
+            assert!((freq - p).abs() < 0.02, "p={p} measured {freq}");
         }
         assert_eq!(sample_mask(&mut rng, 0.0), 0);
         assert_eq!(sample_mask(&mut rng, 1.0), !0u64);
@@ -290,8 +485,10 @@ mod tests {
         let m = c.measure(&[2], 0.0);
         c.add_detector(vec![m], DetectorMeta::check(0, 0));
         let sampler = FrameSampler::new(&c);
-        let batch = sampler.sample_batch(&mut StdRng::seed_from_u64(7));
+        let batch = sampler.sample_batch(&mut Xoshiro256StarStar::seed_from_u64(7));
         assert!(!batch.any_detection());
+        let shot = sampler.sample_shot(&mut Xoshiro256StarStar::seed_from_u64(7));
+        assert!(shot.detectors.is_zero());
     }
 
     #[test]
@@ -303,7 +500,8 @@ mod tests {
         let m = c.measure(&[0, 1], 0.0);
         c.add_detector(vec![m], DetectorMeta::check(0, 0));
         c.add_detector(vec![m + 1], DetectorMeta::check(1, 0));
-        let batch = FrameSampler::new(&c).sample_batch(&mut StdRng::seed_from_u64(3));
+        let batch =
+            FrameSampler::new(&c).sample_batch(&mut Xoshiro256StarStar::seed_from_u64(3));
         assert_eq!(batch.detectors[0], !0u64); // control flipped
         assert_eq!(batch.detectors[1], !0u64); // propagated to target
     }
@@ -315,7 +513,8 @@ mod tests {
         c.z_error(&[0], 1.0);
         let m = c.measure(&[0], 0.0);
         c.add_detector(vec![m], DetectorMeta::check(0, 0));
-        let batch = FrameSampler::new(&c).sample_batch(&mut StdRng::seed_from_u64(3));
+        let batch =
+            FrameSampler::new(&c).sample_batch(&mut Xoshiro256StarStar::seed_from_u64(3));
         assert_eq!(batch.detectors[0], 0);
     }
 
@@ -328,7 +527,8 @@ mod tests {
         c.h(&[0]);
         let m = c.measure(&[0], 0.0);
         c.add_detector(vec![m], DetectorMeta::check(0, 0));
-        let batch = FrameSampler::new(&c).sample_batch(&mut StdRng::seed_from_u64(3));
+        let batch =
+            FrameSampler::new(&c).sample_batch(&mut Xoshiro256StarStar::seed_from_u64(3));
         assert_eq!(batch.detectors[0], !0u64);
     }
 
@@ -339,7 +539,7 @@ mod tests {
         let m = c.measure(&[0], 0.25);
         c.add_detector(vec![m], DetectorMeta::check(0, 0));
         let sampler = FrameSampler::new(&c);
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
         let mut fired = 0usize;
         for _ in 0..200 {
             fired += sampler.sample_batch(&mut rng).detectors[0].count_ones() as usize;
@@ -356,9 +556,12 @@ mod tests {
         let m = c.measure(&[0], 0.0);
         let obs = c.add_observable();
         c.include_in_observable(obs, &[m]);
-        let batch = FrameSampler::new(&c).sample_batch(&mut StdRng::seed_from_u64(3));
+        let batch =
+            FrameSampler::new(&c).sample_batch(&mut Xoshiro256StarStar::seed_from_u64(3));
         assert_eq!(batch.observables[0], !0u64);
         assert_eq!(batch.observable_bits(17).weight(), 1);
+        let shot = FrameSampler::new(&c).sample_shot(&mut Xoshiro256StarStar::seed_from_u64(3));
+        assert_eq!(shot.observables.weight(), 1);
     }
 
     #[test]
@@ -369,7 +572,7 @@ mod tests {
         let m = c.measure(&[0, 1], 0.0);
         c.add_detector(vec![m], DetectorMeta::check(0, 0));
         c.add_detector(vec![m + 1], DetectorMeta::check(1, 0));
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
         let sampler = FrameSampler::new(&c);
         let mut any0 = 0u64;
         let mut any1 = 0u64;
@@ -381,5 +584,82 @@ mod tests {
         // Both qubits experience X flips across shots (8/15 of cases each).
         assert!(any0.count_ones() > 20);
         assert!(any1.count_ones() > 20);
+    }
+
+    #[test]
+    fn scratch_reuse_reproduces_fresh_allocation() {
+        // Same RNG stream through reused scratch vs. fresh allocations
+        // must be bit-identical.
+        let mut c = Circuit::new(4);
+        c.reset(&[0, 1, 2, 3]);
+        c.depolarize1(&[0, 1, 2, 3], 0.2);
+        c.cx(&[(0, 2), (1, 3)]);
+        let m = c.measure(&[2, 3], 0.05);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        c.add_detector(vec![m + 1], DetectorMeta::check(1, 0));
+        let sampler = FrameSampler::new(&c);
+        let mut scratch = FrameBatch::new();
+        let mut rng_a = Xoshiro256StarStar::seed_from_u64(21);
+        let mut rng_b = Xoshiro256StarStar::seed_from_u64(21);
+        for _ in 0..16 {
+            let a = sampler.sample_batch_with(&mut scratch, &mut rng_a);
+            let b = sampler.sample_batch(&mut rng_b);
+            assert_eq!(a.detectors, b.detectors);
+            assert_eq!(a.observables, b.observables);
+        }
+    }
+
+    #[test]
+    fn scalar_shot_agrees_with_batch_on_deterministic_faults() {
+        // With p in {0, 1} both paths are fault-deterministic, so the
+        // scalar reference and every batch lane must agree exactly.
+        let mut c = Circuit::new(3);
+        c.reset(&[0, 1, 2]);
+        c.x_error(&[0], 1.0);
+        c.z_error(&[1], 1.0);
+        c.h(&[1]);
+        c.cx(&[(0, 2), (1, 2)]);
+        let m = c.measure(&[0, 1, 2], 0.0);
+        for i in 0..3 {
+            c.add_detector(vec![m + i], DetectorMeta::check(i, 0));
+        }
+        let sampler = FrameSampler::new(&c);
+        let batch = sampler.sample_batch(&mut Xoshiro256StarStar::seed_from_u64(1));
+        let shot = sampler.sample_shot(&mut Xoshiro256StarStar::seed_from_u64(2));
+        for d in 0..3 {
+            let batch_fired = batch.detectors[d] == !0u64;
+            assert_eq!(
+                batch_fired,
+                shot.detectors.get(d),
+                "detector {d} disagrees between batch and scalar paths"
+            );
+            assert!(batch.detectors[d] == 0 || batch.detectors[d] == !0u64);
+        }
+    }
+
+    #[test]
+    fn scalar_shot_frequency_matches_batch_frequency() {
+        // Statistical agreement on a genuinely random channel.
+        let mut c = Circuit::new(1);
+        c.reset(&[0]);
+        c.x_error(&[0], 0.3);
+        let m = c.measure(&[0], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        let sampler = FrameSampler::new(&c);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(8);
+        let mut batch_fired = 0usize;
+        for _ in 0..100 {
+            batch_fired += sampler.sample_batch(&mut rng).detectors[0].count_ones() as usize;
+        }
+        let mut scalar_fired = 0usize;
+        for _ in 0..6400 {
+            if sampler.sample_shot(&mut rng).detectors.get(0) {
+                scalar_fired += 1;
+            }
+        }
+        let fb = batch_fired as f64 / 6400.0;
+        let fs = scalar_fired as f64 / 6400.0;
+        assert!((fb - 0.3).abs() < 0.03, "batch freq {fb}");
+        assert!((fs - 0.3).abs() < 0.03, "scalar freq {fs}");
     }
 }

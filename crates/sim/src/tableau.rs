@@ -7,7 +7,7 @@
 
 use crate::circuit::{Circuit, Op};
 use qec_math::BitVec;
-use rand::{Rng, RngExt};
+use qec_math::rng::Rng;
 
 /// A Pauli operator label for fault injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,10 +27,10 @@ pub enum Pauli {
 ///
 /// ```
 /// use qec_sim::TableauSimulator;
-/// use rand::prelude::*;
+/// use qec_math::rng::Xoshiro256StarStar;
 ///
 /// let mut sim = TableauSimulator::new(2);
-/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(0);
 /// sim.h(0);
 /// sim.cx(0, 1);
 /// let a = sim.measure(0, &mut rng);
@@ -166,7 +166,7 @@ impl TableauSimulator {
         let n = self.n;
         if let Some(p) = (n..2 * n).find(|&p| self.xs[p].get(q)) {
             // Random outcome.
-            let outcome: bool = rng.random();
+            let outcome = rng.gen_bool(0.5);
             for i in (0..2 * n).filter(|&i| i != p) {
                 if self.xs[i].get(q) {
                     self.row_mult(i, p);
@@ -304,11 +304,11 @@ impl TableauSimulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
+    use qec_math::rng::Xoshiro256StarStar;
 
     #[test]
     fn computational_basis_measurements() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0);
         let mut sim = TableauSimulator::new(2);
         assert!(!sim.measure(0, &mut rng));
         sim.x(0);
@@ -318,7 +318,7 @@ mod tests {
 
     #[test]
     fn bell_pair_correlations() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
         for _ in 0..20 {
             let mut sim = TableauSimulator::new(2);
             sim.h(0);
@@ -331,7 +331,7 @@ mod tests {
 
     #[test]
     fn plus_state_measurement_is_random() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
         let mut ones = 0;
         for _ in 0..100 {
             let mut sim = TableauSimulator::new(1);
@@ -346,7 +346,7 @@ mod tests {
     #[test]
     fn ghz_parity_is_even_under_xx_measurement() {
         // Measure stabilizer X⊗X of a Bell pair via an ancilla.
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
         for _ in 0..10 {
             let mut sim = TableauSimulator::new(3);
             sim.h(0);
@@ -362,7 +362,7 @@ mod tests {
 
     #[test]
     fn reset_returns_to_zero() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
         let mut sim = TableauSimulator::new(1);
         sim.h(0);
         sim.reset(0, &mut rng);
@@ -371,7 +371,7 @@ mod tests {
 
     #[test]
     fn y_injection_flips_both_frames() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
         let mut sim = TableauSimulator::new(1);
         sim.apply_pauli(0, Pauli::Y);
         assert!(sim.measure(0, &mut rng));
@@ -379,7 +379,7 @@ mod tests {
 
     #[test]
     fn deterministic_outcome_respects_stabilizer_signs() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
         let mut sim = TableauSimulator::new(2);
         sim.cx(0, 1);
         sim.x(0);

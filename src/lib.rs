@@ -5,6 +5,8 @@
 //! import. Downstream users should depend on the individual crates
 //! (`fpn-core` and friends) instead.
 
+pub mod proptest_lite;
+
 pub use fpn_core;
 pub use fpn_core::prelude;
 pub use qec_arch;

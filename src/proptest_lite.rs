@@ -1,0 +1,203 @@
+//! A minimal, dependency-free property-test harness.
+//!
+//! Replaces the `proptest` crate for this workspace's needs: seeded
+//! random-input generation and a `for_all` loop that runs a property
+//! over many generated cases. There is deliberately **no shrinking** —
+//! every case is generated from a deterministic per-case stream of the
+//! run seed, so a failure report's `case` index and seed are enough to
+//! replay the exact failing input under a debugger.
+//!
+//! # Example
+//!
+//! ```
+//! use fpn_repro::proptest_lite::{for_all, Gen};
+//!
+//! // XOR is self-inverse on random byte vectors.
+//! for_all(64, 0xfee1, |g: &mut Gen| {
+//!     let v = g.vec(1..=16, |g| g.u64());
+//!     let w: Vec<u64> = v.iter().map(|x| x ^ 0xdead_beef).collect();
+//!     let back: Vec<u64> = w.iter().map(|x| x ^ 0xdead_beef).collect();
+//!     assert_eq!(v, back);
+//! });
+//! ```
+
+use qec_math::rng::{Rng, Xoshiro256StarStar};
+
+/// A per-case random input generator handed to properties by
+/// [`for_all`].
+///
+/// Thin convenience wrapper over [`Xoshiro256StarStar`]; each test case
+/// gets its own forked stream, so cases are independent and
+/// individually replayable.
+#[derive(Debug)]
+pub struct Gen {
+    rng: Xoshiro256StarStar,
+}
+
+impl Gen {
+    /// A generator reading from stream `case` of run `seed` — the same
+    /// stream [`for_all`] uses for that case index.
+    pub fn for_case(seed: u64, case: u64) -> Self {
+        Gen {
+            rng: Xoshiro256StarStar::from_seed_stream(seed, case),
+        }
+    }
+
+    /// Uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `usize` in `range` (inclusive bounds).
+    pub fn usize_in(&mut self, range: core::ops::RangeInclusive<usize>) -> usize {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.gen_f64() * (hi - lo)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements
+    /// come from `f`.
+    pub fn vec<T>(
+        &mut self,
+        len: core::ops::RangeInclusive<usize>,
+        mut f: impl FnMut(&mut Self) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// Direct access to the underlying RNG for APIs that take
+    /// `&mut impl Rng`.
+    pub fn rng(&mut self) -> &mut Xoshiro256StarStar {
+        &mut self.rng
+    }
+}
+
+/// Runs `property` over `cases` generated inputs.
+///
+/// Case `i` draws from RNG stream `i` of `seed`. When a case panics,
+/// the panic is annotated (via stderr) with the case index and the
+/// `(seed, case)` pair needed to replay it with [`Gen::for_case`], then
+/// re-raised so the test still fails normally.
+///
+/// # Panics
+///
+/// Re-raises the first property panic.
+pub fn for_all(cases: u64, seed: u64, mut property: impl FnMut(&mut Gen)) {
+    for case in 0..cases {
+        let mut g = Gen::for_case(seed, case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut g)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest_lite: property failed at case {case}/{cases}; \
+                 replay with Gen::for_case({seed:#x}, {case})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Like [`for_all`], but the property may discard uninteresting inputs
+/// by returning `false` (the analogue of `prop_assume!`). Discarded
+/// cases do not count toward `cases`; generation stops after
+/// `cases * 20` attempts to bound runtime on over-eager filters.
+///
+/// # Panics
+///
+/// Re-raises the first property panic; panics if the discard budget is
+/// exhausted before `cases` inputs were accepted.
+pub fn for_all_filtered(cases: u64, seed: u64, mut property: impl FnMut(&mut Gen) -> bool) {
+    let mut accepted = 0u64;
+    let budget = cases * 20;
+    for case in 0..budget {
+        let mut g = Gen::for_case(seed, case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut g)));
+        match result {
+            Ok(true) => {
+                accepted += 1;
+                if accepted == cases {
+                    return;
+                }
+            }
+            Ok(false) => {}
+            Err(payload) => {
+                eprintln!(
+                    "proptest_lite: property failed at case {case} \
+                     (accepted {accepted}/{cases}); replay with \
+                     Gen::for_case({seed:#x}, {case})"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+    panic!("proptest_lite: discard budget exhausted: accepted {accepted}/{cases} in {budget} attempts");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_and_distinct() {
+        let mut seen = Vec::new();
+        for_all(16, 42, |g| seen.push(g.u64()));
+        let mut replay = Vec::new();
+        for_all(16, 42, |g| replay.push(g.u64()));
+        assert_eq!(seen, replay);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len(), "streams must differ");
+    }
+
+    #[test]
+    fn filtered_reaches_target_count() {
+        let mut accepted = 0;
+        for_all_filtered(32, 7, |g| {
+            if g.bool(0.5) {
+                accepted += 1;
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(accepted, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn failures_propagate() {
+        for_all(8, 1, |g| {
+            if g.u64() % 2 == 0 {
+                panic!("deliberate");
+            }
+        });
+    }
+
+    #[test]
+    fn generator_helpers_respect_bounds() {
+        for_all(64, 3, |g| {
+            let n = g.usize_in(2..=9);
+            assert!((2..=9).contains(&n));
+            let v = g.i64_in(-20, 100);
+            assert!((-20..100).contains(&v));
+            let f = g.f64_in(0.25, 0.75);
+            assert!((0.25..0.75).contains(&f));
+            let xs = g.vec(0..=5, |g| g.bool(0.3));
+            assert!(xs.len() <= 5);
+        });
+    }
+}

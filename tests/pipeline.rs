@@ -3,7 +3,7 @@
 
 use fpn_repro::prelude::*;
 use fpn_repro::qec_sim::TableauSimulator;
-use rand::prelude::*;
+use qec_math::rng::Xoshiro256StarStar;
 
 #[test]
 fn noiseless_pipeline_never_fails() {
@@ -12,7 +12,7 @@ fn noiseless_pipeline_never_fails() {
     let fpn = FlagProxyNetwork::build(&code, &FpnConfig::shared());
     let exp = build_memory_circuit(&code, &fpn, None, 3, Basis::Z);
     let sampler = FrameSampler::new(&exp.circuit);
-    let batch = sampler.sample_batch(&mut StdRng::seed_from_u64(1));
+    let batch = sampler.sample_batch(&mut Xoshiro256StarStar::seed_from_u64(1));
     assert!(!batch.any_detection());
     assert!(batch.observables.iter().all(|&m| m == 0));
 }
@@ -32,7 +32,7 @@ fn detectors_deterministic_across_architectures() {
             FpnConfig::shared(),
         ),
     ];
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(99);
     for (code, config) in &checks {
         let fpn = FlagProxyNetwork::build(code, config);
         for basis in [Basis::X, Basis::Z] {
@@ -121,7 +121,7 @@ fn planar_circuit_distance_matches_code_distance() {
     let noise = NoiseModel::new(1e-3);
     let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
     let dem = DetectorErrorModel::from_circuit(&exp.circuit);
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(3);
     assert_eq!(dem.estimate_circuit_distance(12, &mut rng), 3);
 }
 
@@ -161,4 +161,48 @@ fn fpn_ber_improves_at_lower_noise() {
         bers[1],
         bers[0]
     );
+}
+
+#[test]
+fn end_to_end_smoke_d3_surface() {
+    // The canonical pipeline, end to end: build the d=3 rotated surface
+    // code, realize it as a flag-proxy network, schedule syndrome
+    // extraction, generate the noisy circuit, sample with the batched
+    // engine and decode with MWPM. At p = 1e-3 the logical block error
+    // rate must sit well below the physical error rate.
+    let p = 1e-3;
+    let code = rotated_surface_code(3);
+    assert_eq!((code.n(), code.k()), (9, 1));
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(p);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+    let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::PlainMwpm, &noise);
+    let stats = run_ber(&exp.circuit, pipeline.decoder(), 10_000, 2024, 4);
+    assert!(stats.shots >= 10_000);
+    assert!(
+        stats.ber() < p,
+        "logical BER {} should be below physical rate {p}",
+        stats.ber()
+    );
+}
+
+#[test]
+fn run_ber_is_thread_count_invariant() {
+    // Batch b always draws from RNG stream (seed, b), so the sampled
+    // shots — and therefore the failure count — are bit-identical no
+    // matter how the batches are sharded across workers.
+    let code = rotated_surface_code(3);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(3e-3);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+    let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::PlainMwpm, &noise);
+    let single = run_ber(&exp.circuit, pipeline.decoder(), 4_096, 99, 1);
+    let multi = run_ber(&exp.circuit, pipeline.decoder(), 4_096, 99, 4);
+    assert_eq!(single.shots, multi.shots);
+    assert_eq!(
+        single.failures, multi.failures,
+        "1-thread and 4-thread runs must agree exactly"
+    );
+    let rerun = run_ber(&exp.circuit, pipeline.decoder(), 4_096, 99, 4);
+    assert_eq!(multi.failures, rerun.failures, "reruns must be stable");
 }

@@ -1,110 +1,116 @@
-//! Property-based tests on the core substrates.
+//! Property-based tests on the core substrates, driven by the
+//! dependency-free `proptest_lite` harness.
 
+use fpn_repro::proptest_lite::{for_all, for_all_filtered, Gen};
 use fpn_repro::qec_math::graph::matching::{brute_force_max_weight, max_weight_matching};
 use fpn_repro::qec_math::{gf2, BitMatrix, BitVec};
 use fpn_repro::qec_sched::try_greedy_schedule;
 use fpn_repro::qec_sim::{Circuit, DetectorErrorModel, DetectorMeta, Pauli, TableauSimulator};
 use fpn_repro::prelude::*;
-use proptest::prelude::*;
-use rand::prelude::*;
+use qec_math::rng::Xoshiro256StarStar;
 
-fn arb_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = BitMatrix> {
-    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(proptest::collection::vec(any::<bool>(), c), r)
-            .prop_map(move |rows| {
-                let bits: Vec<Vec<usize>> = rows
-                    .iter()
-                    .map(|row| {
-                        row.iter()
-                            .enumerate()
-                            .filter(|(_, &b)| b)
-                            .map(|(i, _)| i)
-                            .collect()
-                    })
-                    .collect();
-                BitMatrix::from_rows_of_ones(rows.len(), c, &bits)
-            })
-    })
+/// A random GF(2) matrix with 1..=max_rows rows and 1..=max_cols cols.
+fn gen_matrix(g: &mut Gen, max_rows: usize, max_cols: usize) -> BitMatrix {
+    let r = g.usize_in(1..=max_rows);
+    let c = g.usize_in(1..=max_cols);
+    let mut m = BitMatrix::zeros(r, c);
+    for i in 0..r {
+        for j in 0..c {
+            if g.bool(0.5) {
+                m.set(i, j, true);
+            }
+        }
+    }
+    m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A random bit vector of exactly `n` entries.
+fn gen_bitvec(g: &mut Gen, n: usize) -> BitVec {
+    let bools: Vec<bool> = (0..n).map(|_| g.bool(0.5)).collect();
+    BitVec::from_bools(&bools)
+}
 
-    #[test]
-    fn nullspace_annihilates_and_has_full_corank(m in arb_matrix(8, 12)) {
+#[test]
+fn nullspace_annihilates_and_has_full_corank() {
+    for_all(48, 0x6e75, |g| {
+        let m = gen_matrix(g, 8, 12);
         let ns = gf2::nullspace(&m);
-        prop_assert_eq!(ns.rows(), m.cols() - gf2::rank(&m));
+        assert_eq!(ns.rows(), m.cols() - gf2::rank(&m));
         for v in ns.iter_rows() {
-            prop_assert!(m.mul_vec(v).is_zero());
+            assert!(m.mul_vec(v).is_zero());
         }
-        prop_assert_eq!(gf2::rank(&ns), ns.rows());
-    }
+        assert_eq!(gf2::rank(&ns), ns.rows());
+    });
+}
 
-    #[test]
-    fn solve_agrees_with_mul(m in arb_matrix(8, 10), rhs_bits in proptest::collection::vec(any::<bool>(), 8)) {
-        let b = BitVec::from_bools(&rhs_bits[..m.rows()]);
+#[test]
+fn solve_agrees_with_mul() {
+    for_all(48, 0x501e, |g| {
+        let m = gen_matrix(g, 8, 10);
+        let b = gen_bitvec(g, m.rows());
         if let Some(x) = gf2::solve(&m, &b) {
-            prop_assert_eq!(m.mul_vec(&x), b);
+            assert_eq!(m.mul_vec(&x), b);
         } else {
             // Inconsistent: b must not be in the column space.
-            prop_assert!(!gf2::in_row_space(&m.transposed(), &b));
+            assert!(!gf2::in_row_space(&m.transposed(), &b));
         }
-    }
+    });
+}
 
-    #[test]
-    fn matrix_multiplication_is_associative_on_vectors(
-        a in arb_matrix(6, 6),
-        b_bits in proptest::collection::vec(any::<bool>(), 6),
-    ) {
-        let cols = a.cols();
-        let v = BitVec::from_bools(&b_bits[..cols]);
+#[test]
+fn matrix_multiplication_is_associative_on_vectors() {
+    for_all(48, 0xa550, |g| {
+        let a = gen_matrix(g, 6, 6);
+        let v = gen_bitvec(g, a.cols());
         let av = a.mul_vec(&v);
         // (Aᵀ)ᵀ v == A v
-        prop_assert_eq!(a.transposed().transposed().mul_vec(&v), av);
-    }
+        assert_eq!(a.transposed().transposed().mul_vec(&v), av);
+    });
+}
 
-    #[test]
-    fn blossom_matches_brute_force(
-        n in 2usize..8,
-        seed in any::<u64>(),
-        density in 0.2f64..1.0,
-    ) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn blossom_matches_brute_force() {
+    for_all(48, 0xb105, |g| {
+        let n = g.usize_in(2..=7);
+        let density = g.f64_in(0.2, 1.0);
         let mut edges = Vec::new();
         for u in 0..n {
             for v in (u + 1)..n {
-                if rng.random_bool(density) {
-                    edges.push((u, v, rng.random_range(1..40i64)));
+                if g.bool(density) {
+                    edges.push((u, v, g.i64_in(1, 40)));
                 }
             }
         }
         let m = max_weight_matching(n, &edges);
-        prop_assert_eq!(m.weight, brute_force_max_weight(n, &edges));
-    }
+        assert_eq!(m.weight, brute_force_max_weight(n, &edges));
+    });
+}
 
-    #[test]
-    fn random_css_codes_schedule_validly(seed in any::<u64>()) {
-        // Random CSS code: random H_X, then H_Z rows drawn from its
-        // nullspace; Algorithm 1 must produce a valid schedule.
-        let mut rng = StdRng::seed_from_u64(seed);
-        let n = rng.random_range(6..12usize);
-        let x_rows = rng.random_range(1..4usize);
+#[test]
+fn random_css_codes_schedule_validly() {
+    // Random CSS code: random H_X, then H_Z rows drawn from its
+    // nullspace; Algorithm 1 must produce a valid schedule.
+    for_all_filtered(32, 0xc55c, |g| {
+        let n = g.usize_in(6..=11);
+        let x_rows = g.usize_in(1..=3);
         let mut hx = BitMatrix::zeros(x_rows, n);
         for r in 0..x_rows {
             for c in 0..n {
-                if rng.random_bool(0.4) {
+                if g.bool(0.4) {
                     hx.set(r, c, true);
                 }
             }
         }
         let kernel = gf2::nullspace(&hx);
-        prop_assume!(kernel.rows() >= 2);
+        if kernel.rows() < 2 {
+            return false;
+        }
         let mut hz = BitMatrix::zeros(0, n);
-        for _ in 0..rng.random_range(1..3usize) {
+        for _ in 0..g.usize_in(1..=2) {
             // Random kernel combination with at least two qubits.
             let mut v = BitVec::zeros(n);
             for row in kernel.iter_rows() {
-                if rng.random_bool(0.5) {
+                if g.bool(0.5) {
                     v.xor_assign(row);
                 }
             }
@@ -112,36 +118,41 @@ proptest! {
                 hz.push_row(v);
             }
         }
-        prop_assume!(hz.rows() >= 1);
-        prop_assume!(hx.iter_rows().all(|r| r.weight() >= 2));
+        if hz.rows() < 1 || !hx.iter_rows().all(|r| r.weight() >= 2) {
+            return false;
+        }
         let code = CssCode::new("random", CodeFamily::Custom, hx, hz).unwrap();
         let schedule = try_greedy_schedule(&code).expect("schedulable");
         schedule.verify(&code).expect("valid schedule");
-    }
+        true
+    });
+}
 
-    #[test]
-    fn dem_predicts_tableau_fault_propagation(seed in any::<u64>()) {
-        // Random parity-check-style circuit, random single Pauli fault:
-        // the tableau's detector diff must equal the DEM's mechanism.
-        let mut rng = StdRng::seed_from_u64(seed);
-        let n_data = rng.random_range(2..5usize);
-        let n_anc = rng.random_range(1..4usize);
+#[test]
+fn dem_predicts_tableau_fault_propagation() {
+    // Random parity-check-style circuit, random single Pauli fault:
+    // the tableau's detector diff must equal the DEM's mechanism.
+    for_all_filtered(32, 0xde31, |g| {
+        let n_data = g.usize_in(2..=4);
+        let n_anc = g.usize_in(1..=3);
         let nq = n_data + n_anc;
         let mut circuit = Circuit::new(nq);
         circuit.reset(&(0..nq).collect::<Vec<_>>());
         let mut cx_ops: Vec<(usize, usize)> = Vec::new();
         for a in 0..n_anc {
             for d in 0..n_data {
-                if rng.random_bool(0.5) {
+                if g.bool(0.5) {
                     cx_ops.push((d, n_data + a));
                 }
             }
         }
-        prop_assume!(!cx_ops.is_empty());
+        if cx_ops.is_empty() {
+            return false;
+        }
         // Insert the fault channel at a random point between CXs.
-        let fault_at = rng.random_range(0..=cx_ops.len());
-        let fault_qubit = rng.random_range(0..nq);
-        let pauli = [Pauli::X, Pauli::Y, Pauli::Z][rng.random_range(0..3usize)];
+        let fault_at = g.usize_in(0..=cx_ops.len());
+        let fault_qubit = g.usize_in(0..=nq - 1);
+        let pauli = [Pauli::X, Pauli::Y, Pauli::Z][g.usize_in(0..=2)];
         for (i, &pair) in cx_ops.iter().enumerate() {
             if i == fault_at {
                 match pauli {
@@ -165,7 +176,7 @@ proptest! {
         }
         // DEM prediction.
         let dem = DetectorErrorModel::from_circuit(&circuit);
-        prop_assert!(dem.mechanisms().len() <= 1);
+        assert!(dem.mechanisms().len() <= 1);
         let predicted: Vec<u32> = dem
             .mechanisms()
             .first()
@@ -174,9 +185,9 @@ proptest! {
         // Tableau ground truth: inject the same Pauli just before the
         // op following the noise channel.
         let inject_op_index = 1 + fault_at; // after Reset + fault_at CXs
-        let mut trng = StdRng::seed_from_u64(7);
+        let mut trng = Xoshiro256StarStar::seed_from_u64(7);
         let clean = TableauSimulator::run(&circuit, None, &mut trng);
-        let mut trng = StdRng::seed_from_u64(7);
+        let mut trng = Xoshiro256StarStar::seed_from_u64(7);
         let faulty = TableauSimulator::run(
             &circuit,
             Some((1 + inject_op_index, &[(fault_qubit, pauli)])),
@@ -188,6 +199,7 @@ proptest! {
                 flipped.push(a as u32);
             }
         }
-        prop_assert_eq!(predicted, flipped);
-    }
+        assert_eq!(predicted, flipped);
+        true
+    });
 }
