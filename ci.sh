@@ -7,5 +7,14 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo build --release --offline
-cargo test -q --offline
+cargo fmt --check
+cargo clippy --offline --workspace --all-targets -- -D warnings
+cargo build --release --offline --workspace
+# --workspace so every crate's unit tests run, not just the root
+# package's integration tests.
+cargo test -q --offline --workspace
+
+# Quick benchmark smoke run: exercises the batched decode hot path and
+# the per-stage timing harness end to end (1k shots keeps it a few
+# seconds; the JSON lines double as a CI artifact).
+cargo run --release --offline -p qec-bench -- --shots 1000

@@ -38,7 +38,5 @@ mod network;
 mod sharing;
 
 pub use metrics::ArchitectureMetrics;
-pub use network::{
-    CheckRef, FlagInfo, FlagProxyNetwork, FpnConfig, QubitKind, Segment, Via,
-};
+pub use network::{CheckRef, FlagInfo, FlagProxyNetwork, FpnConfig, QubitKind, Segment, Via};
 pub use sharing::shared_pair_matching;

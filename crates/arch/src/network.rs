@@ -156,12 +156,12 @@ impl FlagProxyNetwork {
         let mut edges: Vec<(usize, usize)> = Vec::new();
 
         let build_check = |check: CheckRef,
-                               support: Vec<usize>,
-                               parity: usize,
-                               kinds: &mut Vec<QubitKind>,
-                               flags: &mut Vec<FlagInfo>,
-                               flag_by_pair: &mut HashMap<(usize, usize), usize>,
-                               edges: &mut Vec<(usize, usize)>|
+                           support: Vec<usize>,
+                           parity: usize,
+                           kinds: &mut Vec<QubitKind>,
+                           flags: &mut Vec<FlagInfo>,
+                           flag_by_pair: &mut HashMap<(usize, usize), usize>,
+                           edges: &mut Vec<(usize, usize)>|
          -> Vec<Segment> {
             if !config.use_flags {
                 for &d in &support {
@@ -194,7 +194,11 @@ impl FlagProxyNetwork {
                     }
                 }
             }
-            let leftovers: Vec<usize> = support.iter().copied().filter(|d| !used.contains(d)).collect();
+            let leftovers: Vec<usize> = support
+                .iter()
+                .copied()
+                .filter(|d| !used.contains(d))
+                .collect();
             for chunk in leftovers.chunks(2) {
                 if chunk.len() == 2 {
                     let (a, b) = (chunk[0].min(chunk[1]), chunk[0].max(chunk[1]));
@@ -245,11 +249,14 @@ impl FlagProxyNetwork {
         };
 
         let mut x_segments = Vec::with_capacity(code.num_x_checks());
-        for i in 0..code.num_x_checks() {
+        for (i, &parity) in x_parity_qubit.iter().enumerate() {
             x_segments.push(build_check(
-                CheckRef { is_x: true, index: i },
+                CheckRef {
+                    is_x: true,
+                    index: i,
+                },
                 code.x_support(i),
-                x_parity_qubit[i],
+                parity,
                 &mut kinds,
                 &mut flags,
                 &mut flag_by_pair,
@@ -257,14 +264,14 @@ impl FlagProxyNetwork {
             ));
         }
         let mut z_segments = Vec::with_capacity(code.num_z_checks());
-        for i in 0..code.num_z_checks() {
+        for (i, &parity) in z_parity_qubit.iter().enumerate() {
             z_segments.push(build_check(
                 CheckRef {
                     is_x: false,
                     index: i,
                 },
                 code.z_support(i),
-                z_parity_qubit[i],
+                parity,
                 &mut kinds,
                 &mut flags,
                 &mut flag_by_pair,

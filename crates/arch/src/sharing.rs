@@ -45,10 +45,8 @@ pub fn shared_pair_matching(code: &CssCode) -> Vec<Option<usize>> {
     for i in 0..code.num_z_checks() {
         add_check(code.z_support(i));
     }
-    let edges: Vec<(usize, usize, i64)> = weights
-        .into_iter()
-        .map(|((a, b), w)| (a, b, w))
-        .collect();
+    let edges: Vec<(usize, usize, i64)> =
+        weights.into_iter().map(|((a, b), w)| (a, b, w)).collect();
     let matching = max_weight_matching(n, &edges);
     matching.mate
 }

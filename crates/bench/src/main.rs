@@ -5,21 +5,28 @@
 //! Each component emits exactly one JSON line on stdout:
 //!
 //! ```json
-//! {"component":"frame_sampler_batched_d5_10k","iters":157,"total_ns":...,"per_iter_ns":...}
+//! {"component":"frame_sampler_batched_d5","iters":1,"total_ns":...,"per_iter_ns":...}
 //! ```
 //!
-//! The headline measurement is the batched Pauli-frame sampler against
-//! the scalar per-shot loop at 10 000 shots on the d=5 rotated surface
-//! code; the emitted `speedup` line records the ratio and whether it
-//! clears the 10× target the batched engine is designed for.
+//! Headline measurements:
 //!
-//! Run with `cargo run --release -p qec-bench`.
+//! * the batched Pauli-frame sampler against the scalar per-shot loop
+//!   on the d=5 rotated surface code (10× target);
+//! * per-stage BER-loop timings (`sample_ns` / `decode_ns` /
+//!   `compare_ns`) for every decoder on its reference workload
+//!   (`ber_stages_*` lines);
+//! * the scratch-reusing Union-Find `decode_into` hot path against its
+//!   allocating per-shot baseline (2× target, bit-identical output).
+//!
+//! Run with `cargo run --release -p qec-bench`; pass `--shots 1000`
+//! for the quick CI configuration (default 10 000).
 
 use fpn_core::prelude::*;
 use qec_bench::{memory_experiment, small_fpn, small_hyperbolic_code};
 use qec_group::{enumerate_cosets, von_dyck};
 use qec_math::graph::matching::min_weight_perfect_matching;
 use qec_math::rng::{Rng, Xoshiro256StarStar};
+use qec_math::BitVec;
 use qec_sim::FrameBatch;
 use std::time::Instant;
 
@@ -55,30 +62,33 @@ fn bench_blossom() {
     }
 }
 
-/// Batched vs. per-shot sampling at 10k shots on the d=5 planar code —
-/// the acceptance measurement for the batched engine.
-fn bench_sampling() {
-    const SHOTS: usize = 10_000;
+/// Batched vs. per-shot sampling on the d=5 planar code — the
+/// acceptance measurement for the batched engine.
+fn bench_sampling(shots: usize) {
     let code = rotated_surface_code(5);
     let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
     let exp = memory_experiment(&code, &fpn, 1e-3);
     let sampler = FrameSampler::new(&exp.circuit);
-    let batches = SHOTS.div_ceil(64);
+    let batches = shots.div_ceil(64);
 
     let mut scratch = FrameBatch::new();
     let mut rng = Xoshiro256StarStar::seed_from_u64(7);
-    let batched_ns = bench("frame_sampler_batched_d5_10k", 1, || {
+    let batched_ns = bench("frame_sampler_batched_d5", 1, || {
         let mut fired = 0usize;
         for b in 0..batches {
             let mut rng_b = rng.fork(b as u64);
             let batch = sampler.sample_batch_with(&mut scratch, &mut rng_b);
-            fired += batch.detectors.iter().map(|m| m.count_ones() as usize).sum::<usize>();
+            fired += batch
+                .detectors
+                .iter()
+                .map(|m| m.count_ones() as usize)
+                .sum::<usize>();
         }
         fired
     });
 
     let mut rng = Xoshiro256StarStar::seed_from_u64(7);
-    let scalar_ns = bench("frame_sampler_per_shot_d5_10k", 1, || {
+    let scalar_ns = bench("frame_sampler_per_shot_d5", 1, || {
         let mut fired = 0usize;
         for _ in 0..batches * 64 {
             fired += sampler.sample_shot(&mut rng).detectors.weight();
@@ -100,7 +110,9 @@ fn bench_dem() {
     let fpn = small_fpn(&code);
     let exp = memory_experiment(&code, &fpn, 1e-3);
     bench("dem_hyperbolic_30_fpn", 5, || {
-        DetectorErrorModel::from_circuit(&exp.circuit).mechanisms().len()
+        DetectorErrorModel::from_circuit(&exp.circuit)
+            .mechanisms()
+            .len()
     });
 }
 
@@ -131,6 +143,181 @@ fn bench_decoding() {
     });
 }
 
+/// Runs the `run_ber` worker loop single-threaded against `decoder`,
+/// timing each stage separately, and emits one JSON line:
+/// `sample_ns` (batch sampling + per-shot bit extraction), `decode_ns`
+/// (only shots with a nonzero syndrome reach the decoder) and
+/// `compare_ns` (prediction vs. actual observables), all cumulative,
+/// plus `decode_ns_per_shot` averaged over the decoded shots and the
+/// decoder's give-up count for the run.
+fn stage_timings(
+    workload: &str,
+    name: &str,
+    circuit: &Circuit,
+    decoder: &dyn Decoder,
+    shots: usize,
+) {
+    let sampler = FrameSampler::new(circuit);
+    let batches = shots.div_ceil(64);
+    let mut scratch = FrameBatch::new();
+    let mut decode_scratch = DecodeScratch::new();
+    let mut dets = BitVec::zeros(0);
+    let mut actual = BitVec::zeros(0);
+    let mut predicted = BitVec::zeros(0);
+    let (mut sample_ns, mut decode_ns, mut compare_ns) = (0u128, 0u128, 0u128);
+    let mut failures = 0usize;
+    let mut decoded = 0usize;
+    let giveups_before = decoder.stats().giveups();
+    for b in 0..batches {
+        let mut rng = Xoshiro256StarStar::from_seed_stream(17, b as u64);
+        let t = Instant::now();
+        let batch = sampler.sample_batch_with(&mut scratch, &mut rng);
+        sample_ns += t.elapsed().as_nanos();
+        for shot in 0..64 {
+            let t = Instant::now();
+            batch.observable_bits_into(shot, &mut actual);
+            batch.detector_bits_into(shot, &mut dets);
+            sample_ns += t.elapsed().as_nanos();
+            if dets.is_zero() {
+                let t = Instant::now();
+                if !actual.is_zero() {
+                    failures += 1;
+                }
+                compare_ns += t.elapsed().as_nanos();
+                continue;
+            }
+            let t = Instant::now();
+            decoder.decode_into(&dets, &mut decode_scratch, &mut predicted);
+            decode_ns += t.elapsed().as_nanos();
+            decoded += 1;
+            let t = Instant::now();
+            if predicted != actual {
+                failures += 1;
+            }
+            compare_ns += t.elapsed().as_nanos();
+        }
+    }
+    let giveups = decoder.stats().giveups() - giveups_before;
+    println!(
+        "{{\"component\":\"ber_stages_{workload}\",\"decoder\":\"{name}\",\
+         \"shots\":{},\"decoded\":{decoded},\"failures\":{failures},\
+         \"sample_ns\":{sample_ns},\"decode_ns\":{decode_ns},\
+         \"compare_ns\":{compare_ns},\"decode_ns_per_shot\":{},\
+         \"giveups\":{giveups}}}",
+        batches * 64,
+        decode_ns / decoded.max(1) as u128,
+    );
+}
+
+/// Per-stage BER timings of every decoder on its reference workload:
+/// the three surface-code decoders on the d=5 planar memory experiment
+/// and the restriction decoder on the 2-round toric color-code one.
+fn bench_ber_stages(shots: usize) {
+    let code = rotated_surface_code(5);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let exp = memory_experiment(&code, &fpn, 1e-3);
+    let dem = DetectorErrorModel::from_circuit(&exp.circuit);
+    let pm = NoiseModel::new(1e-3).measurement_flip();
+    let decoders: Vec<(&str, Box<dyn Decoder>)> = vec![
+        (
+            "plain_mwpm",
+            Box::new(MwpmDecoder::new(&dem, MwpmConfig::unflagged())),
+        ),
+        (
+            "flagged_mwpm",
+            Box::new(MwpmDecoder::new(&dem, MwpmConfig::flagged(pm))),
+        ),
+        (
+            "unionfind",
+            Box::new(UnionFindDecoder::new(&dem, UnionFindConfig::unflagged())),
+        ),
+    ];
+    for (name, decoder) in &decoders {
+        stage_timings("d5_surface", name, &exp.circuit, decoder.as_ref(), shots);
+    }
+
+    let code = toric_color_code(2).expect("toric color code builds");
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(5e-4);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 2, Basis::Z);
+    let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedRestriction, &noise);
+    stage_timings(
+        "toric_color",
+        "flagged_restriction",
+        &exp.circuit,
+        pipeline.decoder(),
+        shots,
+    );
+}
+
+/// The batched Union-Find hot path against its own per-shot baseline
+/// on the d=5 surface-code BER workload: same pre-extracted nonzero
+/// syndromes through `decode` (allocating, full-edge scans) and
+/// `decode_into` (scratch-reusing, frontier growth). The acceptance
+/// target is a ≥ 2× lower decode time per shot, with bit-identical
+/// corrections.
+fn bench_unionfind_speedup(shots: usize) {
+    let code = rotated_surface_code(5);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let exp = memory_experiment(&code, &fpn, 1e-3);
+    let dem = DetectorErrorModel::from_circuit(&exp.circuit);
+    let decoder = UnionFindDecoder::new(&dem, UnionFindConfig::unflagged());
+    let sampler = FrameSampler::new(&exp.circuit);
+    let mut scratch = FrameBatch::new();
+    let mut syndromes = Vec::new();
+    let mut b = 0u64;
+    while syndromes.len() < shots && b < 4 * shots.div_ceil(64) as u64 + 64 {
+        let mut rng = Xoshiro256StarStar::from_seed_stream(123, b);
+        b += 1;
+        let batch = sampler.sample_batch_with(&mut scratch, &mut rng);
+        for s in 0..64 {
+            let d = batch.detector_bits(s);
+            if !d.is_zero() {
+                syndromes.push(d);
+                if syndromes.len() == shots {
+                    break;
+                }
+            }
+        }
+    }
+    // Correctness first (untimed): both paths must agree bit-for-bit.
+    let mut ds = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
+    let mut identical = true;
+    for d in &syndromes {
+        decoder.decode_into(d, &mut ds, &mut out);
+        if out != decoder.decode(d) {
+            identical = false;
+        }
+    }
+    let mut checksum = 0usize;
+    let t = Instant::now();
+    for d in &syndromes {
+        checksum = checksum.wrapping_add(decoder.decode(d).weight());
+    }
+    let per_shot_ns = t.elapsed().as_nanos();
+    let mut batched_checksum = 0usize;
+    let t = Instant::now();
+    for d in &syndromes {
+        decoder.decode_into(d, &mut ds, &mut out);
+        batched_checksum = batched_checksum.wrapping_add(out.weight());
+    }
+    let batched_ns = t.elapsed().as_nanos();
+    let n = syndromes.len().max(1) as u128;
+    let speedup = per_shot_ns as f64 / batched_ns.max(1) as f64;
+    println!(
+        "{{\"component\":\"unionfind_decode_into_speedup_d5\",\"shots\":{},\
+         \"per_shot_decode_ns\":{},\"batched_decode_ns\":{},\
+         \"speedup\":{speedup:.1},\"pass_2x\":{},\"identical\":{},\
+         \"checksum\":{checksum}}}",
+        syndromes.len(),
+        per_shot_ns / n,
+        batched_ns / n,
+        speedup >= 2.0,
+        identical && checksum == batched_checksum,
+    );
+}
+
 fn bench_scheduling() {
     let code = small_hyperbolic_code();
     bench("greedy_schedule_30_8", 10, || {
@@ -149,11 +336,27 @@ fn bench_construction() {
     });
 }
 
+/// Parses `--shots N` (default 10 000; CI runs `--shots 1000` for a
+/// quick pass).
+fn parse_shots() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--shots" {
+            let v = args.next().expect("--shots needs a value");
+            return v.parse().expect("--shots takes an integer");
+        }
+    }
+    10_000
+}
+
 fn main() {
+    let shots = parse_shots();
     bench_blossom();
-    bench_sampling();
+    bench_sampling(shots);
     bench_dem();
     bench_decoding();
+    bench_ber_stages(shots);
+    bench_unionfind_speedup(shots);
     bench_scheduling();
     bench_construction();
 }

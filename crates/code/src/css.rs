@@ -404,11 +404,8 @@ mod tests {
                 vec![7, 8],
             ],
         );
-        let hx = BitMatrix::from_rows_of_ones(
-            2,
-            9,
-            &[vec![0, 1, 2, 3, 4, 5], vec![3, 4, 5, 6, 7, 8]],
-        );
+        let hx =
+            BitMatrix::from_rows_of_ones(2, 9, &[vec![0, 1, 2, 3, 4, 5], vec![3, 4, 5, 6, 7, 8]]);
         let code = CssCode::new("shor", CodeFamily::Custom, hx, hz).unwrap();
         assert_eq!(code.k(), 1);
         code.logicals().verify(&code).unwrap();

@@ -10,8 +10,8 @@
 //! unit tests pin it to known exact values on codes where the distance
 //! is known.
 
-use qec_math::{gf2, BitMatrix, BitVec};
 use qec_math::rng::{Rng, Xoshiro256StarStar};
+use qec_math::{gf2, BitMatrix, BitVec};
 
 /// Distance estimates for a CSS code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,11 +146,8 @@ mod tests {
                 vec![7, 8],
             ],
         );
-        let hx = BitMatrix::from_rows_of_ones(
-            2,
-            9,
-            &[vec![0, 1, 2, 3, 4, 5], vec![3, 4, 5, 6, 7, 8]],
-        );
+        let hx =
+            BitMatrix::from_rows_of_ones(2, 9, &[vec![0, 1, 2, 3, 4, 5], vec![3, 4, 5, 6, 7, 8]]);
         let d = estimate_distances(&hx, &hz, 30, 2);
         assert_eq!(d.dx, 3); // X logical: X X X on a row
         assert_eq!(d.dz, 3); // Z logical: Z on one qubit per block

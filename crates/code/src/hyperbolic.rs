@@ -9,9 +9,7 @@
 //! verified size.
 
 use crate::css::{CodeError, CodeFamily, CssCode};
-use qec_group::{
-    enumerate_cosets, triangle_group, von_dyck, word, ColorTiling, Tiling, Word,
-};
+use qec_group::{enumerate_cosets, triangle_group, von_dyck, word, ColorTiling, Tiling, Word};
 use qec_math::BitMatrix;
 
 /// An extra relator: `base` word raised to `power`.
@@ -65,30 +63,156 @@ macro_rules! rel {
 /// relator search discovered — same subfamilies, comparable `n`, `k`).
 pub const SURFACE_REGISTRY: &[HyperbolicSpec] = &[
     // {4,5}
-    HyperbolicSpec { r: 4, s: 5, extra: &[rel!(COMM ^ 3)], expected_n: 60, coset_limit: 50_000 },
-    HyperbolicSpec { r: 4, s: 5, extra: &[rel!(XYINV ^ 4)], expected_n: 80, coset_limit: 50_000 },
-    HyperbolicSpec { r: 4, s: 5, extra: &[rel!(XYINV ^ 5)], expected_n: 180, coset_limit: 80_000 },
-    HyperbolicSpec { r: 4, s: 5, extra: &[rel!(COMM ^ 4)], expected_n: 360, coset_limit: 120_000 },
-    HyperbolicSpec { r: 4, s: 5, extra: &[rel!(COMM ^ 5), rel!(XYINV ^ 8)], expected_n: 2560, coset_limit: 400_000 },
+    HyperbolicSpec {
+        r: 4,
+        s: 5,
+        extra: &[rel!(COMM ^ 3)],
+        expected_n: 60,
+        coset_limit: 50_000,
+    },
+    HyperbolicSpec {
+        r: 4,
+        s: 5,
+        extra: &[rel!(XYINV ^ 4)],
+        expected_n: 80,
+        coset_limit: 50_000,
+    },
+    HyperbolicSpec {
+        r: 4,
+        s: 5,
+        extra: &[rel!(XYINV ^ 5)],
+        expected_n: 180,
+        coset_limit: 80_000,
+    },
+    HyperbolicSpec {
+        r: 4,
+        s: 5,
+        extra: &[rel!(COMM ^ 4)],
+        expected_n: 360,
+        coset_limit: 120_000,
+    },
+    HyperbolicSpec {
+        r: 4,
+        s: 5,
+        extra: &[rel!(COMM ^ 5), rel!(XYINV ^ 8)],
+        expected_n: 2560,
+        coset_limit: 400_000,
+    },
     // {4,6}
-    HyperbolicSpec { r: 4, s: 6, extra: &[rel!(XYINV ^ 2)], expected_n: 12, coset_limit: 20_000 },
-    HyperbolicSpec { r: 4, s: 6, extra: &[rel!(COMM ^ 2)], expected_n: 36, coset_limit: 30_000 },
-    HyperbolicSpec { r: 4, s: 6, extra: &[rel!(XXXY ^ 3)], expected_n: 60, coset_limit: 50_000 },
-    HyperbolicSpec { r: 4, s: 6, extra: &[rel!(COMM ^ 3), rel!(XYINV ^ 4)], expected_n: 96, coset_limit: 60_000 },
-    HyperbolicSpec { r: 4, s: 6, extra: &[rel!(XYIYI ^ 3)], expected_n: 168, coset_limit: 80_000 },
-    HyperbolicSpec { r: 4, s: 6, extra: &[rel!(COMM ^ 4), rel!(XYINV ^ 6)], expected_n: 576, coset_limit: 200_000 },
-    HyperbolicSpec { r: 4, s: 6, extra: &[rel!(COMM ^ 3), rel!(XYINV ^ 8)], expected_n: 768, coset_limit: 250_000 },
+    HyperbolicSpec {
+        r: 4,
+        s: 6,
+        extra: &[rel!(XYINV ^ 2)],
+        expected_n: 12,
+        coset_limit: 20_000,
+    },
+    HyperbolicSpec {
+        r: 4,
+        s: 6,
+        extra: &[rel!(COMM ^ 2)],
+        expected_n: 36,
+        coset_limit: 30_000,
+    },
+    HyperbolicSpec {
+        r: 4,
+        s: 6,
+        extra: &[rel!(XXXY ^ 3)],
+        expected_n: 60,
+        coset_limit: 50_000,
+    },
+    HyperbolicSpec {
+        r: 4,
+        s: 6,
+        extra: &[rel!(COMM ^ 3), rel!(XYINV ^ 4)],
+        expected_n: 96,
+        coset_limit: 60_000,
+    },
+    HyperbolicSpec {
+        r: 4,
+        s: 6,
+        extra: &[rel!(XYIYI ^ 3)],
+        expected_n: 168,
+        coset_limit: 80_000,
+    },
+    HyperbolicSpec {
+        r: 4,
+        s: 6,
+        extra: &[rel!(COMM ^ 4), rel!(XYINV ^ 6)],
+        expected_n: 576,
+        coset_limit: 200_000,
+    },
+    HyperbolicSpec {
+        r: 4,
+        s: 6,
+        extra: &[rel!(COMM ^ 3), rel!(XYINV ^ 8)],
+        expected_n: 768,
+        coset_limit: 250_000,
+    },
     // {5,5}
-    HyperbolicSpec { r: 5, s: 5, extra: &[rel!(XYINV ^ 3)], expected_n: 30, coset_limit: 20_000 },
-    HyperbolicSpec { r: 5, s: 5, extra: &[rel!(COMM ^ 2)], expected_n: 40, coset_limit: 30_000 },
-    HyperbolicSpec { r: 5, s: 5, extra: &[rel!(XYINV ^ 4)], expected_n: 180, coset_limit: 80_000 },
-    HyperbolicSpec { r: 5, s: 5, extra: &[rel!(XXYIYI ^ 3)], expected_n: 330, coset_limit: 120_000 },
-    HyperbolicSpec { r: 5, s: 5, extra: &[rel!(COMM ^ 3), rel!(XYINV ^ 6)], expected_n: 480, coset_limit: 200_000 },
-    HyperbolicSpec { r: 5, s: 5, extra: &[rel!(COMM ^ 4), rel!(XYINV ^ 5)], expected_n: 1280, coset_limit: 400_000 },
+    HyperbolicSpec {
+        r: 5,
+        s: 5,
+        extra: &[rel!(XYINV ^ 3)],
+        expected_n: 30,
+        coset_limit: 20_000,
+    },
+    HyperbolicSpec {
+        r: 5,
+        s: 5,
+        extra: &[rel!(COMM ^ 2)],
+        expected_n: 40,
+        coset_limit: 30_000,
+    },
+    HyperbolicSpec {
+        r: 5,
+        s: 5,
+        extra: &[rel!(XYINV ^ 4)],
+        expected_n: 180,
+        coset_limit: 80_000,
+    },
+    HyperbolicSpec {
+        r: 5,
+        s: 5,
+        extra: &[rel!(XXYIYI ^ 3)],
+        expected_n: 330,
+        coset_limit: 120_000,
+    },
+    HyperbolicSpec {
+        r: 5,
+        s: 5,
+        extra: &[rel!(COMM ^ 3), rel!(XYINV ^ 6)],
+        expected_n: 480,
+        coset_limit: 200_000,
+    },
+    HyperbolicSpec {
+        r: 5,
+        s: 5,
+        extra: &[rel!(COMM ^ 4), rel!(XYINV ^ 5)],
+        expected_n: 1280,
+        coset_limit: 400_000,
+    },
     // {5,6}
-    HyperbolicSpec { r: 5, s: 6, extra: &[rel!(COMM ^ 2)], expected_n: 60, coset_limit: 50_000 },
-    HyperbolicSpec { r: 5, s: 6, extra: &[rel!(COMM ^ 3), rel!(XYINV ^ 5)], expected_n: 330, coset_limit: 150_000 },
-    HyperbolicSpec { r: 5, s: 6, extra: &[rel!(COMM ^ 4), rel!(XYINV ^ 4)], expected_n: 960, coset_limit: 300_000 },
+    HyperbolicSpec {
+        r: 5,
+        s: 6,
+        extra: &[rel!(COMM ^ 2)],
+        expected_n: 60,
+        coset_limit: 50_000,
+    },
+    HyperbolicSpec {
+        r: 5,
+        s: 6,
+        extra: &[rel!(COMM ^ 3), rel!(XYINV ^ 5)],
+        expected_n: 330,
+        coset_limit: 150_000,
+    },
+    HyperbolicSpec {
+        r: 5,
+        s: 6,
+        extra: &[rel!(COMM ^ 4), rel!(XYINV ^ 4)],
+        expected_n: 960,
+        coset_limit: 300_000,
+    },
 ];
 
 /// Registry of hyperbolic **color** codes (Table V of the paper).
@@ -97,12 +221,48 @@ pub const SURFACE_REGISTRY: &[HyperbolicSpec] = &[
 /// truncation of the `{s/2, 2r}` tiling, built from a full triangle
 /// group `[s/2, 2r]` quotient.
 pub const COLOR_REGISTRY: &[HyperbolicSpec] = &[
-    HyperbolicSpec { r: 4, s: 6, extra: &[rel!(ABC ^ 6)], expected_n: 96, coset_limit: 50_000 },
-    HyperbolicSpec { r: 4, s: 6, extra: &[rel!(ABC ^ 8)], expected_n: 336, coset_limit: 100_000 },
-    HyperbolicSpec { r: 4, s: 6, extra: &[rel!(ABC ^ 10)], expected_n: 2160, coset_limit: 400_000 },
-    HyperbolicSpec { r: 4, s: 8, extra: &[rel!(ABC ^ 4)], expected_n: 128, coset_limit: 60_000 },
-    HyperbolicSpec { r: 4, s: 10, extra: &[rel!(ABC ^ 4)], expected_n: 720, coset_limit: 200_000 },
-    HyperbolicSpec { r: 5, s: 8, extra: &[rel!(ABC ^ 4)], expected_n: 200, coset_limit: 80_000 },
+    HyperbolicSpec {
+        r: 4,
+        s: 6,
+        extra: &[rel!(ABC ^ 6)],
+        expected_n: 96,
+        coset_limit: 50_000,
+    },
+    HyperbolicSpec {
+        r: 4,
+        s: 6,
+        extra: &[rel!(ABC ^ 8)],
+        expected_n: 336,
+        coset_limit: 100_000,
+    },
+    HyperbolicSpec {
+        r: 4,
+        s: 6,
+        extra: &[rel!(ABC ^ 10)],
+        expected_n: 2160,
+        coset_limit: 400_000,
+    },
+    HyperbolicSpec {
+        r: 4,
+        s: 8,
+        extra: &[rel!(ABC ^ 4)],
+        expected_n: 128,
+        coset_limit: 60_000,
+    },
+    HyperbolicSpec {
+        r: 4,
+        s: 10,
+        extra: &[rel!(ABC ^ 4)],
+        expected_n: 720,
+        coset_limit: 200_000,
+    },
+    HyperbolicSpec {
+        r: 5,
+        s: 8,
+        extra: &[rel!(ABC ^ 4)],
+        expected_n: 200,
+        coset_limit: 80_000,
+    },
 ];
 
 fn enumerate(
@@ -216,8 +376,8 @@ pub fn toric_surface_code(d: usize) -> Result<CssCode, CodeError> {
     let rel = word::pow(&vec![1, -2], d);
     let pres = von_dyck(4, 4, &[rel]);
     let table = enumerate(&pres, 100 * d * d + 10_000)?;
-    let tiling = Tiling::from_von_dyck(&table, 4, 4)
-        .map_err(|e| CodeError::Construction(e.to_string()))?;
+    let tiling =
+        Tiling::from_von_dyck(&table, 4, 4).map_err(|e| CodeError::Construction(e.to_string()))?;
     let n = tiling.num_edges();
     if n != 2 * d * d {
         return Err(CodeError::Construction(format!(
@@ -264,8 +424,13 @@ fn rename_with_params(code: CssCode, label: &str) -> CssCode {
     let name = format!("[[{},{}]] {label}", code.n(), code.k());
     // CssCode is immutable after construction; rebuild with the final
     // name (cheap relative to enumeration).
-    let mut rebuilt = CssCode::new(name, code.family().clone(), code.hx().clone(), code.hz().clone())
-        .expect("validated code stays valid");
+    let mut rebuilt = CssCode::new(
+        name,
+        code.family().clone(),
+        code.hx().clone(),
+        code.hz().clone(),
+    )
+    .expect("validated code stays valid");
     if let Some(colors) = code.check_colors() {
         rebuilt = rebuilt
             .with_check_colors(colors.to_vec())

@@ -133,10 +133,7 @@ pub(crate) fn compute_logicals(hx: &BitMatrix, hz: &BitMatrix) -> Logicals {
     let k = lx.rows();
     assert_eq!(k, lz.rows(), "X/Z logical counts must agree");
     if k == 0 {
-        return Logicals {
-            xs: lx,
-            zs: lz,
-        };
+        return Logicals { xs: lx, zs: lz };
     }
     // Gram matrix M = Lx · Lzᵀ is invertible by symplectic
     // non-degeneracy; replace Lz with (Mᵀ)⁻¹ · Lz so Lx · Lz'ᵀ = I.

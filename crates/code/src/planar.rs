@@ -143,8 +143,7 @@ mod tests {
         assert_eq!(hints.z_orders.len(), code.num_z_checks());
         // Each order contains exactly the check's support (plus idles).
         for (i, order) in hints.x_orders.iter().enumerate() {
-            let mut from_order: Vec<usize> =
-                order.iter().copied().filter(|&q| q != IDLE).collect();
+            let mut from_order: Vec<usize> = order.iter().copied().filter(|&q| q != IDLE).collect();
             from_order.sort_unstable();
             assert_eq!(from_order, code.x_support(i));
         }

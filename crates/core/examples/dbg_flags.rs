@@ -1,7 +1,14 @@
 //! Diagnostic: single-fault exhaustive decoding across architectures.
 use fpn_core::prelude::*;
 
-fn report(label: &str, code: &CssCode, fpn: &FlagProxyNetwork, kind: DecoderKind, basis: Basis, rounds: usize) {
+fn report(
+    label: &str,
+    code: &CssCode,
+    fpn: &FlagProxyNetwork,
+    kind: DecoderKind,
+    basis: Basis,
+    rounds: usize,
+) {
     let noise = NoiseModel::new(1e-3);
     let exp = build_memory_circuit(code, fpn, Some(&noise), rounds, basis);
     let pipeline = DecodingPipeline::new(code, &exp, kind, &noise);
@@ -19,17 +26,59 @@ fn main() {
     let direct = FlagProxyNetwork::build(&code, &FpnConfig::direct());
     let shared = FlagProxyNetwork::build(&code, &FpnConfig::shared());
     for basis in [Basis::Z, Basis::X] {
-        report("direct+plain", &code, &direct, DecoderKind::PlainMwpm, basis, 3);
-        report("fpn+flagged", &code, &shared, DecoderKind::FlaggedMwpm, basis, 3);
-        report("fpn+plain", &code, &shared, DecoderKind::PlainMwpm, basis, 3);
+        report(
+            "direct+plain",
+            &code,
+            &direct,
+            DecoderKind::PlainMwpm,
+            basis,
+            3,
+        );
+        report(
+            "fpn+flagged",
+            &code,
+            &shared,
+            DecoderKind::FlaggedMwpm,
+            basis,
+            3,
+        );
+        report(
+            "fpn+plain",
+            &code,
+            &shared,
+            DecoderKind::PlainMwpm,
+            basis,
+            3,
+        );
     }
     let color = toric_color_code(2).unwrap();
     println!("== {} ==", color.name());
     let cdirect = FlagProxyNetwork::build(&color, &FpnConfig::direct());
     let cshared = FlagProxyNetwork::build(&color, &FpnConfig::shared());
     for basis in [Basis::Z, Basis::X] {
-        report("direct+restr", &color, &cdirect, DecoderKind::FlaggedRestriction, basis, 2);
-        report("fpn+flagged-restr", &color, &cshared, DecoderKind::FlaggedRestriction, basis, 2);
-        report("fpn+chamberland", &color, &cshared, DecoderKind::ChamberlandRestriction, basis, 2);
+        report(
+            "direct+restr",
+            &color,
+            &cdirect,
+            DecoderKind::FlaggedRestriction,
+            basis,
+            2,
+        );
+        report(
+            "fpn+flagged-restr",
+            &color,
+            &cshared,
+            DecoderKind::FlaggedRestriction,
+            basis,
+            2,
+        );
+        report(
+            "fpn+chamberland",
+            &color,
+            &cshared,
+            DecoderKind::ChamberlandRestriction,
+            basis,
+            2,
+        );
     }
 }

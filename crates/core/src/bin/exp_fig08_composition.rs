@@ -45,9 +45,9 @@ fn main() {
     }
     for ((r, s, color), rows) in groups {
         let n = rows.len() as f64;
-        let mean =
-            rows.iter()
-                .fold([0.0f64; 4], |acc, f| [acc[0] + f[0], acc[1] + f[1], acc[2] + f[2], acc[3] + f[3]]);
+        let mean = rows.iter().fold([0.0f64; 4], |acc, f| {
+            [acc[0] + f[0], acc[1] + f[1], acc[2] + f[2], acc[3] + f[3]]
+        });
         let family = if color { "h-color" } else { "h-surface" };
         println!(
             "{:<22} {:>6} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",

@@ -4,9 +4,12 @@
 use fpn_core::prelude::*;
 
 fn row(code: &CssCode) {
-    let with = ArchitectureMetrics::compute(code, &FlagProxyNetwork::build(code, &FpnConfig::shared()));
-    let without =
-        ArchitectureMetrics::compute(code, &FlagProxyNetwork::build(code, &FpnConfig::flags_only()));
+    let with =
+        ArchitectureMetrics::compute(code, &FlagProxyNetwork::build(code, &FpnConfig::shared()));
+    let without = ArchitectureMetrics::compute(
+        code,
+        &FlagProxyNetwork::build(code, &FpnConfig::flags_only()),
+    );
     println!(
         "{:<36} n={:<5} k={:<4} N(no-share)={:<6} N(share)={:<6} Reff(no-share)={:<8.4} Reff(share)={:<8.4} gain={:.2}x vs 1/49: {:.1}x",
         code.name(),
@@ -23,7 +26,10 @@ fn row(code: &CssCode) {
 
 fn main() {
     println!("== Fig. 12: effective rate with/without flag sharing ==");
-    println!("reference: d=5 planar surface code Reff = 1/49 = {:.4}", 1.0 / 49.0);
+    println!(
+        "reference: d=5 planar surface code Reff = 1/49 = {:.4}",
+        1.0 / 49.0
+    );
     println!("-- hyperbolic surface codes --");
     let mut surface_gains = Vec::new();
     let mut surface_vs_planar = Vec::new();
@@ -32,8 +38,10 @@ fn main() {
             continue;
         }
         let code = hyperbolic_surface_code(spec).expect("registry codes build");
-        let with =
-            ArchitectureMetrics::compute(&code, &FlagProxyNetwork::build(&code, &FpnConfig::shared()));
+        let with = ArchitectureMetrics::compute(
+            &code,
+            &FlagProxyNetwork::build(&code, &FpnConfig::shared()),
+        );
         let without = ArchitectureMetrics::compute(
             &code,
             &FlagProxyNetwork::build(&code, &FpnConfig::flags_only()),
@@ -50,8 +58,10 @@ fn main() {
             continue;
         }
         let code = hyperbolic_color_code(spec).expect("registry codes build");
-        let with =
-            ArchitectureMetrics::compute(&code, &FlagProxyNetwork::build(&code, &FpnConfig::shared()));
+        let with = ArchitectureMetrics::compute(
+            &code,
+            &FlagProxyNetwork::build(&code, &FpnConfig::shared()),
+        );
         let without = ArchitectureMetrics::compute(
             &code,
             &FlagProxyNetwork::build(&code, &FpnConfig::flags_only()),

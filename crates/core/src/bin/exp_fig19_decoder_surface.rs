@@ -30,13 +30,31 @@ fn main() {
     for basis in [Basis::X, Basis::Z] {
         for &p in &ps {
             let pt = ber_point(
-                &code, &direct, DecoderKind::PlainMwpm, p, 3, basis, 400_000, 300, 11, threads,
+                &code,
+                &direct,
+                DecoderKind::PlainMwpm,
+                p,
+                3,
+                basis,
+                400_000,
+                300,
+                11,
+                threads,
             );
             print_ber_row("plain MWPM (direct arch)", &pt);
         }
         for &p in &ps {
             let pt = ber_point(
-                &code, &shared, DecoderKind::FlaggedMwpm, p, 3, basis, 400_000, 300, 13, threads,
+                &code,
+                &shared,
+                DecoderKind::FlaggedMwpm,
+                p,
+                3,
+                basis,
+                400_000,
+                300,
+                13,
+                threads,
             );
             print_ber_row("flagged MWPM (FPN)", &pt);
         }

@@ -5,7 +5,10 @@ use fpn_core::prelude::*;
 
 fn main() {
     println!("== Table I: highest mean degree by subfamily ==");
-    println!("{:<26} {:>12} {:>10}", "family/subfamily", "mean degree", "max degree");
+    println!(
+        "{:<26} {:>12} {:>10}",
+        "family/subfamily", "mean degree", "max degree"
+    );
     let mut groups: Vec<((usize, usize, bool), f64, usize)> = Vec::new();
     let mut consider = |key: (usize, usize, bool), mean: f64, max: usize| {
         if let Some(entry) = groups.iter_mut().find(|(k, _, _)| *k == key) {
@@ -35,7 +38,12 @@ fn main() {
     }
     for ((r, s, color), mean, max) in &groups {
         let family = if *color { "h-color" } else { "h-surface" };
-        println!("{:<26} {:>12.2} {:>10}", format!("{family} {{{r},{s}}}"), mean, max);
+        println!(
+            "{:<26} {:>12.2} {:>10}",
+            format!("{family} {{{r},{s}}}"),
+            mean,
+            max
+        );
     }
     for d in [3usize, 5, 7] {
         let code = rotated_surface_code(d);

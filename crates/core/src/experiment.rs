@@ -3,11 +3,12 @@
 
 use qec_code::{CssCode, PlaqColor};
 use qec_decode::{
-    ColorCodeContext, Decoder, MwpmConfig, MwpmDecoder, RestrictionConfig, RestrictionDecoder,
+    ColorCodeContext, DecodeScratch, Decoder, MwpmConfig, MwpmDecoder, RestrictionConfig,
+    RestrictionDecoder,
 };
+use qec_math::rng::Xoshiro256StarStar;
 use qec_math::BitVec;
 use qec_sched::{Basis, MemoryExperiment};
-use qec_math::rng::Xoshiro256StarStar;
 use qec_sim::noise::NoiseModel;
 use qec_sim::{Circuit, DetectorErrorModel, FrameBatch, FrameSampler};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -105,7 +106,9 @@ pub fn color_context(code: &CssCode, basis: Basis) -> ColorCodeContext {
             PlaqColor::Blue => 2,
         })
         .collect();
-    let plaquette_supports = (0..code.num_x_checks()).map(|i| code.x_support(i)).collect();
+    let plaquette_supports = (0..code.num_x_checks())
+        .map(|i| code.x_support(i))
+        .collect();
     // In a Z-basis memory the residual errors that matter are X-type:
     // an X on qubit q flips the Z logicals containing q.
     let logicals = code.logicals();
@@ -136,6 +139,10 @@ pub struct BerStats {
     pub failures: usize,
     /// Number of logical qubits (for normalization).
     pub k: usize,
+    /// Shots the decoder abandoned with a partial correction during
+    /// this run (nonzero only for decoders that can give up, currently
+    /// Union-Find; see [`qec_decode::DecoderStats`]).
+    pub decode_giveups: usize,
 }
 
 impl BerStats {
@@ -185,6 +192,7 @@ pub fn run_ber(
     let failures = AtomicUsize::new(0);
     let next_batch = AtomicUsize::new(0);
     let k = circuit.observables().len();
+    let giveups_before = decoder.stats().giveups();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let failures = &failures;
@@ -192,6 +200,10 @@ pub fn run_ber(
             scope.spawn(move || {
                 let sampler = FrameSampler::new(circuit);
                 let mut scratch = FrameBatch::new();
+                let mut decode_scratch = DecodeScratch::new();
+                let mut dets = BitVec::zeros(0);
+                let mut actual = BitVec::zeros(0);
+                let mut predicted = BitVec::zeros(0);
                 let mut local_failures = 0usize;
                 loop {
                     let b = next_batch.fetch_add(1, Ordering::Relaxed);
@@ -201,15 +213,15 @@ pub fn run_ber(
                     let mut rng = Xoshiro256StarStar::from_seed_stream(seed, b as u64);
                     let batch = sampler.sample_batch_with(&mut scratch, &mut rng);
                     for shot in 0..64 {
-                        let actual = batch.observable_bits(shot);
-                        let dets = batch.detector_bits(shot);
+                        batch.observable_bits_into(shot, &mut actual);
+                        batch.detector_bits_into(shot, &mut dets);
                         if dets.is_zero() {
                             if !actual.is_zero() {
                                 local_failures += 1;
                             }
                             continue;
                         }
-                        let predicted = decoder.decode(&dets);
+                        decoder.decode_into(&dets, &mut decode_scratch, &mut predicted);
                         if predicted != actual {
                             local_failures += 1;
                         }
@@ -223,6 +235,7 @@ pub fn run_ber(
         shots: batches * 64,
         failures: failures.load(Ordering::Relaxed),
         k,
+        decode_giveups: (decoder.stats().giveups() - giveups_before) as usize,
     }
 }
 
@@ -305,8 +318,7 @@ mod tests {
         let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
         let noise = NoiseModel::new(5e-4);
         let exp = build_memory_circuit(&code, &fpn, Some(&noise), 2, Basis::Z);
-        let pipeline =
-            DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedRestriction, &noise);
+        let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedRestriction, &noise);
         let stats = run_ber(&exp.circuit, pipeline.decoder(), 1_000, 5, 4);
         assert!(stats.ber() < 0.15, "toric color BER {}", stats.ber());
     }
@@ -353,6 +365,7 @@ mod tests {
             shots: 1000,
             failures: 40,
             k: 8,
+            decode_giveups: 0,
         };
         assert!((stats.ber() - 0.04).abs() < 1e-12);
         assert!((stats.ber_norm() - 0.005).abs() < 1e-12);

@@ -42,6 +42,7 @@ pub fn ber_point(
         shots: 0,
         failures: 0,
         k: code.k(),
+        decode_giveups: 0,
     };
     let mut chunk = 4096.max(64 * threads);
     let mut round_seed = seed;
@@ -56,6 +57,7 @@ pub fn ber_point(
         );
         total.shots += stats.shots;
         total.failures += stats.failures;
+        total.decode_giveups += stats.decode_giveups;
         round_seed = round_seed.wrapping_add(0x9e3779b97f4a7c15);
         chunk = (chunk * 2).min(1 << 20);
     }

@@ -169,8 +169,10 @@ impl DecodingHypergraph {
         let mut classes: Vec<EquivClass> = by_sigma
             .into_iter()
             .map(|(sigma, members)| {
-                let mut flag_support: Vec<u32> =
-                    members.iter().flat_map(|m| m.flags.iter().copied()).collect();
+                let mut flag_support: Vec<u32> = members
+                    .iter()
+                    .flat_map(|m| m.flags.iter().copied())
+                    .collect();
                 flag_support.sort_unstable();
                 flag_support.dedup();
                 EquivClass {
@@ -439,13 +441,28 @@ impl DecodingHypergraph {
     ///
     /// Panics if `detectors` has the wrong length.
     pub fn split_shot(&self, detectors: &BitVec) -> (Vec<usize>, BitVec) {
+        let mut checks = Vec::new();
+        let mut flags = BitVec::zeros(self.num_flag);
+        self.split_shot_into(detectors, &mut checks, &mut flags);
+        (checks, flags)
+    }
+
+    /// Scratch-reusing variant of [`Self::split_shot`]: clears and
+    /// refills caller-owned buffers instead of allocating. `checks`
+    /// comes out sorted ascending (the iteration order of
+    /// [`BitVec::iter_ones`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detectors` has the wrong length.
+    pub fn split_shot_into(&self, detectors: &BitVec, checks: &mut Vec<usize>, flags: &mut BitVec) {
         assert_eq!(
             detectors.len(),
             self.check_index.len(),
             "detector count mismatch"
         );
-        let mut checks = Vec::new();
-        let mut flags = BitVec::zeros(self.num_flag);
+        checks.clear();
+        flags.reset_zeros(self.num_flag);
         for d in detectors.iter_ones() {
             if let Some(c) = self.check_index[d] {
                 checks.push(c);
@@ -453,7 +470,6 @@ impl DecodingHypergraph {
                 flags.set(f, true);
             }
         }
-        (checks, flags)
     }
 }
 
@@ -500,11 +516,7 @@ mod tests {
     fn representative_follows_flags() {
         let dem = toy_dem();
         let hg = DecodingHypergraph::new(&dem);
-        let class = hg
-            .classes()
-            .iter()
-            .find(|c| c.sigma == vec![0])
-            .unwrap();
+        let class = hg.classes().iter().find(|c| c.sigma == vec![0]).unwrap();
         let minus_ln_pm = -(0.05f64).ln();
         // No flags raised: the unflagged (p = 0.1) member wins.
         let none = BitVec::zeros(1);

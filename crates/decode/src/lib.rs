@@ -33,11 +33,13 @@
 mod hypergraph;
 mod mwpm;
 mod restriction;
+mod scratch;
 mod unionfind;
 
 pub use hypergraph::{ClassMember, DecodingHypergraph, EquivClass};
 pub use mwpm::{MwpmConfig, MwpmDecoder, TraceEdge};
 pub use restriction::{ColorCodeContext, RestrictionConfig, RestrictionDecoder, RestrictionEvent};
+pub use scratch::{DecodeScratch, DecoderStats};
 pub use unionfind::{UnionFindConfig, UnionFindDecoder};
 
 use qec_math::BitVec;
@@ -47,6 +49,30 @@ use qec_math::BitVec;
 pub trait Decoder: Sync {
     /// Decodes one shot.
     fn decode(&self, detectors: &BitVec) -> BitVec;
+
+    /// Decodes one shot into `out`, reusing `scratch` across calls.
+    ///
+    /// This is the batched hot path: per-thread work arrays survive
+    /// between shots and are reset in *O(touched)*, so steady-state
+    /// decoding allocates nothing. The result is bit-identical to
+    /// [`Decoder::decode`] (covered by property and golden tests).
+    ///
+    /// The default implementation falls back to `decode`, so trait
+    /// implementors only opt in when they have a real scratch-reusing
+    /// path.
+    fn decode_into(&self, detectors: &BitVec, scratch: &mut DecodeScratch, out: &mut BitVec) {
+        let _ = scratch;
+        *out = self.decode(detectors);
+    }
+
+    /// Cumulative decode statistics (shot counts, Union-Find give-ups).
+    ///
+    /// The default implementation reports zeros; decoders that can
+    /// abandon a shot (currently Union-Find) keep real counters so
+    /// `run_ber` and `qec-bench` can surface silent give-ups.
+    fn stats(&self) -> DecoderStats {
+        DecoderStats::default()
+    }
 
     /// Number of observables this decoder predicts.
     fn num_observables(&self) -> usize;

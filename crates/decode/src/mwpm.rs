@@ -1,11 +1,11 @@
 //! The flagged MWPM decoder (§VI-C) and its unflagged baseline.
 
 use crate::hypergraph::DecodingHypergraph;
+use crate::scratch::{DecodeScratch, HeapItem, MatchingScratch};
 use crate::Decoder;
 use qec_math::graph::matching::min_weight_perfect_matching_f64;
 use qec_math::BitVec;
 use qec_sim::DetectorErrorModel;
-use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Configuration of [`MwpmDecoder`].
@@ -57,9 +57,6 @@ pub struct MwpmDecoder {
 
 /// Edges costlier than this are treated as unusable.
 const UNREACHABLE: f64 = 1.0e8;
-
-/// Distance and predecessor `(vertex, class)` arrays of one Dijkstra run.
-type DijkstraRun = (Vec<f64>, Vec<(usize, usize)>);
 
 impl MwpmDecoder {
     /// Builds the decoder from a detector error model.
@@ -119,42 +116,33 @@ impl MwpmDecoder {
         &self.hypergraph
     }
 
-    fn dijkstra(
+    /// One Dijkstra run into pooled `dist`/`pred` arrays; `done` and
+    /// `heap` are shared across runs and left drained.
+    #[allow(clippy::too_many_arguments)]
+    fn dijkstra_into(
         &self,
         src: usize,
         overrides: &HashMap<usize, (usize, f64)>,
         flag_constant: f64,
-    ) -> DijkstraRun {
-        #[derive(PartialEq)]
-        struct Item {
-            dist: f64,
-            node: usize,
-        }
-        impl Eq for Item {}
-        impl Ord for Item {
-            fn cmp(&self, other: &Self) -> Ordering {
-                other
-                    .dist
-                    .partial_cmp(&self.dist)
-                    .unwrap_or(Ordering::Equal)
-            }
-        }
-        impl PartialOrd for Item {
-            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-                Some(self.cmp(other))
-            }
-        }
+        dist: &mut Vec<f64>,
+        pred: &mut Vec<(usize, usize)>,
+        done: &mut Vec<bool>,
+        heap: &mut BinaryHeap<HeapItem>,
+    ) {
         let n = self.adjacency.len();
-        let mut dist = vec![f64::INFINITY; n];
-        let mut pred = vec![(usize::MAX, usize::MAX); n];
-        let mut done = vec![false; n];
-        let mut heap = BinaryHeap::new();
+        dist.clear();
+        dist.resize(n, f64::INFINITY);
+        pred.clear();
+        pred.resize(n, (usize::MAX, usize::MAX));
+        done.clear();
+        done.resize(n, false);
+        heap.clear();
         dist[src] = 0.0;
-        heap.push(Item {
+        heap.push(HeapItem {
             dist: 0.0,
             node: src,
         });
-        while let Some(Item { dist: d, node: u }) = heap.pop() {
+        while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
             if done[u] {
                 continue;
             }
@@ -171,11 +159,10 @@ impl MwpmDecoder {
                 if nd < dist[v] {
                     dist[v] = nd;
                     pred[v] = (u, class);
-                    heap.push(Item { dist: nd, node: v });
+                    heap.push(HeapItem { dist: nd, node: v });
                 }
             }
         }
-        (dist, pred)
     }
 
     fn apply_path(
@@ -233,14 +220,23 @@ impl MwpmDecoder {
     /// path edges, for diagnostics and tooling.
     pub fn decode_with_trace(&self, detectors: &BitVec) -> (BitVec, Vec<TraceEdge>) {
         let mut trace = Vec::new();
-        let correction = self.decode_inner(detectors, Some(&mut trace));
+        let mut sc = MatchingScratch::default();
+        let mut correction = BitVec::zeros(0);
+        self.decode_core(detectors, &mut sc, &mut correction, Some(&mut trace));
         (correction, trace)
     }
 }
 
 impl Decoder for MwpmDecoder {
     fn decode(&self, detectors: &BitVec) -> BitVec {
-        self.decode_inner(detectors, None)
+        let mut sc = MatchingScratch::default();
+        let mut correction = BitVec::zeros(0);
+        self.decode_core(detectors, &mut sc, &mut correction, None);
+        correction
+    }
+
+    fn decode_into(&self, detectors: &BitVec, scratch: &mut DecodeScratch, out: &mut BitVec) {
+        self.decode_core(detectors, &mut scratch.mwpm, out, None);
     }
 
     fn num_observables(&self) -> usize {
@@ -249,22 +245,43 @@ impl Decoder for MwpmDecoder {
 }
 
 impl MwpmDecoder {
-    fn decode_inner(&self, detectors: &BitVec, mut trace: Option<&mut Vec<TraceEdge>>) -> BitVec {
-        let mut correction = BitVec::zeros(self.hypergraph.num_observables());
-        let (checks, flags) = self.hypergraph.split_shot(detectors);
+    /// The shared decode body: `decode` runs it against a throwaway
+    /// scratch, `decode_into` against the caller's. Both paths execute
+    /// the exact same computation sequence, so their outputs are
+    /// bit-identical.
+    fn decode_core(
+        &self,
+        detectors: &BitVec,
+        sc: &mut MatchingScratch,
+        correction: &mut BitVec,
+        mut trace: Option<&mut Vec<TraceEdge>>,
+    ) {
+        let MatchingScratch {
+            checks,
+            flags,
+            overrides,
+            dist,
+            pred,
+            done,
+            heap,
+            edges,
+            ..
+        } = sc;
+        correction.reset_zeros(self.hypergraph.num_observables());
+        self.hypergraph.split_shot_into(detectors, checks, flags);
         // Flag-conditioned overrides for affected classes.
-        let mut overrides: HashMap<usize, (usize, f64)> = HashMap::new();
+        overrides.clear();
         if self.config.flag_conditioning && !flags.is_zero() {
             for f in flags.iter_ones() {
                 for &class in self.hypergraph.classes_with_flag(f) {
                     overrides.entry(class).or_insert_with(|| {
-                        self.hypergraph.classes()[class].representative(&flags, self.minus_ln_pm)
+                        self.hypergraph.classes()[class].representative(flags, self.minus_ln_pm)
                     });
                 }
             }
         }
         if checks.is_empty() {
-            return correction;
+            return;
         }
         let boundary = self.hypergraph.num_check_detectors();
         let flag_constant = if self.config.flag_conditioning {
@@ -272,23 +289,34 @@ impl MwpmDecoder {
         } else {
             0.0
         };
-        let runs: Vec<DijkstraRun> = checks
-            .iter()
-            .map(|&c| self.dijkstra(c, &overrides, flag_constant))
-            .collect();
+        let s = checks.len();
+        while dist.len() < s {
+            dist.push(Vec::new());
+            pred.push(Vec::new());
+        }
+        for i in 0..s {
+            self.dijkstra_into(
+                checks[i],
+                overrides,
+                flag_constant,
+                &mut dist[i],
+                &mut pred[i],
+                done,
+                heap,
+            );
+        }
         // Matching instance: flipped detectors 0..s, boundary copies
         // s..2s when the code has a boundary.
-        let s = checks.len();
-        let mut edges: Vec<(usize, usize, f64)> = Vec::new();
-        for i in 0..s {
-            for j in (i + 1)..s {
-                let d = runs[i].0[checks[j]];
+        edges.clear();
+        for (i, di) in dist.iter().enumerate().take(s) {
+            for (j, &cj) in checks.iter().enumerate().skip(i + 1) {
+                let d = di[cj];
                 if d < UNREACHABLE {
                     edges.push((i, j, d));
                 }
             }
             if self.has_boundary {
-                let d = runs[i].0[boundary];
+                let d = di[boundary];
                 if d < UNREACHABLE {
                     edges.push((i, s + i, d));
                 }
@@ -302,31 +330,20 @@ impl MwpmDecoder {
             }
         }
         let nodes = if self.has_boundary { 2 * s } else { s };
-        let Some(matching) = min_weight_perfect_matching_f64(nodes, &edges) else {
-            return correction; // no consistent pairing: give up
+        let Some(matching) = min_weight_perfect_matching_f64(nodes, edges) else {
+            return; // no consistent pairing: give up
         };
         for (a, b) in matching.pairs() {
             if a < s && b < s {
                 self.apply_path(
-                    &runs[a].1,
-                    checks[a],
-                    checks[b],
-                    &overrides,
-                    &mut correction,
-                    &mut trace,
+                    &pred[a], checks[a], checks[b], overrides, correction, &mut trace,
                 );
             } else if a < s && b == s + a {
                 self.apply_path(
-                    &runs[a].1,
-                    checks[a],
-                    boundary,
-                    &overrides,
-                    &mut correction,
-                    &mut trace,
+                    &pred[a], checks[a], boundary, overrides, correction, &mut trace,
                 );
             }
         }
-        correction
     }
 }
 
@@ -377,5 +394,19 @@ mod tests {
         let decoder = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
         let out = decoder.decode(&BitVec::zeros(dem.num_detectors()));
         assert!(out.is_zero());
+    }
+
+    #[test]
+    fn decode_into_matches_decode_with_reused_scratch() {
+        let dem = repetition_dem(0.01);
+        let decoder = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
+        let nd = dem.num_detectors();
+        let mut scratch = DecodeScratch::new();
+        let mut out = BitVec::zeros(0);
+        for pattern in 0..(1u32 << nd) {
+            let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
+            decoder.decode_into(&dets, &mut scratch, &mut out);
+            assert_eq!(out, decoder.decode(&dets), "syndrome {pattern:#b}");
+        }
     }
 }

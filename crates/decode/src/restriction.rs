@@ -2,11 +2,11 @@
 //! Chamberland-style baseline.
 
 use crate::hypergraph::DecodingHypergraph;
+use crate::scratch::{DecodeScratch, HeapItem, MatchingScratch};
 use crate::Decoder;
 use qec_math::graph::matching::min_weight_perfect_matching_f64;
 use qec_math::{gf2, BitMatrix, BitVec};
 use qec_sim::DetectorErrorModel;
-use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Structural information about the color code, needed for lifting.
@@ -85,9 +85,6 @@ pub struct RestrictionDecoder {
 
 const UNREACHABLE: f64 = 1.0e8;
 
-/// Distance and predecessor `(vertex, class)` arrays of one Dijkstra run.
-type DijkstraRun = (Vec<f64>, Vec<(usize, usize)>);
-
 impl RestrictionDecoder {
     /// Builds the decoder from a detector error model and the color
     /// structure of the code.
@@ -123,10 +120,10 @@ impl RestrictionDecoder {
             let num_check = hypergraph.num_check_detectors();
             let mut vertex_of = vec![None; num_check];
             let mut check_of = Vec::new();
-            for c in 0..num_check {
+            for (c, slot) in vertex_of.iter_mut().enumerate() {
                 let col = color_of_check(c);
                 if col == colors.0 || col == colors.1 {
-                    vertex_of[c] = Some(check_of.len());
+                    *slot = Some(check_of.len());
                     check_of.push(c);
                 }
             }
@@ -177,43 +174,35 @@ impl RestrictionDecoder {
         &self.hypergraph
     }
 
-    fn dijkstra(
+    /// One Dijkstra run on a restricted lattice into pooled
+    /// `dist`/`pred` arrays; `done` and `heap` are shared across runs
+    /// and left drained.
+    #[allow(clippy::too_many_arguments)]
+    fn dijkstra_into(
         &self,
         lattice: &Lattice,
         src: usize,
         overrides: &HashMap<usize, (usize, f64)>,
         flag_constant: f64,
-    ) -> DijkstraRun {
-        #[derive(PartialEq)]
-        struct Item {
-            dist: f64,
-            node: usize,
-        }
-        impl Eq for Item {}
-        impl Ord for Item {
-            fn cmp(&self, other: &Self) -> Ordering {
-                other
-                    .dist
-                    .partial_cmp(&self.dist)
-                    .unwrap_or(Ordering::Equal)
-            }
-        }
-        impl PartialOrd for Item {
-            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-                Some(self.cmp(other))
-            }
-        }
+        dist: &mut Vec<f64>,
+        pred: &mut Vec<(usize, usize)>,
+        done: &mut Vec<bool>,
+        heap: &mut BinaryHeap<HeapItem>,
+    ) {
         let n = lattice.adjacency.len();
-        let mut dist = vec![f64::INFINITY; n];
-        let mut pred = vec![(usize::MAX, usize::MAX); n];
-        let mut done = vec![false; n];
-        let mut heap = BinaryHeap::new();
+        dist.clear();
+        dist.resize(n, f64::INFINITY);
+        pred.clear();
+        pred.resize(n, (usize::MAX, usize::MAX));
+        done.clear();
+        done.resize(n, false);
+        heap.clear();
         dist[src] = 0.0;
-        heap.push(Item {
+        heap.push(HeapItem {
             dist: 0.0,
             node: src,
         });
-        while let Some(Item { dist: d, node: u }) = heap.pop() {
+        while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
             if done[u] {
                 continue;
             }
@@ -232,11 +221,10 @@ impl RestrictionDecoder {
                 if nd < dist[v] {
                     dist[v] = nd;
                     pred[v] = (u, class);
-                    heap.push(Item { dist: nd, node: v });
+                    heap.push(HeapItem { dist: nd, node: v });
                 }
             }
         }
-        (dist, pred)
     }
 
     /// Runs MWPM on one restricted lattice; appends `(class, a, b)`
@@ -248,12 +236,16 @@ impl RestrictionDecoder {
         flipped_checks: &[usize],
         overrides: &HashMap<usize, (usize, f64)>,
         flag_constant: f64,
+        sources: &mut Vec<usize>,
+        dist: &mut Vec<Vec<f64>>,
+        pred: &mut Vec<Vec<(usize, usize)>>,
+        done: &mut Vec<bool>,
+        heap: &mut BinaryHeap<HeapItem>,
+        edges: &mut Vec<(usize, usize, f64)>,
         em: &mut Vec<(usize, usize, usize)>,
     ) {
-        let sources: Vec<usize> = flipped_checks
-            .iter()
-            .filter_map(|&c| lattice.vertex_of[c])
-            .collect();
+        sources.clear();
+        sources.extend(flipped_checks.iter().filter_map(|&c| lattice.vertex_of[c]));
         if sources.is_empty() {
             return;
         }
@@ -262,27 +254,39 @@ impl RestrictionDecoder {
             // odd count means an unusable shot — decode conservatively.
             return;
         }
-        let runs: Vec<DijkstraRun> = sources
-            .iter()
-            .map(|&v| self.dijkstra(lattice, v, overrides, flag_constant))
-            .collect();
         let s = sources.len();
-        let mut edges = Vec::new();
+        while dist.len() < s {
+            dist.push(Vec::new());
+            pred.push(Vec::new());
+        }
         for i in 0..s {
-            for j in (i + 1)..s {
-                let d = runs[i].0[sources[j]];
+            self.dijkstra_into(
+                lattice,
+                sources[i],
+                overrides,
+                flag_constant,
+                &mut dist[i],
+                &mut pred[i],
+                done,
+                heap,
+            );
+        }
+        edges.clear();
+        for (i, di) in dist.iter().enumerate().take(s) {
+            for (j, &sj) in sources.iter().enumerate().skip(i + 1) {
+                let d = di[sj];
                 if d < UNREACHABLE {
                     edges.push((i, j, d));
                 }
             }
         }
-        let Some(matching) = min_weight_perfect_matching_f64(s, &edges) else {
+        let Some(matching) = min_weight_perfect_matching_f64(s, edges) else {
             return;
         };
         for (a, b) in matching.pairs() {
             let mut cur = sources[b];
             while cur != sources[a] {
-                let (prev, class) = runs[a].1[cur];
+                let (prev, class) = pred[a][cur];
                 em.push((class, lattice.check_of[prev], lattice.check_of[cur]));
                 cur = prev;
             }
@@ -332,14 +336,23 @@ impl RestrictionDecoder {
     /// events, for diagnostics and tooling.
     pub fn decode_with_trace(&self, detectors: &BitVec) -> (BitVec, Vec<RestrictionEvent>) {
         let mut trace = Vec::new();
-        let correction = self.decode_inner(detectors, Some(&mut trace));
+        let mut sc = MatchingScratch::default();
+        let mut correction = BitVec::zeros(0);
+        self.decode_core(detectors, &mut sc, &mut correction, Some(&mut trace));
         (correction, trace)
     }
 }
 
 impl Decoder for RestrictionDecoder {
     fn decode(&self, detectors: &BitVec) -> BitVec {
-        self.decode_inner(detectors, None)
+        let mut sc = MatchingScratch::default();
+        let mut correction = BitVec::zeros(0);
+        self.decode_core(detectors, &mut sc, &mut correction, None);
+        correction
+    }
+
+    fn decode_into(&self, detectors: &BitVec, scratch: &mut DecodeScratch, out: &mut BitVec) {
+        self.decode_core(detectors, &mut scratch.restriction, out, None);
     }
 
     fn num_observables(&self) -> usize {
@@ -348,25 +361,47 @@ impl Decoder for RestrictionDecoder {
 }
 
 impl RestrictionDecoder {
-    fn decode_inner(
+    /// The shared decode body: `decode` runs it against a throwaway
+    /// scratch, `decode_into` against the caller's. The reconciliation
+    /// and lifting stages keep small bounded per-shot allocations; the
+    /// matching stage (the per-shot cost driver) reuses the scratch.
+    fn decode_core(
         &self,
         detectors: &BitVec,
+        sc: &mut MatchingScratch,
+        correction: &mut BitVec,
         mut trace: Option<&mut Vec<RestrictionEvent>>,
-    ) -> BitVec {
-        let mut correction = BitVec::zeros(self.hypergraph.num_observables());
-        let (checks, flags) = self.hypergraph.split_shot(detectors);
-        let mut overrides: HashMap<usize, (usize, f64)> = HashMap::new();
+    ) {
+        let MatchingScratch {
+            checks,
+            flags,
+            overrides,
+            dist,
+            pred,
+            done,
+            heap,
+            edges,
+            sources,
+            em,
+            counts,
+            twice,
+            flattened,
+            at_red,
+        } = sc;
+        correction.reset_zeros(self.hypergraph.num_observables());
+        self.hypergraph.split_shot_into(detectors, checks, flags);
+        overrides.clear();
         if self.config.flag_conditioning && !flags.is_zero() {
             for f in flags.iter_ones() {
                 for &class in self.hypergraph.classes_with_flag(f) {
                     overrides.entry(class).or_insert_with(|| {
-                        self.hypergraph.classes()[class].representative(&flags, self.minus_ln_pm)
+                        self.hypergraph.classes()[class].representative(flags, self.minus_ln_pm)
                     });
                 }
             }
         }
         if checks.is_empty() {
-            return correction;
+            return;
         }
         // Matchings on L_RG, L_RB and L_GB.
         let flag_constant = if self.config.flag_conditioning {
@@ -374,10 +409,22 @@ impl RestrictionDecoder {
         } else {
             0.0
         };
-        let mut em: Vec<(usize, usize, usize)> = Vec::new();
+        em.clear();
         for (li, lattice) in self.lattices.iter().enumerate() {
             let start = em.len();
-            self.match_lattice(lattice, &checks, &overrides, flag_constant, &mut em);
+            self.match_lattice(
+                lattice,
+                checks,
+                overrides,
+                flag_constant,
+                sources,
+                dist,
+                pred,
+                done,
+                heap,
+                edges,
+                em,
+            );
             if let Some(t) = trace.as_deref_mut() {
                 for &(class, a, b) in &em[start..] {
                     t.push(RestrictionEvent::MatchedEdge {
@@ -414,7 +461,10 @@ impl RestrictionDecoder {
                     .map(|&c| {
                         BitVec::from_ones(
                             num_check,
-                            self.hypergraph.classes()[c].sigma.iter().map(|&s| s as usize),
+                            self.hypergraph.classes()[c]
+                                .sigma
+                                .iter()
+                                .map(|&s| s as usize),
                         )
                     })
                     .collect();
@@ -443,13 +493,13 @@ impl RestrictionDecoder {
                             let member = overrides
                                 .get(&class)
                                 .map_or(self.base_choice[class].0, |&(m, _)| m);
-                            self.apply_member(class, member, &mut correction);
+                            self.apply_member(class, member, correction);
                             if let Some(t) = trace.as_deref_mut() {
                                 t.push(RestrictionEvent::TwiceApplied { class, member });
                             }
                         }
                     }
-                    return correction;
+                    return;
                 }
             }
         }
@@ -457,20 +507,17 @@ impl RestrictionDecoder {
         // matchings is corrected directly (this is where propagation
         // errors flipping two same-color plaquettes are handled).
         if self.config.twice_used_rule {
-            let mut counts: HashMap<usize, usize> = HashMap::new();
-            for &(class, _, _) in &em {
+            counts.clear();
+            for &(class, _, _) in em.iter() {
                 *counts.entry(class).or_insert(0) += 1;
             }
-            let twice: Vec<usize> = counts
-                .iter()
-                .filter(|&(_, &n)| n >= 2)
-                .map(|(&c, _)| c)
-                .collect();
-            for &class in &twice {
+            twice.clear();
+            twice.extend(counts.iter().filter(|&(_, &n)| n >= 2).map(|(&c, _)| c));
+            for &class in twice.iter() {
                 let member = overrides
                     .get(&class)
                     .map_or(self.base_choice[class].0, |&(m, _)| m);
-                self.apply_member(class, member, &mut correction);
+                self.apply_member(class, member, correction);
                 if let Some(t) = trace.as_deref_mut() {
                     t.push(RestrictionEvent::TwiceApplied { class, member });
                 }
@@ -480,8 +527,8 @@ impl RestrictionDecoder {
         // Lifting: flatten remaining edges to plaquette space (dropping
         // time-like edges) and solve for data errors around each red
         // plaquette.
-        let mut flattened: HashMap<(usize, usize), usize> = HashMap::new();
-        for &(_, ca, cb) in &em {
+        flattened.clear();
+        for &(_, ca, cb) in em.iter() {
             let pa = self.hypergraph.check_meta(ca).id;
             let pb = self.hypergraph.check_meta(cb).id;
             if pa == pb {
@@ -491,8 +538,8 @@ impl RestrictionDecoder {
             *flattened.entry(key).or_insert(0) ^= 1;
         }
         // Group odd edges by incident red plaquette.
-        let mut at_red: HashMap<usize, Vec<usize>> = HashMap::new();
-        for (&(pa, pb), &parity) in &flattened {
+        at_red.clear();
+        for (&(pa, pb), &parity) in flattened.iter() {
             if parity == 0 {
                 continue;
             }
@@ -504,7 +551,7 @@ impl RestrictionDecoder {
             // Edges between two non-red plaquettes cannot be lifted at
             // a red vertex and are dropped.
         }
-        for (red, odd_neighbors) in at_red {
+        for (&red, odd_neighbors) in at_red.iter() {
             // Solve for the data subset of the red plaquette whose
             // boundary matches the incident edges: parity 1 toward
             // plaquettes with an odd EM edge, parity 0 toward every
@@ -562,12 +609,13 @@ impl RestrictionDecoder {
                 }
             }
             if let Some(t) = trace.as_deref_mut() {
-                t.push(RestrictionEvent::Lifted { red, qubits: lifted });
+                t.push(RestrictionEvent::Lifted {
+                    red,
+                    qubits: lifted,
+                });
             }
         }
-        correction
     }
-
 }
 
 #[cfg(test)]
@@ -627,5 +675,19 @@ mod tests {
         assert!(decoder
             .decode(&BitVec::zeros(dem.num_detectors()))
             .is_zero());
+    }
+
+    #[test]
+    fn decode_into_matches_decode_with_reused_scratch() {
+        let (dem, ctx) = tiny_color_dem();
+        let decoder = RestrictionDecoder::new(&dem, ctx, RestrictionConfig::flagged(0.01));
+        let nd = dem.num_detectors();
+        let mut scratch = DecodeScratch::new();
+        let mut out = BitVec::zeros(0);
+        for pattern in 0..(1u32 << nd) {
+            let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
+            decoder.decode_into(&dets, &mut scratch, &mut out);
+            assert_eq!(out, decoder.decode(&dets), "syndrome {pattern:#b}");
+        }
     }
 }

@@ -1,0 +1,178 @@
+//! Reusable per-thread decoder scratch buffers and decoder statistics.
+//!
+//! [`DecodeScratch`] backs the zero-allocation batched decode path
+//! ([`crate::Decoder::decode_into`]): one instance lives next to each
+//! worker thread's frame-sampling scratch and is reset in *O(touched)*
+//! between shots, so steady-state decoding never reallocates its work
+//! arrays. The concrete buffers are private to this crate; callers only
+//! create the scratch and hand it back to the decoder.
+
+use qec_math::BitVec;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Lifetime counters a decoder exposes through
+/// [`crate::Decoder::stats`].
+///
+/// All counts are cumulative since the decoder was built; callers that
+/// want per-run numbers (e.g. `run_ber`) snapshot before/after and
+/// subtract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecoderStats {
+    /// Shots decoded (via `decode` or `decode_into`).
+    pub decodes: u64,
+    /// Union-Find shots abandoned because no cluster could grow
+    /// (an odd cluster with no usable edges — a partial correction was
+    /// returned).
+    pub giveups_stalled: u64,
+    /// Union-Find shots abandoned at the `4n`-round safety limit.
+    pub giveups_round_limit: u64,
+}
+
+impl DecoderStats {
+    /// Total shots where the decoder gave up and returned a partial
+    /// correction.
+    pub fn giveups(&self) -> u64 {
+        self.giveups_stalled + self.giveups_round_limit
+    }
+}
+
+/// Reusable scratch for [`crate::Decoder::decode_into`].
+///
+/// Holds the work arrays of every decoder kind (Union-Find cluster
+/// state, Dijkstra/matching buffers) so one scratch can serve whatever
+/// decoder a pipeline selects. Allocate once per worker thread; buffers
+/// size themselves on first use and are reset in *O(touched)* between
+/// shots.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    pub(crate) uf: UfScratch,
+    pub(crate) mwpm: MatchingScratch,
+    pub(crate) restriction: MatchingScratch,
+}
+
+impl DecodeScratch {
+    /// Creates an empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        DecodeScratch::default()
+    }
+}
+
+/// Max-heap item for the scratch-reusing Dijkstra runs (ordering is
+/// reversed on `dist` so the `BinaryHeap` pops the nearest node).
+#[derive(Debug, PartialEq)]
+pub(crate) struct HeapItem {
+    pub(crate) dist: f64,
+    pub(crate) node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Work arrays of the matching-based decoders (MWPM and restriction):
+/// shot splitting, flag overrides, pooled Dijkstra runs and the
+/// matching edge list. The restriction decoder additionally uses the
+/// lattice-source and matched-edge buffers.
+#[derive(Debug, Default)]
+pub(crate) struct MatchingScratch {
+    pub(crate) checks: Vec<usize>,
+    pub(crate) flags: BitVec,
+    pub(crate) overrides: HashMap<usize, (usize, f64)>,
+    /// One distance array per matching source, pooled across shots.
+    pub(crate) dist: Vec<Vec<f64>>,
+    /// One predecessor array per matching source, pooled across shots.
+    pub(crate) pred: Vec<Vec<(usize, usize)>>,
+    pub(crate) done: Vec<bool>,
+    pub(crate) heap: BinaryHeap<HeapItem>,
+    pub(crate) edges: Vec<(usize, usize, f64)>,
+    /// Restriction only: sources of the current restricted lattice.
+    pub(crate) sources: Vec<usize>,
+    /// Restriction only: matched `(class, check_a, check_b)` edges.
+    pub(crate) em: Vec<(usize, usize, usize)>,
+    /// Restriction only: per-class edge-use counts (twice-used rule).
+    pub(crate) counts: HashMap<usize, usize>,
+    /// Restriction only: classes used by two or more matchings.
+    pub(crate) twice: Vec<usize>,
+    /// Restriction only: plaquette-space edge parities.
+    pub(crate) flattened: HashMap<(usize, usize), usize>,
+    /// Restriction only: odd edges grouped by incident red plaquette.
+    pub(crate) at_red: HashMap<usize, Vec<usize>>,
+}
+
+/// Union-Find cluster state, kept alive across shots and reset in
+/// *O(touched)*: every vertex whose parent/size/defect/degree was
+/// modified is recorded in `touched`, every edge that entered the
+/// frontier in `frontier`, and only those entries are restored to their
+/// pristine values between shots.
+#[derive(Debug, Default)]
+pub(crate) struct UfScratch {
+    pub(crate) checks: Vec<usize>,
+    pub(crate) flags: BitVec,
+    /// Per-edge `(class, member)` overrides from flag conditioning.
+    pub(crate) overrides: HashMap<usize, (usize, usize)>,
+    /// Union-Find parent array, identity outside touched vertices.
+    pub(crate) parent: Vec<u32>,
+    /// Union-Find size array, 1 outside touched vertices.
+    pub(crate) size: Vec<u32>,
+    /// Defect marks, false outside touched vertices.
+    pub(crate) flipped: Vec<bool>,
+    /// Per-root odd-parity marks of the current growth round.
+    pub(crate) odd: Vec<bool>,
+    /// Roots marked in `odd` this round (possibly with duplicates).
+    pub(crate) odd_roots: Vec<usize>,
+    /// Per-edge half-step growth, 0 outside the frontier.
+    pub(crate) growth: Vec<u8>,
+    /// Per-edge state bits (frontier/forest/removed), 0 outside the
+    /// frontier.
+    pub(crate) edge_state: Vec<u8>,
+    /// Every edge ever marked in-frontier this shot (the reset list).
+    pub(crate) frontier: Vec<usize>,
+    /// Frontier edges still eligible for growth scanning.
+    pub(crate) active: Vec<usize>,
+    /// Edges admitted to the spanning forest.
+    pub(crate) forest: Vec<usize>,
+    /// Vertices whose cluster state was modified (the reset list).
+    pub(crate) touched: Vec<usize>,
+    /// Per-vertex forest degree, 0 outside touched vertices.
+    pub(crate) degree: Vec<u32>,
+    /// Peeling work stack.
+    pub(crate) stack: Vec<usize>,
+    /// Sorted unique forest endpoints used to seed the peel stack.
+    pub(crate) peel_seed: Vec<usize>,
+    /// Fully grown edges to merge this round.
+    pub(crate) to_merge: Vec<usize>,
+}
+
+impl UfScratch {
+    /// Grows the arrays to cover `n` vertices and `m` edges. Amortized
+    /// O(1): after the first shot against a given decoder this is a
+    /// pair of bounds checks.
+    pub(crate) fn ensure(&mut self, n: usize, m: usize) {
+        if self.parent.len() < n {
+            let old = self.parent.len() as u32;
+            self.parent.extend(old..n as u32);
+            self.size.resize(n, 1);
+            self.flipped.resize(n, false);
+            self.odd.resize(n, false);
+            self.degree.resize(n, 0);
+        }
+        if self.growth.len() < m {
+            self.growth.resize(m, 0);
+            self.edge_state.resize(m, 0);
+        }
+    }
+}

@@ -12,13 +12,34 @@
 //! Flags are used the same way as in [`crate::MwpmDecoder`]: raised
 //! flags re-select each affected class's representative, which decides
 //! the Pauli frames applied during peeling.
+//!
+//! Two decode paths share the same semantics:
+//!
+//! * [`Decoder::decode`] — the allocating reference implementation,
+//!   which scans every edge each growth round. Golden fingerprints pin
+//!   its behaviour.
+//! * [`Decoder::decode_into`] — the batched hot path: cluster state
+//!   lives in a caller-owned [`DecodeScratch`], growth scans only the
+//!   frontier (edges incident to active clusters, discovered through
+//!   the per-vertex adjacency), and the scratch is reset in
+//!   *O(touched)* between shots. Its output is bit-identical to the
+//!   reference path (property-tested).
+//!
+//! Graphlike classes that would map to the same vertex pair are merged
+//! into one **edge group** at construction: growth sees a single edge,
+//! and member selection (base and flag-conditioned) ranks the members
+//! of *all* classes in the group by weight, so no class is silently
+//! dropped.
 
 use crate::hypergraph::DecodingHypergraph;
-use crate::Decoder;
+use crate::scratch::{DecodeScratch, UfScratch};
+use crate::{Decoder, DecoderStats};
 use qec_math::graph::UnionFind;
 use qec_math::BitVec;
 use qec_sim::DetectorErrorModel;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration of [`UnionFindDecoder`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,6 +68,11 @@ impl UnionFindConfig {
     }
 }
 
+/// Edge-state bits used by the scratch path.
+const IN_FRONTIER: u8 = 1;
+const IN_FOREST: u8 = 2;
+const REMOVED: u8 = 4;
+
 /// Union-Find decoder over the graphlike (`|σ| ≤ 2`) classes of a
 /// detector error model.
 #[derive(Debug)]
@@ -54,11 +80,20 @@ pub struct UnionFindDecoder {
     hypergraph: DecodingHypergraph,
     config: UnionFindConfig,
     minus_ln_pm: f64,
-    /// Base member per class with no flags raised.
-    base_member: Vec<usize>,
-    /// Edges `(u, v, class)`; `v == boundary_vertex` marks boundary.
-    edges: Vec<(usize, usize, usize)>,
+    /// Edge endpoints `(u, v)`; `v == boundary` marks boundary edges.
+    edges: Vec<(usize, usize)>,
+    /// Classes merged into each edge group, ascending class index.
+    edge_classes: Vec<Vec<usize>>,
+    /// Min-weight `(class, member)` per edge with no flags raised.
+    base_member: Vec<(usize, usize)>,
+    /// class index -> owning edge (None for non-graphlike classes).
+    edge_of_class: Vec<Option<usize>>,
+    /// `adjacency[v]`: incident edge ids, ascending.
+    adjacency: Vec<Vec<usize>>,
     boundary: usize,
+    decodes: AtomicU64,
+    giveups_stalled: AtomicU64,
+    giveups_round_limit: AtomicU64,
 }
 
 impl UnionFindDecoder {
@@ -69,47 +104,64 @@ impl UnionFindDecoder {
             .measurement_error_probability
             .clamp(1e-12, 1.0 - 1e-12)
             .ln();
-        let no_flags = BitVec::zeros(hypergraph.num_flag_detectors());
-        let base_member: Vec<usize> = hypergraph
-            .classes()
-            .iter()
-            .map(|c| {
-                if config.flag_conditioning {
-                    c.representative(&no_flags, minus_ln_pm).0
-                } else {
-                    c.representative_unflagged().0
-                }
-            })
-            .collect();
         let boundary = hypergraph.num_check_detectors();
-        let mut edges: Vec<(usize, usize, usize)> = Vec::new();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut edge_classes: Vec<Vec<usize>> = Vec::new();
+        let mut edge_of_class: Vec<Option<usize>> = vec![None; hypergraph.classes().len()];
         let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); boundary + 1];
+        let mut pair_index: HashMap<(usize, usize), usize> = HashMap::new();
         for (ci, class) in hypergraph.classes().iter().enumerate() {
             let pair = match class.sigma.len() {
                 1 => (class.sigma[0] as usize, boundary),
                 2 => (class.sigma[0] as usize, class.sigma[1] as usize),
                 _ => continue,
             };
-            // One edge per vertex pair is enough for cluster growth;
-            // keep the first (classes are sorted by σ).
-            if adjacency[pair.0]
-                .iter()
-                .any(|&e: &usize| edges[e].0 == pair.0 && edges[e].1 == pair.1)
-            {
-                continue;
+            // Parallel classes sharing a vertex pair merge into one
+            // edge group: cluster growth needs a single edge, member
+            // selection ranks every group member by weight.
+            match pair_index.entry(pair) {
+                Entry::Occupied(o) => {
+                    let e = *o.get();
+                    edge_classes[e].push(ci);
+                    edge_of_class[ci] = Some(e);
+                }
+                Entry::Vacant(slot) => {
+                    let e = edges.len();
+                    edges.push(pair);
+                    edge_classes.push(vec![ci]);
+                    edge_of_class[ci] = Some(e);
+                    adjacency[pair.0].push(e);
+                    adjacency[pair.1].push(e);
+                    slot.insert(e);
+                }
             }
-            let e = edges.len();
-            edges.push((pair.0, pair.1, ci));
-            adjacency[pair.0].push(e);
-            adjacency[pair.1].push(e);
         }
+        let no_flags = BitVec::zeros(hypergraph.num_flag_detectors());
+        let base_member: Vec<(usize, usize)> = edge_classes
+            .iter()
+            .map(|group| {
+                min_weight_member(&hypergraph, group, |c| {
+                    if config.flag_conditioning {
+                        c.representative(&no_flags, minus_ln_pm)
+                    } else {
+                        c.representative_unflagged()
+                    }
+                })
+            })
+            .collect();
         UnionFindDecoder {
             hypergraph,
             config,
             minus_ln_pm,
-            base_member,
             edges,
+            edge_classes,
+            base_member,
+            edge_of_class,
+            adjacency,
             boundary,
+            decodes: AtomicU64::new(0),
+            giveups_stalled: AtomicU64::new(0),
+            giveups_round_limit: AtomicU64::new(0),
         }
     }
 
@@ -117,26 +169,94 @@ impl UnionFindDecoder {
     pub fn hypergraph(&self) -> &DecodingHypergraph {
         &self.hypergraph
     }
+
+    /// Number of decoding-graph edges (merged parallel classes count
+    /// once).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The classes merged into edge `e`, ascending.
+    pub fn edge_classes(&self, e: usize) -> &[usize] {
+        &self.edge_classes[e]
+    }
+
+    /// Min-weight `(class, member)` of edge `e` under the raised flags.
+    fn conditioned_member(&self, e: usize, flags: &BitVec) -> (usize, usize) {
+        min_weight_member(&self.hypergraph, &self.edge_classes[e], |c| {
+            c.representative(flags, self.minus_ln_pm)
+        })
+    }
+
+    /// Fills `overrides` with flag-conditioned `(class, member)`
+    /// choices for every edge whose group has a raised flag in support.
+    fn conditioned_overrides(
+        &self,
+        flags: &BitVec,
+        overrides: &mut HashMap<usize, (usize, usize)>,
+    ) {
+        for f in flags.iter_ones() {
+            for &class in self.hypergraph.classes_with_flag(f) {
+                let Some(e) = self.edge_of_class[class] else {
+                    continue;
+                };
+                if let Entry::Vacant(slot) = overrides.entry(e) {
+                    slot.insert(self.conditioned_member(e, flags));
+                }
+            }
+        }
+    }
+}
+
+/// Ranks the members of every class in `group` by the weight `selector`
+/// assigns and returns the overall min-weight `(class, member)`.
+/// Strict `<` keeps the first (lowest class index) on exact ties,
+/// matching the first-wins tie-breaking inside `representative`.
+fn min_weight_member(
+    hypergraph: &DecodingHypergraph,
+    group: &[usize],
+    selector: impl Fn(&crate::EquivClass) -> (usize, f64),
+) -> (usize, usize) {
+    let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+    for &ci in group {
+        let (member, weight) = selector(&hypergraph.classes()[ci]);
+        if weight < best.2 {
+            best = (ci, member, weight);
+        }
+    }
+    debug_assert_ne!(best.0, usize::MAX, "edge groups are never empty");
+    (best.0, best.1)
+}
+
+/// Path-halving find over the scratch parent array.
+fn find(parent: &mut [u32], mut x: usize) -> usize {
+    while parent[x] as usize != x {
+        parent[x] = parent[parent[x] as usize];
+        x = parent[x] as usize;
+    }
+    x
+}
+
+/// Union by size of two roots.
+fn union_roots(parent: &mut [u32], size: &mut [u32], mut ra: usize, mut rb: usize) {
+    if size[ra] < size[rb] {
+        std::mem::swap(&mut ra, &mut rb);
+    }
+    parent[rb] = ra as u32;
+    size[ra] += size[rb];
 }
 
 impl Decoder for UnionFindDecoder {
     fn decode(&self, detectors: &BitVec) -> BitVec {
+        self.decodes.fetch_add(1, Ordering::Relaxed);
         let mut correction = BitVec::zeros(self.hypergraph.num_observables());
         let (checks, flags) = self.hypergraph.split_shot(detectors);
         if checks.is_empty() {
             return correction;
         }
-        let mut member_override: HashMap<usize, usize> = HashMap::new();
+        let mut edge_override: HashMap<usize, (usize, usize)> = HashMap::new();
         if self.config.flag_conditioning && !flags.is_zero() {
-            for f in flags.iter_ones() {
-                for &class in self.hypergraph.classes_with_flag(f) {
-                    member_override.entry(class).or_insert_with(|| {
-                        self.hypergraph.classes()[class]
-                            .representative(&flags, self.minus_ln_pm)
-                            .0
-                    });
-                }
-            }
+            self.conditioned_overrides(&flags, &mut edge_override);
         }
         let n = self.boundary + 1;
         let mut flipped = vec![false; n];
@@ -150,11 +270,12 @@ impl Decoder for UnionFindDecoder {
         let mut growth = vec![0u8; self.edges.len()];
         let mut in_forest = vec![false; self.edges.len()];
         let mut rounds = 0usize;
+        let mut gave_up = false;
         loop {
             // Compute cluster parity and boundary contact.
             let mut odd: HashMap<usize, bool> = HashMap::new();
-            for v in 0..n {
-                if flipped[v] {
+            for (v, &flip) in flipped.iter().enumerate() {
+                if flip {
                     let r = uf.find(v);
                     *odd.entry(r).or_insert(false) ^= true;
                 }
@@ -166,12 +287,16 @@ impl Decoder for UnionFindDecoder {
             }
             rounds += 1;
             if rounds > 4 * n {
-                break; // disconnected odd cluster: give up gracefully
+                // Round-limit safety net (should be unreachable on
+                // connected graphs); surfaced through `stats`.
+                gave_up = true;
+                self.giveups_round_limit.fetch_add(1, Ordering::Relaxed);
+                break;
             }
             // Grow every edge on the boundary of an odd cluster.
             let mut to_merge = Vec::new();
             let mut grew = false;
-            for (e, &(u, v, _)) in self.edges.iter().enumerate() {
+            for (e, &(u, v)) in self.edges.iter().enumerate() {
                 if growth[e] >= 2 {
                     continue;
                 }
@@ -189,10 +314,14 @@ impl Decoder for UnionFindDecoder {
                 }
             }
             if !grew {
-                break; // nothing can grow: isolated defect
+                // Isolated odd cluster with no usable edges: the
+                // correction stays partial; surfaced through `stats`.
+                gave_up = true;
+                self.giveups_stalled.fetch_add(1, Ordering::Relaxed);
+                break;
             }
             for e in to_merge {
-                let (u, v, _) = self.edges[e];
+                let (u, v) = self.edges[e];
                 if !uf.connected(u, v) {
                     uf.union(u, v);
                     in_forest[e] = true;
@@ -203,7 +332,7 @@ impl Decoder for UnionFindDecoder {
         // Work on the forest edges only.
         let mut degree = vec![0usize; n];
         let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (e, &(u, v, _)) in self.edges.iter().enumerate() {
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
             if in_forest[e] {
                 degree[u] += 1;
                 degree[v] += 1;
@@ -224,7 +353,7 @@ impl Decoder for UnionFindDecoder {
                 continue;
             };
             removed[e] = true;
-            let (a, b, class) = self.edges[e];
+            let (a, b) = self.edges[e];
             let other = if a == v { b } else { a };
             degree[v] -= 1;
             degree[other] -= 1;
@@ -233,10 +362,10 @@ impl Decoder for UnionFindDecoder {
                 if other != self.boundary {
                     defect[other] = !defect[other];
                 }
-                let member = member_override
-                    .get(&class)
+                let (class, member) = edge_override
+                    .get(&e)
                     .copied()
-                    .unwrap_or(self.base_member[class]);
+                    .unwrap_or(self.base_member[e]);
                 for &obs in &self.hypergraph.classes()[class].members[member].observables {
                     correction.flip(obs as usize);
                 }
@@ -245,7 +374,231 @@ impl Decoder for UnionFindDecoder {
                 stack.push(other);
             }
         }
+        debug_assert!(
+            gave_up
+                || defect
+                    .iter()
+                    .enumerate()
+                    .all(|(v, &d)| v == self.boundary || !d),
+            "peeling left non-boundary defects unmatched without a give-up"
+        );
         correction
+    }
+
+    fn decode_into(&self, detectors: &BitVec, scratch: &mut DecodeScratch, out: &mut BitVec) {
+        self.decodes.fetch_add(1, Ordering::Relaxed);
+        out.reset_zeros(self.hypergraph.num_observables());
+        let n = self.boundary + 1;
+        let sc: &mut UfScratch = &mut scratch.uf;
+        sc.ensure(n, self.edges.len());
+        // O(touched) reset of the previous shot's state: only vertices
+        // and edges recorded in the reset lists were ever modified.
+        for &v in &sc.touched {
+            sc.parent[v] = v as u32;
+            sc.size[v] = 1;
+            sc.flipped[v] = false;
+            sc.degree[v] = 0;
+        }
+        for &e in &sc.frontier {
+            sc.growth[e] = 0;
+            sc.edge_state[e] = 0;
+        }
+        for &r in &sc.odd_roots {
+            sc.odd[r] = false;
+        }
+        sc.touched.clear();
+        sc.frontier.clear();
+        sc.active.clear();
+        sc.forest.clear();
+        sc.odd_roots.clear();
+        sc.stack.clear();
+        sc.to_merge.clear();
+        sc.overrides.clear();
+        self.hypergraph
+            .split_shot_into(detectors, &mut sc.checks, &mut sc.flags);
+        if sc.checks.is_empty() {
+            return;
+        }
+        if self.config.flag_conditioning && !sc.flags.is_zero() {
+            self.conditioned_overrides(&sc.flags, &mut sc.overrides);
+        }
+        // Seed defects and the frontier: every edge incident to a
+        // cluster member is in the frontier, so growth scans only the
+        // neighbourhood of active clusters, never the whole graph.
+        for &c in &sc.checks {
+            sc.flipped[c] = true;
+            sc.touched.push(c);
+            for &e in &self.adjacency[c] {
+                if sc.edge_state[e] & IN_FRONTIER == 0 {
+                    sc.edge_state[e] |= IN_FRONTIER;
+                    sc.frontier.push(e);
+                    sc.active.push(e);
+                }
+            }
+        }
+        let mut rounds = 0usize;
+        let mut gave_up = false;
+        loop {
+            // Cluster parity over the defects, tracked incrementally.
+            for &r in &sc.odd_roots {
+                sc.odd[r] = false;
+            }
+            sc.odd_roots.clear();
+            let mut odd_count = 0usize;
+            for i in 0..sc.checks.len() {
+                let c = sc.checks[i];
+                let r = find(&mut sc.parent, c);
+                sc.odd_roots.push(r);
+                if sc.odd[r] {
+                    sc.odd[r] = false;
+                    odd_count -= 1;
+                } else {
+                    sc.odd[r] = true;
+                    odd_count += 1;
+                }
+            }
+            let boundary_root = find(&mut sc.parent, self.boundary);
+            if sc.odd[boundary_root] {
+                sc.odd[boundary_root] = false;
+                odd_count -= 1;
+            }
+            if odd_count == 0 {
+                break;
+            }
+            rounds += 1;
+            if rounds > 4 * n {
+                gave_up = true;
+                self.giveups_round_limit.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            // Grow the frontier edges with an odd endpoint. Fully grown
+            // edges leave the active list; the frontier list keeps them
+            // for the next shot's reset.
+            sc.to_merge.clear();
+            let mut grew = false;
+            let mut kept = 0usize;
+            for i in 0..sc.active.len() {
+                let e = sc.active[i];
+                if sc.growth[e] >= 2 {
+                    continue;
+                }
+                let (u, v) = self.edges[e];
+                let ru = find(&mut sc.parent, u);
+                let rv = find(&mut sc.parent, v);
+                let grow_u = sc.odd[ru];
+                let grow_v = sc.odd[rv];
+                if grow_u || grow_v {
+                    grew = true;
+                    sc.growth[e] += if grow_u && grow_v { 2 } else { 1 };
+                    if sc.growth[e] >= 2 {
+                        sc.growth[e] = 2;
+                        sc.to_merge.push(e);
+                    }
+                }
+                sc.active[kept] = e;
+                kept += 1;
+            }
+            sc.active.truncate(kept);
+            if !grew {
+                gave_up = true;
+                self.giveups_stalled.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            // Merge in ascending edge order — the reference path scans
+            // edges in index order, and the forest (hence the peeled
+            // correction) depends on it.
+            sc.to_merge.sort_unstable();
+            for i in 0..sc.to_merge.len() {
+                let e = sc.to_merge[i];
+                let (u, v) = self.edges[e];
+                let ru = find(&mut sc.parent, u);
+                let rv = find(&mut sc.parent, v);
+                if ru != rv {
+                    union_roots(&mut sc.parent, &mut sc.size, ru, rv);
+                    sc.edge_state[e] |= IN_FOREST;
+                    sc.forest.push(e);
+                    sc.touched.push(u);
+                    sc.touched.push(v);
+                }
+                // A merged edge extends its cluster to both endpoints:
+                // their whole neighbourhoods join the frontier.
+                for w in [u, v] {
+                    for &e2 in &self.adjacency[w] {
+                        if sc.edge_state[e2] & IN_FRONTIER == 0 {
+                            sc.edge_state[e2] |= IN_FRONTIER;
+                            sc.frontier.push(e2);
+                            sc.active.push(e2);
+                        }
+                    }
+                }
+            }
+        }
+        for &r in &sc.odd_roots {
+            sc.odd[r] = false;
+        }
+        sc.odd_roots.clear();
+        // Peeling over the forest edges, leaf order identical to the
+        // reference path (ascending initial leaves, stack pops last).
+        for &e in &sc.forest {
+            let (u, v) = self.edges[e];
+            sc.degree[u] += 1;
+            sc.degree[v] += 1;
+        }
+        sc.peel_seed.clear();
+        for &e in &sc.forest {
+            let (u, v) = self.edges[e];
+            sc.peel_seed.push(u);
+            sc.peel_seed.push(v);
+        }
+        sc.peel_seed.sort_unstable();
+        sc.peel_seed.dedup();
+        for i in 0..sc.peel_seed.len() {
+            let v = sc.peel_seed[i];
+            if sc.degree[v] == 1 && v != self.boundary {
+                sc.stack.push(v);
+            }
+        }
+        while let Some(v) = sc.stack.pop() {
+            if sc.degree[v] != 1 || v == self.boundary {
+                continue;
+            }
+            let Some(&e) = self.adjacency[v]
+                .iter()
+                .find(|&&e| sc.edge_state[e] & (IN_FOREST | REMOVED) == IN_FOREST)
+            else {
+                continue;
+            };
+            sc.edge_state[e] |= REMOVED;
+            let (a, b) = self.edges[e];
+            let other = if a == v { b } else { a };
+            sc.degree[v] -= 1;
+            sc.degree[other] -= 1;
+            if sc.flipped[v] {
+                sc.flipped[v] = false;
+                if other != self.boundary {
+                    sc.flipped[other] = !sc.flipped[other];
+                }
+                let (class, member) = sc.overrides.get(&e).copied().unwrap_or(self.base_member[e]);
+                for &obs in &self.hypergraph.classes()[class].members[member].observables {
+                    out.flip(obs as usize);
+                }
+            }
+            if sc.degree[other] == 1 {
+                sc.stack.push(other);
+            }
+        }
+        debug_assert!(
+            gave_up || sc.touched.iter().all(|&v| !sc.flipped[v]),
+            "peeling left non-boundary defects unmatched without a give-up"
+        );
+    }
+
+    fn stats(&self) -> DecoderStats {
+        DecoderStats {
+            decodes: self.decodes.load(Ordering::Relaxed),
+            giveups_stalled: self.giveups_stalled.load(Ordering::Relaxed),
+            giveups_round_limit: self.giveups_round_limit.load(Ordering::Relaxed),
+        }
     }
 
     fn num_observables(&self) -> usize {
@@ -297,6 +650,123 @@ mod tests {
     fn empty_syndrome_gives_identity() {
         let dem = repetition_dem();
         let decoder = UnionFindDecoder::new(&dem, UnionFindConfig::unflagged());
-        assert!(decoder.decode(&BitVec::zeros(dem.num_detectors())).is_zero());
+        assert!(decoder
+            .decode(&BitVec::zeros(dem.num_detectors()))
+            .is_zero());
+    }
+
+    #[test]
+    fn decode_into_matches_decode_with_reused_scratch() {
+        let dem = repetition_dem();
+        let decoder = UnionFindDecoder::new(&dem, UnionFindConfig::unflagged());
+        let nd = dem.num_detectors();
+        let mut scratch = DecodeScratch::new();
+        let mut out = BitVec::zeros(0);
+        // All 2^6 syndromes, through ONE scratch, interleaved with the
+        // reference path.
+        for pattern in 0..(1u32 << nd) {
+            let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
+            decoder.decode_into(&dets, &mut scratch, &mut out);
+            assert_eq!(out, decoder.decode(&dets), "syndrome {pattern:#b}");
+        }
+    }
+
+    /// Regression for the parallel-class silent drop: two mechanisms
+    /// with the **same σ** but different observables (one flagged, one
+    /// not) must both survive edge construction — the min-weight member
+    /// decodes the unflagged shot, and flag conditioning switches to
+    /// the flagged member's observables instead of silently reusing the
+    /// kept one's.
+    #[test]
+    fn parallel_same_sigma_mechanisms_are_merged_not_dropped() {
+        // Check 0 and flag 0; obs 0 and 1 on separate data qubits.
+        let mut c = Circuit::new(5);
+        c.reset(&[0, 1, 2, 3, 4]);
+        // Common error: X on data 0 flips the check, obs 0. p = 0.1.
+        c.x_error(&[0], 0.1);
+        // Rare flagged error: X on flag qubit 3 propagates to data 1 —
+        // same check, but flips the flag and obs 1 instead.
+        c.x_error(&[3], 0.01);
+        c.cx(&[(3, 1)]);
+        c.cx(&[(0, 2), (1, 2)]);
+        let m = c.measure(&[2, 3], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        c.add_detector(vec![m + 1], DetectorMeta::flag(0, 0));
+        let md = c.measure(&[0, 1], 0.0);
+        let obs_a = c.add_observable();
+        c.include_in_observable(obs_a, &[md]);
+        let obs_b = c.add_observable();
+        c.include_in_observable(obs_b, &[md + 1]);
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let decoder = UnionFindDecoder::new(&dem, UnionFindConfig::flagged(0.01));
+        // Both same-σ mechanisms share one edge; no class was dropped.
+        assert_eq!(decoder.num_edges(), 1);
+        let classes: usize = (0..decoder.num_edges())
+            .map(|e| decoder.edge_classes(e).len())
+            .sum();
+        let members: usize = decoder
+            .hypergraph()
+            .classes()
+            .iter()
+            .filter(|c| c.sigma == vec![0])
+            .map(|c| c.members.len())
+            .sum();
+        assert_eq!(classes, 1, "same-σ mechanisms live in one class");
+        assert_eq!(members, 2, "both mechanisms survive as members");
+        // Check only: the min-weight (unflagged, p=0.1) member wins.
+        let check_only = BitVec::from_ones(2, [0]);
+        assert_eq!(
+            decoder.decode(&check_only),
+            BitVec::from_ones(2, [0]),
+            "unflagged shot decodes with the common member"
+        );
+        // Check + flag: conditioning switches to the flagged member.
+        let check_and_flag = BitVec::from_ones(2, [0, 1]);
+        assert_eq!(
+            decoder.decode(&check_and_flag),
+            BitVec::from_ones(2, [1]),
+            "flagged shot decodes with the flagged member's observables"
+        );
+        // The batched path agrees on both.
+        let mut scratch = DecodeScratch::new();
+        let mut out = BitVec::zeros(0);
+        for dets in [&check_only, &check_and_flag] {
+            decoder.decode_into(dets, &mut scratch, &mut out);
+            assert_eq!(out, decoder.decode(dets));
+        }
+    }
+
+    #[test]
+    fn stalled_giveup_is_counted() {
+        // One check, NO error mechanism flipping it alone that survives
+        // as an edge: firing a check with no incident edges stalls.
+        let mut c = Circuit::new(3);
+        c.reset(&[0, 1, 2]);
+        // Two checks; the only mechanism flips both, so each check has
+        // one shared edge and no boundary edge.
+        c.x_error(&[0], 0.1);
+        c.cx(&[(0, 1), (0, 2)]);
+        let m = c.measure(&[1, 2], 0.0);
+        c.add_detector(vec![m], DetectorMeta::check(0, 0));
+        c.add_detector(vec![m + 1], DetectorMeta::check(1, 0));
+        let dem = DetectorErrorModel::from_circuit(&c);
+        let decoder = UnionFindDecoder::new(&dem, UnionFindConfig::unflagged());
+        // Firing only check 0 leaves an odd cluster that can grow once
+        // (merging both checks) but never reach even parity — after the
+        // merge nothing grows and the decoder gives up.
+        let dets = BitVec::from_ones(2, [0]);
+        let before = decoder.stats();
+        let _ = decoder.decode(&dets);
+        let mut scratch = DecodeScratch::new();
+        let mut out = BitVec::zeros(0);
+        decoder.decode_into(&dets, &mut scratch, &mut out);
+        let after = decoder.stats();
+        assert_eq!(after.decodes - before.decodes, 2);
+        assert_eq!(
+            after.giveups() - before.giveups(),
+            2,
+            "both paths count the give-up"
+        );
+        assert_eq!(out, decoder.decode(&dets), "paths agree even on give-ups");
     }
 }

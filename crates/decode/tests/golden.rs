@@ -11,8 +11,8 @@
 //! hand-case failure means "regression".
 
 use qec_decode::{
-    ColorCodeContext, Decoder, MwpmConfig, MwpmDecoder, RestrictionConfig, RestrictionDecoder,
-    UnionFindConfig, UnionFindDecoder,
+    ColorCodeContext, DecodeScratch, Decoder, MwpmConfig, MwpmDecoder, RestrictionConfig,
+    RestrictionDecoder, UnionFindConfig, UnionFindDecoder,
 };
 use qec_math::rng::{Rng, Xoshiro256StarStar};
 use qec_math::BitVec;
@@ -71,14 +71,39 @@ fn color_dem() -> (DetectorErrorModel, ColorCodeContext) {
 /// probability 0.2, so multi-error patterns (where decoders genuinely
 /// differ) are well represented.
 fn fingerprint(dem: &DetectorErrorModel, decoder: &dyn Decoder, shots: usize, seed: u64) -> u64 {
+    fingerprint_inner(dem, decoder, shots, seed, false)
+}
+
+/// Same syndrome stream as [`fingerprint`] but decoded through
+/// `decode_into` with **one** scratch reused across all shots — pinning
+/// the batched hot path to the same golden constants as the allocating
+/// reference path.
+fn fingerprint_batched(
+    dem: &DetectorErrorModel,
+    decoder: &dyn Decoder,
+    shots: usize,
+    seed: u64,
+) -> u64 {
+    fingerprint_inner(dem, decoder, shots, seed, true)
+}
+
+fn fingerprint_inner(
+    dem: &DetectorErrorModel,
+    decoder: &dyn Decoder,
+    shots: usize,
+    seed: u64,
+    batched: bool,
+) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut scratch = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
     let mut h = FNV_OFFSET;
-    let mut fold = |x: u64| {
-        h = (h ^ x).wrapping_mul(FNV_PRIME);
-    };
     for _ in 0..shots {
+        let mut fold = |x: u64| {
+            h = (h ^ x).wrapping_mul(FNV_PRIME);
+        };
         let mut syndrome = BitVec::zeros(dem.num_detectors());
         for mech in dem.mechanisms() {
             if rng.gen_bool(0.2) {
@@ -90,7 +115,13 @@ fn fingerprint(dem: &DetectorErrorModel, decoder: &dyn Decoder, shots: usize, se
         for d in syndrome.iter_ones() {
             fold(d as u64 + 1);
         }
-        let correction = decoder.decode(&syndrome);
+        let correction = if batched {
+            decoder.decode_into(&syndrome, &mut scratch, &mut out);
+            &out
+        } else {
+            out = decoder.decode(&syndrome);
+            &out
+        };
         for o in correction.iter_ones() {
             fold(0x8000_0000_0000_0000 | o as u64);
         }
@@ -130,6 +161,11 @@ fn mwpm_golden_fingerprint() {
         fp, MWPM_GOLDEN,
         "MWPM corrections changed; got {fp:#018x} — re-pin only if intentional",
     );
+    let fpb = fingerprint_batched(&dem, &decoder, 200, 0x601d_0001);
+    assert_eq!(
+        fpb, MWPM_GOLDEN,
+        "MWPM decode_into diverged from decode; got {fpb:#018x}",
+    );
 }
 
 #[test]
@@ -142,6 +178,11 @@ fn unionfind_golden_fingerprint() {
         fp, UNIONFIND_GOLDEN,
         "union-find corrections changed; got {fp:#018x} — re-pin only if intentional",
     );
+    let fpb = fingerprint_batched(&dem, &decoder, 200, 0x601d_0002);
+    assert_eq!(
+        fpb, UNIONFIND_GOLDEN,
+        "union-find decode_into diverged from decode; got {fpb:#018x}",
+    );
 }
 
 #[test]
@@ -153,5 +194,10 @@ fn restriction_golden_fingerprint() {
     assert_eq!(
         fp, RESTRICTION_GOLDEN,
         "restriction corrections changed; got {fp:#018x} — re-pin only if intentional",
+    );
+    let fpb = fingerprint_batched(&dem, &decoder, 200, 0x601d_0003);
+    assert_eq!(
+        fpb, RESTRICTION_GOLDEN,
+        "restriction decode_into diverged from decode; got {fpb:#018x}",
     );
 }

@@ -4,17 +4,21 @@
 //!
 //! Run with: `cargo run -p qec-group --release --example quotient_search`
 
-use qec_group::{
-    enumerate_cosets, triangle_group, von_dyck, word, ColorTiling, Tiling, Word,
-};
+use qec_group::{enumerate_cosets, triangle_group, von_dyck, word, ColorTiling, Tiling, Word};
 
 fn relator_name_and_word(kind: usize, k: usize) -> (String, Word) {
     let x = word::gen(0);
     let y = word::gen(1);
     let yi = word::inv_gen(1);
     match kind {
-        0 => (format!("(xy^-1)^{k}"), word::pow(&word::concat(&[&x, &yi]), k)),
-        1 => (format!("[x,y]^{k}"), word::pow(&word::commutator(&x, &y), k)),
+        0 => (
+            format!("(xy^-1)^{k}"),
+            word::pow(&word::concat(&[&x, &yi]), k),
+        ),
+        1 => (
+            format!("[x,y]^{k}"),
+            word::pow(&word::commutator(&x, &y), k),
+        ),
         2 => (
             format!("(xxy)^{k}"),
             word::pow(&word::concat(&[&x, &x, &y]), k),
@@ -47,9 +51,7 @@ fn main() {
                         let chi = t.euler_characteristic();
                         let n = t.num_edges();
                         let kk = 2 - chi;
-                        println!(
-                            "  {{{r},{s}}} + {name}: |G|={order} n={n} chi={chi} k~{kk}"
-                        );
+                        println!("  {{{r},{s}}} + {name}: |G|={order} n={n} chi={chi} k~{kk}");
                     }
                     Err(e) => {
                         println!("  {{{r},{s}}} + {name}: |G|={order} DEGENERATE ({e})");

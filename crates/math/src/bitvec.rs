@@ -154,6 +154,16 @@ impl BitVec {
         self.words.fill(0);
     }
 
+    /// Resets to an all-zero vector of length `len`, reusing the
+    /// existing word storage when possible (no allocation once the
+    /// capacity has been reached). The scratch-reuse counterpart of
+    /// [`BitVec::zeros`] for decode/sampling hot loops.
+    pub fn reset_zeros(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+    }
+
     /// XORs `other` into `self` (GF(2) addition).
     ///
     /// # Panics

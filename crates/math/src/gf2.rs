@@ -67,10 +67,7 @@ pub fn nullspace(m: &BitMatrix) -> BitMatrix {
         is_pivot[p] = true;
     }
     let mut basis = BitMatrix::zeros(0, cols);
-    for free in 0..cols {
-        if is_pivot[free] {
-            continue;
-        }
+    for (free, _) in is_pivot.iter().enumerate().filter(|&(_, &piv)| !piv) {
         let mut v = BitVec::zeros(cols);
         v.set(free, true);
         // For each pivot row, if that row has a 1 in the free column, the

@@ -51,7 +51,14 @@ mod tests {
 
     #[test]
     fn even_cycle_is_bipartite() {
-        let adj = vec![vec![1, 5], vec![0, 2], vec![1, 3], vec![2, 4], vec![3, 5], vec![4, 0]];
+        let adj = vec![
+            vec![1, 5],
+            vec![0, 2],
+            vec![1, 3],
+            vec![2, 4],
+            vec![3, 5],
+            vec![4, 0],
+        ];
         let c = two_coloring(&adj).unwrap();
         for (u, nbrs) in adj.iter().enumerate() {
             for &v in nbrs {

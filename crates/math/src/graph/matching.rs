@@ -240,8 +240,7 @@ impl Solver {
         for i in 0..self.flower[b].len() {
             let xs = self.flower[b][i];
             for x in 1..=self.n_x {
-                if self.g[b][x].w == 0
-                    || self.e_delta(&self.g[xs][x]) < self.e_delta(&self.g[b][x])
+                if self.g[b][x].w == 0 || self.e_delta(&self.g[xs][x]) < self.e_delta(&self.g[b][x])
                 {
                     self.g[b][x] = self.g[xs][x];
                     self.g[x][b] = self.g[x][xs];

@@ -238,10 +238,18 @@ fn plan_interleaved_from_orders(
         .map(Vec::len)
         .max()
         .unwrap_or(0);
-    let x_parities: Vec<usize> = (0..code.num_x_checks()).map(|i| fpn.x_parity_qubit(i)).collect();
-    let z_parities: Vec<usize> = (0..code.num_z_checks()).map(|i| fpn.z_parity_qubit(i)).collect();
+    let x_parities: Vec<usize> = (0..code.num_x_checks())
+        .map(|i| fpn.x_parity_qubit(i))
+        .collect();
+    let z_parities: Vec<usize> = (0..code.num_z_checks())
+        .map(|i| fpn.z_parity_qubit(i))
+        .collect();
     let mut steps = Vec::new();
-    let all_parities: Vec<usize> = x_parities.iter().chain(z_parities.iter()).copied().collect();
+    let all_parities: Vec<usize> = x_parities
+        .iter()
+        .chain(z_parities.iter())
+        .copied()
+        .collect();
     steps.push(Step::Reset(all_parities));
     steps.push(Step::Hadamard(x_parities.clone()));
     for t in 0..depth {
@@ -388,14 +396,14 @@ fn plan_fpn(code: &CssCode, fpn: &FlagProxyNetwork) -> RoundPlan {
         let mut flag_qubits: Vec<usize> = Vec::new();
         // (flag qubit, data of the bridged pair, parity qubits served)
         let mut instances: Vec<(usize, Vec<usize>, Vec<usize>)> = Vec::new();
-        for i in 0..num_checks {
+        for (i, &par) in parities.iter().enumerate() {
             for seg in segments(i) {
                 if let Via::Flag(f) = seg.via {
                     let q = fpn.flags()[f].qubit;
                     if let Some(entry) = instances.iter_mut().find(|(fq, _, _)| *fq == q) {
-                        entry.2.push(parities[i]);
+                        entry.2.push(par);
                     } else {
-                        instances.push((q, seg.data.clone(), vec![parities[i]]));
+                        instances.push((q, seg.data.clone(), vec![par]));
                         flag_qubits.push(q);
                     }
                 }
@@ -433,8 +441,7 @@ fn plan_fpn(code: &CssCode, fpn: &FlagProxyNetwork) -> RoundPlan {
                 }
             }
         }
-        for i in 0..num_checks {
-            let p = parities[i];
+        for (i, &p) in parities.iter().enumerate() {
             for seg in segments(i) {
                 if let Via::Direct = seg.via {
                     let dq = fpn.data_qubit(seg.data[0]);
@@ -567,8 +574,7 @@ fn emit_experiment(
                             busy[a] = true;
                             busy[b] = true;
                         }
-                        let idle: Vec<usize> =
-                            (0..nq).filter(|&q| !busy[q]).collect();
+                        let idle: Vec<usize> = (0..nq).filter(|&q| !busy[q]).collect();
                         if !idle.is_empty() {
                             circuit.depolarize1(&idle, pidle);
                         }
@@ -674,14 +680,13 @@ mod tests {
     use qec_arch::FpnConfig;
     use qec_code::hyperbolic::{hyperbolic_surface_code, toric_surface_code, SURFACE_REGISTRY};
     use qec_code::planar::rotated_surface_code;
-    use qec_sim::{FrameSampler, TableauSimulator};
     use qec_math::rng::Xoshiro256StarStar;
+    use qec_sim::{FrameSampler, TableauSimulator};
 
     fn assert_deterministic(code: &CssCode, fpn: &FlagProxyNetwork, basis: Basis) {
         let exp = build_memory_circuit(code, fpn, None, 2, basis);
         let mut rng = Xoshiro256StarStar::seed_from_u64(12345);
-        let bad =
-            TableauSimulator::find_nondeterministic_detector(&exp.circuit, 3, &mut rng);
+        let bad = TableauSimulator::find_nondeterministic_detector(&exp.circuit, 3, &mut rng);
         assert_eq!(bad, None, "nondeterministic detector in {basis:?} memory");
     }
 
@@ -815,12 +820,7 @@ mod tests {
                 .circuit
                 .ops()
                 .iter()
-                .filter(|op| {
-                    matches!(
-                        op,
-                        qec_sim::Op::XError { .. } | qec_sim::Op::ZError { .. }
-                    )
-                })
+                .filter(|op| matches!(op, qec_sim::Op::XError { .. } | qec_sim::Op::ZError { .. }))
                 .count();
             assert_eq!(noise_ops, 1);
             let mut rng = Xoshiro256StarStar::seed_from_u64(5);

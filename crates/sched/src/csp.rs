@@ -51,11 +51,7 @@ pub struct CheckSolution {
 /// Panics if a constraint references an out-of-range variable.
 pub fn solve_check(problem: &CheckProblem, max_time: usize) -> Option<CheckSolution> {
     let n = problem.num_vars;
-    for &(v, _) in problem
-        .forbidden
-        .iter()
-        .chain(problem.fixed.iter())
-    {
+    for &(v, _) in problem.forbidden.iter().chain(problem.fixed.iter()) {
         assert!(v < n, "constraint references variable {v} out of {n}");
     }
     let lower = problem
@@ -135,11 +131,7 @@ fn backtrack(
     let Some((var, _)) = best else {
         // Complete: check commutation parities.
         return problem.commutation.iter().all(|c| {
-            let negatives = c
-                .terms
-                .iter()
-                .filter(|&&(v, t)| assignment[v] < t)
-                .count();
+            let negatives = c.terms.iter().filter(|&&(v, t)| assignment[v] < t).count();
             negatives % 2 == 0
         });
     };
@@ -165,9 +157,7 @@ fn backtrack(
                 % 2
                 == 0
         });
-        if consistent
-            && backtrack(problem, domains, equal_ok, assignment, assigned, nodes)
-        {
+        if consistent && backtrack(problem, domains, equal_ok, assignment, assigned, nodes) {
             return true;
         }
         assigned[var] = false;

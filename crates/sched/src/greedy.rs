@@ -114,8 +114,11 @@ impl Schedule {
         // Commutation (Eq. 6).
         for xi in 0..code.num_x_checks() {
             let xs = code.x_support(xi);
-            let xt: HashMap<usize, usize> =
-                xs.iter().copied().zip(self.x_times[xi].iter().copied()).collect();
+            let xt: HashMap<usize, usize> = xs
+                .iter()
+                .copied()
+                .zip(self.x_times[xi].iter().copied())
+                .collect();
             for zi in 0..code.num_z_checks() {
                 let zs = code.z_support(zi);
                 let mut negatives = 0usize;
@@ -167,9 +170,9 @@ pub fn try_greedy_schedule(code: &CssCode) -> Result<Schedule, ScheduleError> {
     let mut makespan = 0usize;
 
     let schedule_one = |support: Vec<usize>,
-                            is_x: bool,
-                            index: usize,
-                            scheduled: &mut HashMap<usize, Vec<(usize, bool, usize)>>|
+                        is_x: bool,
+                        index: usize,
+                        scheduled: &mut HashMap<usize, Vec<(usize, bool, usize)>>|
      -> Result<Vec<usize>, ScheduleError> {
         let mut problem = CheckProblem {
             num_vars: support.len(),

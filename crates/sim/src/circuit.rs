@@ -194,7 +194,10 @@ impl Circuit {
     /// Panics if a qubit is out of range or a pair has equal elements.
     pub fn cx(&mut self, pairs: &[(usize, usize)]) {
         for &(c, t) in pairs {
-            assert!(c < self.num_qubits && t < self.num_qubits, "qubit out of range");
+            assert!(
+                c < self.num_qubits && t < self.num_qubits,
+                "qubit out of range"
+            );
             assert_ne!(c, t, "CX control equals target");
         }
         self.ops.push(Op::Cx(pairs.to_vec()));
@@ -273,7 +276,10 @@ impl Circuit {
     /// Panics if a qubit is out of range or a pair has equal elements.
     pub fn depolarize2(&mut self, pairs: &[(usize, usize)], p: f64) {
         for &(a, b) in pairs {
-            assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+            assert!(
+                a < self.num_qubits && b < self.num_qubits,
+                "qubit out of range"
+            );
             assert_ne!(a, b, "depolarize2 pair has equal qubits");
         }
         self.ops.push(Op::Depolarize2 {
@@ -295,7 +301,10 @@ impl Circuit {
     /// yet.
     pub fn add_detector(&mut self, measurements: Vec<usize>, meta: DetectorMeta) {
         for &m in &measurements {
-            assert!(m < self.num_measurements, "measurement {m} not recorded yet");
+            assert!(
+                m < self.num_measurements,
+                "measurement {m} not recorded yet"
+            );
         }
         self.detectors.push(Detector { measurements, meta });
     }
@@ -313,7 +322,10 @@ impl Circuit {
     /// Panics if the observable or a measurement index is invalid.
     pub fn include_in_observable(&mut self, observable: usize, measurements: &[usize]) {
         for &m in measurements {
-            assert!(m < self.num_measurements, "measurement {m} not recorded yet");
+            assert!(
+                m < self.num_measurements,
+                "measurement {m} not recorded yet"
+            );
         }
         self.observables[observable].extend_from_slice(measurements);
     }

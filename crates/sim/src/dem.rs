@@ -9,8 +9,8 @@
 //! fault forward (as Stim does) but costs a single pass.
 
 use crate::circuit::{Circuit, DetectorMeta, Op};
-use qec_math::{gf2, BitMatrix, BitVec};
 use qec_math::rng::Rng;
+use qec_math::{gf2, BitMatrix, BitVec};
 use std::collections::HashMap;
 
 /// One independent fault mechanism.
@@ -122,7 +122,12 @@ impl DetectorErrorModel {
                         raw.push((sens_z[q].clone(), *p));
                     }
                 }
-                Op::PauliChannel1 { targets, px, py, pz } => {
+                Op::PauliChannel1 {
+                    targets,
+                    px,
+                    py,
+                    pz,
+                } => {
                     for &q in targets {
                         if *px > 0.0 {
                             raw.push((sens_x[q].clone(), *px));

@@ -46,15 +46,26 @@ impl ShotBatch {
     ///
     /// Panics if `shot >= 64`.
     pub fn detector_bits(&self, shot: usize) -> BitVec {
+        let mut out = BitVec::zeros(0);
+        self.detector_bits_into(shot, &mut out);
+        out
+    }
+
+    /// Extracts the detector outcomes of one shot into `out`, reusing
+    /// its storage (the scratch-reuse counterpart of
+    /// [`detector_bits`](Self::detector_bits) for the decode hot loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shot >= 64`.
+    pub fn detector_bits_into(&self, shot: usize, out: &mut BitVec) {
         assert!(shot < 64, "batch holds 64 shots");
-        BitVec::from_ones(
-            self.detectors.len(),
-            self.detectors
-                .iter()
-                .enumerate()
-                .filter(|(_, m)| (*m >> shot) & 1 == 1)
-                .map(|(d, _)| d),
-        )
+        out.reset_zeros(self.detectors.len());
+        for (d, &m) in self.detectors.iter().enumerate() {
+            if (m >> shot) & 1 == 1 {
+                out.set(d, true);
+            }
+        }
     }
 
     /// Extracts the observable flips of one shot.
@@ -63,15 +74,25 @@ impl ShotBatch {
     ///
     /// Panics if `shot >= 64`.
     pub fn observable_bits(&self, shot: usize) -> BitVec {
+        let mut out = BitVec::zeros(0);
+        self.observable_bits_into(shot, &mut out);
+        out
+    }
+
+    /// Extracts the observable flips of one shot into `out`, reusing
+    /// its storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shot >= 64`.
+    pub fn observable_bits_into(&self, shot: usize, out: &mut BitVec) {
         assert!(shot < 64, "batch holds 64 shots");
-        BitVec::from_ones(
-            self.observables.len(),
-            self.observables
-                .iter()
-                .enumerate()
-                .filter(|(_, m)| (*m >> shot) & 1 == 1)
-                .map(|(o, _)| o),
-        )
+        out.reset_zeros(self.observables.len());
+        for (o, &m) in self.observables.iter().enumerate() {
+            if (m >> shot) & 1 == 1 {
+                out.set(o, true);
+            }
+        }
     }
 
     /// `true` if any shot in the batch fired any detector.
@@ -118,7 +139,11 @@ impl FrameBatch {
 
 /// Samples a 64-bit mask whose bits are independently 1 with
 /// probability `p`, by geometric skipping (cost ~ O(1 + 64p)).
-fn sample_mask(rng: &mut impl Rng, p: f64) -> u64 {
+///
+/// This is the noise-injection primitive of the batched sampler; it is
+/// public so statistical tests can validate its per-bit frequencies
+/// directly against binomial bounds.
+pub fn sample_mask(rng: &mut impl Rng, p: f64) -> u64 {
     if p <= 0.0 {
         return 0;
     }
@@ -233,7 +258,12 @@ impl<'c> FrameSampler<'c> {
                         z[q] ^= sample_mask(rng, *p);
                     }
                 }
-                Op::PauliChannel1 { targets, px, py, pz } => {
+                Op::PauliChannel1 {
+                    targets,
+                    px,
+                    py,
+                    pz,
+                } => {
                     let total = px + py + pz;
                     for &q in targets {
                         let mut m = sample_mask(rng, total);
@@ -355,7 +385,12 @@ impl<'c> FrameSampler<'c> {
                         z[q] ^= rng.gen_bool(*p);
                     }
                 }
-                Op::PauliChannel1 { targets, px, py, pz } => {
+                Op::PauliChannel1 {
+                    targets,
+                    px,
+                    py,
+                    pz,
+                } => {
                     let total = px + py + pz;
                     for &q in targets {
                         if rng.gen_bool(total) {
@@ -402,11 +437,7 @@ impl<'c> FrameSampler<'c> {
                 .detectors()
                 .iter()
                 .enumerate()
-                .filter(|(_, d)| {
-                    d.measurements
-                        .iter()
-                        .fold(false, |acc, &m| acc ^ record[m])
-                })
+                .filter(|(_, d)| d.measurements.iter().fold(false, |acc, &m| acc ^ record[m]))
                 .map(|(i, _)| i),
         );
         let observables = BitVec::from_ones(
@@ -500,8 +531,7 @@ mod tests {
         let m = c.measure(&[0, 1], 0.0);
         c.add_detector(vec![m], DetectorMeta::check(0, 0));
         c.add_detector(vec![m + 1], DetectorMeta::check(1, 0));
-        let batch =
-            FrameSampler::new(&c).sample_batch(&mut Xoshiro256StarStar::seed_from_u64(3));
+        let batch = FrameSampler::new(&c).sample_batch(&mut Xoshiro256StarStar::seed_from_u64(3));
         assert_eq!(batch.detectors[0], !0u64); // control flipped
         assert_eq!(batch.detectors[1], !0u64); // propagated to target
     }
@@ -513,8 +543,7 @@ mod tests {
         c.z_error(&[0], 1.0);
         let m = c.measure(&[0], 0.0);
         c.add_detector(vec![m], DetectorMeta::check(0, 0));
-        let batch =
-            FrameSampler::new(&c).sample_batch(&mut Xoshiro256StarStar::seed_from_u64(3));
+        let batch = FrameSampler::new(&c).sample_batch(&mut Xoshiro256StarStar::seed_from_u64(3));
         assert_eq!(batch.detectors[0], 0);
     }
 
@@ -527,8 +556,7 @@ mod tests {
         c.h(&[0]);
         let m = c.measure(&[0], 0.0);
         c.add_detector(vec![m], DetectorMeta::check(0, 0));
-        let batch =
-            FrameSampler::new(&c).sample_batch(&mut Xoshiro256StarStar::seed_from_u64(3));
+        let batch = FrameSampler::new(&c).sample_batch(&mut Xoshiro256StarStar::seed_from_u64(3));
         assert_eq!(batch.detectors[0], !0u64);
     }
 
@@ -556,8 +584,7 @@ mod tests {
         let m = c.measure(&[0], 0.0);
         let obs = c.add_observable();
         c.include_in_observable(obs, &[m]);
-        let batch =
-            FrameSampler::new(&c).sample_batch(&mut Xoshiro256StarStar::seed_from_u64(3));
+        let batch = FrameSampler::new(&c).sample_batch(&mut Xoshiro256StarStar::seed_from_u64(3));
         assert_eq!(batch.observables[0], !0u64);
         assert_eq!(batch.observable_bits(17).weight(), 1);
         let shot = FrameSampler::new(&c).sample_shot(&mut Xoshiro256StarStar::seed_from_u64(3));

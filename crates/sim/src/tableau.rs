@@ -6,8 +6,8 @@
 //! sampling) and serve as an oracle in fault-injection tests.
 
 use crate::circuit::{Circuit, Op};
-use qec_math::BitVec;
 use qec_math::rng::Rng;
+use qec_math::BitVec;
 
 /// A Pauli operator label for fault injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

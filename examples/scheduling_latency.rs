@@ -14,7 +14,9 @@ fn main() -> Result<(), CodeError> {
     ] {
         let code = build;
         let schedule = greedy_schedule(&code);
-        schedule.verify(&code).expect("greedy schedules satisfy Eqs. (7)-(8)");
+        schedule
+            .verify(&code)
+            .expect("greedy schedules satisfy Eqs. (7)-(8)");
         let shortest = 890.0 + 40.0 * code.max_check_weight() as f64;
         let longest = 890.0 + 40.0 * (code.max_x_weight() + code.max_z_weight()) as f64;
         println!("{}", code.name());

@@ -143,7 +143,9 @@ pub fn for_all_filtered(cases: u64, seed: u64, mut property: impl FnMut(&mut Gen
             }
         }
     }
-    panic!("proptest_lite: discard budget exhausted: accepted {accepted}/{cases} in {budget} attempts");
+    panic!(
+        "proptest_lite: discard budget exhausted: accepted {accepted}/{cases} in {budget} attempts"
+    );
 }
 
 #[cfg(test)]

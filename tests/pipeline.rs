@@ -100,13 +100,15 @@ fn flag_protocol_restores_effective_distance_color() {
     let shared = FlagProxyNetwork::build(&code, &FpnConfig::shared());
     for basis in [Basis::X, Basis::Z] {
         let exp = build_memory_circuit(&code, &shared, Some(&noise), 2, basis);
-        let flagged =
-            DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedRestriction, &noise);
+        let flagged = DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedRestriction, &noise);
         let chamberland =
             DecodingPipeline::new(&code, &exp, DecoderKind::ChamberlandRestriction, &noise);
         let f = count_single_fault_failures(flagged.dem(), flagged.decoder());
         let c = count_single_fault_failures(chamberland.dem(), chamberland.decoder());
-        assert!(f <= 2, "flagged restriction near-perfect, got {f} ({basis:?})");
+        assert!(
+            f <= 2,
+            "flagged restriction near-perfect, got {f} ({basis:?})"
+        );
         assert!(
             c > 10 * f.max(1),
             "Chamberland baseline much worse: {c} vs {f} ({basis:?})"

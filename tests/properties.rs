@@ -1,12 +1,14 @@
 //! Property-based tests on the core substrates, driven by the
 //! dependency-free `proptest_lite` harness.
 
+use fpn_repro::prelude::*;
 use fpn_repro::proptest_lite::{for_all, for_all_filtered, Gen};
 use fpn_repro::qec_math::graph::matching::{brute_force_max_weight, max_weight_matching};
 use fpn_repro::qec_math::{gf2, BitMatrix, BitVec};
 use fpn_repro::qec_sched::try_greedy_schedule;
-use fpn_repro::qec_sim::{Circuit, DetectorErrorModel, DetectorMeta, Pauli, TableauSimulator};
-use fpn_repro::prelude::*;
+use fpn_repro::qec_sim::{
+    sample_mask, Circuit, DetectorErrorModel, DetectorMeta, Pauli, TableauSimulator,
+};
 use qec_math::rng::Xoshiro256StarStar;
 
 /// A random GF(2) matrix with 1..=max_rows rows and 1..=max_cols cols.
@@ -201,5 +203,118 @@ fn dem_predicts_tableau_fault_propagation() {
         }
         assert_eq!(predicted, flipped);
         true
+    });
+}
+
+#[test]
+fn sample_mask_per_bit_frequencies_match_p() {
+    // Each of the 64 lanes of `sample_mask` is an independent
+    // Bernoulli(p) draw; over N masks the per-lane ones-count is
+    // Binomial(N, p). A 5.5σ band keeps the false-failure odds below
+    // ~1e-5 across all 576 (lane, p, stream) combinations tested here
+    // while still catching lane bias, lane correlation, or a p that is
+    // off by a few percent.
+    const MASKS: usize = 4000;
+    for (pi, &p) in [0.02, 0.1, 0.37].iter().enumerate() {
+        for stream in 0..3u64 {
+            let mut rng = Xoshiro256StarStar::from_seed_stream(0x5a3e + pi as u64, stream);
+            let mut counts = [0u32; 64];
+            for _ in 0..MASKS {
+                let mask = sample_mask(&mut rng, p);
+                for (b, count) in counts.iter_mut().enumerate() {
+                    *count += ((mask >> b) & 1) as u32;
+                }
+            }
+            let mean = MASKS as f64 * p;
+            let bound = 5.5 * (MASKS as f64 * p * (1.0 - p)).sqrt();
+            for (b, &count) in counts.iter().enumerate() {
+                let dev = (count as f64 - mean).abs();
+                assert!(
+                    dev <= bound,
+                    "sample_mask bit {b} at p={p} stream {stream}: \
+                     {count}/{MASKS} ones deviates {dev:.1} from mean {mean:.1} (bound {bound:.1})",
+                );
+            }
+        }
+    }
+}
+
+/// A 3-round distance-`d` rotated-surface-code memory-Z DEM under
+/// circuit-level depolarizing noise — the decode-path workloads below
+/// share it so the batched and allocating paths face realistic
+/// multi-round syndromes, not toy graphs.
+fn surface_memory_dem(d: usize) -> DetectorErrorModel {
+    let code = rotated_surface_code(d);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(1e-3);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+    DetectorErrorModel::from_circuit(&exp.circuit)
+}
+
+/// Fires each DEM mechanism independently with probability `q` and
+/// XORs its detectors into a fresh syndrome.
+fn gen_syndrome(g: &mut Gen, dem: &DetectorErrorModel, q: f64) -> BitVec {
+    let mut syndrome = BitVec::zeros(dem.num_detectors());
+    for mech in dem.mechanisms() {
+        if g.bool(q) {
+            for &det in &mech.detectors {
+                syndrome.flip(det as usize);
+            }
+        }
+    }
+    syndrome
+}
+
+#[test]
+fn decode_into_matches_decode_on_surface_dems() {
+    for (d, cases, seed) in [(3usize, 48u64, 0xd3c0u64), (5, 16, 0xd5c0)] {
+        let dem = surface_memory_dem(d);
+        let pm = NoiseModel::new(1e-3).measurement_flip();
+        let decoders: Vec<Box<dyn Decoder>> = vec![
+            Box::new(MwpmDecoder::new(&dem, MwpmConfig::unflagged())),
+            Box::new(MwpmDecoder::new(&dem, MwpmConfig::flagged(pm))),
+            Box::new(UnionFindDecoder::new(&dem, UnionFindConfig::unflagged())),
+        ];
+        // Aim for ~8 fired mechanisms per shot regardless of DEM size,
+        // so debug-mode matching stays fast while still exercising
+        // multi-error clusters.
+        let q = (8.0 / dem.mechanisms().len() as f64).min(0.25);
+        let mut scratch = DecodeScratch::new();
+        let mut out = BitVec::zeros(0);
+        for_all(cases, seed, |g| {
+            let syndrome = gen_syndrome(g, &dem, q);
+            for decoder in &decoders {
+                let reference = decoder.decode(&syndrome);
+                decoder.decode_into(&syndrome, &mut scratch, &mut out);
+                assert_eq!(
+                    out, reference,
+                    "decode_into diverged from decode on d={d} surface DEM",
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn decode_into_matches_decode_on_toric_color_pipeline() {
+    let code = toric_color_code(2).expect("toric color code builds");
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(5e-4);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 2, Basis::Z);
+    let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedRestriction, &noise);
+    let dem = DetectorErrorModel::from_circuit(&exp.circuit);
+    let q = (8.0 / dem.mechanisms().len() as f64).min(0.25);
+    let mut scratch = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
+    for_all(32, 0xc010, |g| {
+        let syndrome = gen_syndrome(g, &dem, q);
+        let reference = pipeline.decoder().decode(&syndrome);
+        pipeline
+            .decoder()
+            .decode_into(&syndrome, &mut scratch, &mut out);
+        assert_eq!(
+            out, reference,
+            "decode_into diverged from decode on the toric color-code pipeline",
+        );
     });
 }
