@@ -16,5 +16,12 @@ cargo test -q --offline --workspace
 
 # Quick benchmark smoke run: exercises the batched decode hot path and
 # the per-stage timing harness end to end (1k shots keeps it a few
-# seconds; the JSON lines double as a CI artifact).
-cargo run --release --offline -p qec-bench -- --shots 1000
+# seconds; the JSON lines double as a CI artifact). The run must clear
+# both perf gates — pass_2x (decode_into ≥2x vs decode) and pass_oracle
+# (PathOracle ≥3x vs per-shot Dijkstra, bit-identical corrections) —
+# and leave the BENCH_3.json artifact behind.
+bench_out=$(cargo run --release --offline -p qec-bench -- --shots 1000 | tee /dev/stderr)
+grep -q '"pass_2x":true' <<<"$bench_out"
+grep -q '"pass_oracle":true' <<<"$bench_out"
+grep -q '"identical":true' <<<"$bench_out"
+test -s BENCH_3.json

@@ -143,6 +143,13 @@ pub struct BerStats {
     /// this run (nonzero only for decoders that can give up, currently
     /// Union-Find; see [`qec_decode::DecoderStats`]).
     pub decode_giveups: usize,
+    /// Shots whose path queries were answered by the precomputed
+    /// [`qec_decode::PathOracle`] during this run (matching decoders
+    /// only).
+    pub oracle_hits: usize,
+    /// Shots that fell back to per-shot Dijkstra during this run
+    /// (graph above the oracle node limit, or flag-reweighted shot).
+    pub oracle_misses: usize,
 }
 
 impl BerStats {
@@ -192,7 +199,7 @@ pub fn run_ber(
     let failures = AtomicUsize::new(0);
     let next_batch = AtomicUsize::new(0);
     let k = circuit.observables().len();
-    let giveups_before = decoder.stats().giveups();
+    let stats_before = decoder.stats();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let failures = &failures;
@@ -231,11 +238,14 @@ pub fn run_ber(
             });
         }
     });
+    let stats_after = decoder.stats();
     BerStats {
         shots: batches * 64,
         failures: failures.load(Ordering::Relaxed),
         k,
-        decode_giveups: (decoder.stats().giveups() - giveups_before) as usize,
+        decode_giveups: (stats_after.giveups() - stats_before.giveups()) as usize,
+        oracle_hits: (stats_after.oracle_hits - stats_before.oracle_hits) as usize,
+        oracle_misses: (stats_after.oracle_misses - stats_before.oracle_misses) as usize,
     }
 }
 
@@ -366,6 +376,8 @@ mod tests {
             failures: 40,
             k: 8,
             decode_giveups: 0,
+            oracle_hits: 0,
+            oracle_misses: 0,
         };
         assert!((stats.ber() - 0.04).abs() < 1e-12);
         assert!((stats.ber_norm() - 0.005).abs() < 1e-12);

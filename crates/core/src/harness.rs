@@ -43,6 +43,8 @@ pub fn ber_point(
         failures: 0,
         k: code.k(),
         decode_giveups: 0,
+        oracle_hits: 0,
+        oracle_misses: 0,
     };
     let mut chunk = 4096.max(64 * threads);
     let mut round_seed = seed;
@@ -58,6 +60,8 @@ pub fn ber_point(
         total.shots += stats.shots;
         total.failures += stats.failures;
         total.decode_giveups += stats.decode_giveups;
+        total.oracle_hits += stats.oracle_hits;
+        total.oracle_misses += stats.oracle_misses;
         round_seed = round_seed.wrapping_add(0x9e3779b97f4a7c15);
         chunk = (chunk * 2).min(1 << 20);
     }

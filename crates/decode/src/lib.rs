@@ -23,6 +23,12 @@
 //! * [`UnionFindDecoder`] — an almost-linear-time Union-Find decoder
 //!   (Delfosse–Nickerson) over the same equivalence-class graph, used
 //!   as a speed/accuracy ablation against MWPM.
+//! * [`PathOracle`] — all-sources shortest paths precomputed once per
+//!   decoding graph at decoder construction, so flag-free shots (the
+//!   hot case) answer every defect-pair weight query and unroll every
+//!   correction path without running Dijkstra; graphs above a
+//!   configurable node limit keep the per-shot fallback (O(V²) memory
+//!   guard).
 //!
 //! All decoders implement [`Decoder`], mapping a shot's detector bits
 //! to predicted logical-observable flips.
@@ -32,12 +38,14 @@
 
 mod hypergraph;
 mod mwpm;
+mod paths;
 mod restriction;
 mod scratch;
 mod unionfind;
 
 pub use hypergraph::{ClassMember, DecodingHypergraph, EquivClass};
 pub use mwpm::{MwpmConfig, MwpmDecoder, TraceEdge};
+pub use paths::{shortest_paths_from, PathOracle, DEFAULT_ORACLE_NODE_LIMIT};
 pub use restriction::{ColorCodeContext, RestrictionConfig, RestrictionDecoder, RestrictionEvent};
 pub use scratch::{DecodeScratch, DecoderStats};
 pub use unionfind::{UnionFindConfig, UnionFindDecoder};

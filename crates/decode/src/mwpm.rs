@@ -1,12 +1,15 @@
 //! The flagged MWPM decoder (§VI-C) and its unflagged baseline.
 
 use crate::hypergraph::DecodingHypergraph;
-use crate::scratch::{DecodeScratch, HeapItem, MatchingScratch};
-use crate::Decoder;
+use crate::paths::{self, PathOracle, DEFAULT_ORACLE_NODE_LIMIT};
+use crate::scratch::{DecodeScratch, MatchingCounters, MatchingScratch};
+use crate::{Decoder, DecoderStats};
 use qec_math::graph::matching::min_weight_perfect_matching_f64;
 use qec_math::BitVec;
 use qec_sim::DetectorErrorModel;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Configuration of [`MwpmDecoder`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,6 +20,10 @@ pub struct MwpmConfig {
     /// Measurement error probability `p_M` used to price flag
     /// mismatches (Eq. 9).
     pub measurement_error_probability: f64,
+    /// Precompute a [`PathOracle`] when the decoding graph has at most
+    /// this many vertices (O(V²) storage); larger graphs keep the
+    /// per-shot pooled-Dijkstra fallback. `0` disables the oracle.
+    pub oracle_node_limit: usize,
 }
 
 impl MwpmConfig {
@@ -25,6 +32,7 @@ impl MwpmConfig {
         MwpmConfig {
             flag_conditioning: true,
             measurement_error_probability: p_m,
+            oracle_node_limit: DEFAULT_ORACLE_NODE_LIMIT,
         }
     }
 
@@ -33,15 +41,25 @@ impl MwpmConfig {
         MwpmConfig {
             flag_conditioning: false,
             measurement_error_probability: 0.5,
+            oracle_node_limit: DEFAULT_ORACLE_NODE_LIMIT,
         }
+    }
+
+    /// Overrides the oracle node limit (the memory guard); `0` forces
+    /// the per-shot Dijkstra path.
+    pub fn with_oracle_node_limit(mut self, limit: usize) -> Self {
+        self.oracle_node_limit = limit;
+        self
     }
 }
 
 /// Minimum-weight perfect-matching decoder over the decoding graph
 /// derived from the equivalence classes: each class with `|σ| = 1`
 /// becomes a boundary edge, `|σ| = 2` a normal edge, `|σ| > 2` a
-/// clique (Fig. 16(a)). Path weights come from per-shot Dijkstra runs
-/// with flag-conditioned class weights.
+/// clique (Fig. 16(a)). Path weights come from the precomputed
+/// [`PathOracle`] when no flag reweighting is in effect (the hot case),
+/// and from per-shot Dijkstra runs with flag-conditioned class weights
+/// otherwise.
 #[derive(Debug)]
 pub struct MwpmDecoder {
     hypergraph: DecodingHypergraph,
@@ -53,6 +71,11 @@ pub struct MwpmDecoder {
     /// the virtual boundary when present.
     adjacency: Vec<Vec<(usize, usize)>>,
     has_boundary: bool,
+    /// Precomputed all-sources shortest paths (flag-free weights),
+    /// shared read-only across every `run_ber` worker; `None` when the
+    /// graph exceeds the configured node limit.
+    oracle: Option<Arc<PathOracle>>,
+    counters: MatchingCounters,
 }
 
 /// Edges costlier than this are treated as unusable.
@@ -101,6 +124,15 @@ impl MwpmDecoder {
                 }
             }
         }
+        let oracle =
+            (!adjacency.is_empty() && adjacency.len() <= config.oracle_node_limit).then(|| {
+                let weights: Vec<f64> = base_choice.iter().map(|&(_, w)| w).collect();
+                Arc::new(PathOracle::build(
+                    &adjacency,
+                    &weights,
+                    paths::default_build_threads(adjacency.len()),
+                ))
+            });
         MwpmDecoder {
             hypergraph,
             config,
@@ -108,6 +140,8 @@ impl MwpmDecoder {
             base_choice,
             adjacency,
             has_boundary,
+            oracle,
+            counters: MatchingCounters::default(),
         }
     }
 
@@ -116,58 +150,15 @@ impl MwpmDecoder {
         &self.hypergraph
     }
 
-    /// One Dijkstra run into pooled `dist`/`pred` arrays; `done` and
-    /// `heap` are shared across runs and left drained.
-    #[allow(clippy::too_many_arguments)]
-    fn dijkstra_into(
-        &self,
-        src: usize,
-        overrides: &HashMap<usize, (usize, f64)>,
-        flag_constant: f64,
-        dist: &mut Vec<f64>,
-        pred: &mut Vec<(usize, usize)>,
-        done: &mut Vec<bool>,
-        heap: &mut BinaryHeap<HeapItem>,
-    ) {
-        let n = self.adjacency.len();
-        dist.clear();
-        dist.resize(n, f64::INFINITY);
-        pred.clear();
-        pred.resize(n, (usize::MAX, usize::MAX));
-        done.clear();
-        done.resize(n, false);
-        heap.clear();
-        dist[src] = 0.0;
-        heap.push(HeapItem {
-            dist: 0.0,
-            node: src,
-        });
-        while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
-            if done[u] {
-                continue;
-            }
-            done[u] = true;
-            for &(v, class) in &self.adjacency[u] {
-                // Non-overridden classes keep their F = ∅ member but
-                // still pay the global |F| flag-mismatch constant.
-                let w = overrides
-                    .get(&class)
-                    .map_or(self.base_choice[class].1 + flag_constant, |&(_, w)| w);
-                // Deterministic tie-breaking (see the restriction
-                // decoder): prefer shorter paths, rank ties stably.
-                let nd = d + w + 1e-6 + (class % 1024) as f64 * 1e-9;
-                if nd < dist[v] {
-                    dist[v] = nd;
-                    pred[v] = (u, class);
-                    heap.push(HeapItem { dist: nd, node: v });
-                }
-            }
-        }
+    /// The precomputed path oracle, when the decoding graph fits the
+    /// configured node limit.
+    pub fn path_oracle(&self) -> Option<&PathOracle> {
+        self.oracle.as_deref()
     }
 
     fn apply_path(
         &self,
-        pred: &[(usize, usize)],
+        pred_of: impl Fn(usize) -> (usize, usize),
         src: usize,
         dst: usize,
         overrides: &HashMap<usize, (usize, f64)>,
@@ -176,7 +167,7 @@ impl MwpmDecoder {
     ) {
         let mut cur = dst;
         while cur != src {
-            let (prev, class) = pred[cur];
+            let (prev, class) = pred_of(cur);
             debug_assert_ne!(prev, usize::MAX, "path must exist");
             let (member, weight) = overrides
                 .get(&class)
@@ -239,6 +230,10 @@ impl Decoder for MwpmDecoder {
         self.decode_core(detectors, &mut scratch.mwpm, out, None);
     }
 
+    fn stats(&self) -> DecoderStats {
+        self.counters.snapshot()
+    }
+
     fn num_observables(&self) -> usize {
         self.hypergraph.num_observables()
     }
@@ -267,6 +262,7 @@ impl MwpmDecoder {
             edges,
             ..
         } = sc;
+        self.counters.decodes.fetch_add(1, Ordering::Relaxed);
         correction.reset_zeros(self.hypergraph.num_observables());
         self.hypergraph.split_shot_into(detectors, checks, flags);
         // Flag-conditioned overrides for affected classes.
@@ -290,33 +286,61 @@ impl MwpmDecoder {
             0.0
         };
         let s = checks.len();
-        while dist.len() < s {
-            dist.push(Vec::new());
-            pred.push(Vec::new());
+        // With no flag reweighting in effect the precomputed oracle
+        // answers every path query; raised flags (overrides or the
+        // global constant) reweight the graph shot-locally, so those
+        // shots — and graphs above the node limit — run the per-shot
+        // pooled Dijkstra instead.
+        let oracle = self
+            .oracle
+            .as_deref()
+            .filter(|_| overrides.is_empty() && flag_constant == 0.0);
+        if oracle.is_some() {
+            self.counters.oracle_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.oracle_misses.fetch_add(1, Ordering::Relaxed);
         }
-        for i in 0..s {
-            self.dijkstra_into(
-                checks[i],
-                overrides,
-                flag_constant,
-                &mut dist[i],
-                &mut pred[i],
-                done,
-                heap,
-            );
+        if oracle.is_none() {
+            while dist.len() < s {
+                dist.push(Vec::new());
+                pred.push(Vec::new());
+            }
+            for i in 0..s {
+                // Non-overridden classes keep their F = ∅ member but
+                // still pay the global |F| flag-mismatch constant.
+                paths::dijkstra_into(
+                    &self.adjacency,
+                    checks[i],
+                    |class| {
+                        overrides
+                            .get(&class)
+                            .map_or(self.base_choice[class].1 + flag_constant, |&(_, w)| w)
+                    },
+                    &mut dist[i],
+                    &mut pred[i],
+                    done,
+                    heap,
+                );
+            }
         }
         // Matching instance: flipped detectors 0..s, boundary copies
         // s..2s when the code has a boundary.
+        let pair_dist = |i: usize, dst: usize| -> f64 {
+            match oracle {
+                Some(o) => o.dist(checks[i], dst),
+                None => dist[i][dst],
+            }
+        };
         edges.clear();
-        for (i, di) in dist.iter().enumerate().take(s) {
+        for i in 0..s {
             for (j, &cj) in checks.iter().enumerate().skip(i + 1) {
-                let d = di[cj];
+                let d = pair_dist(i, cj);
                 if d < UNREACHABLE {
                     edges.push((i, j, d));
                 }
             }
             if self.has_boundary {
-                let d = di[boundary];
+                let d = pair_dist(i, boundary);
                 if d < UNREACHABLE {
                     edges.push((i, s + i, d));
                 }
@@ -334,14 +358,30 @@ impl MwpmDecoder {
             return; // no consistent pairing: give up
         };
         for (a, b) in matching.pairs() {
-            if a < s && b < s {
-                self.apply_path(
-                    &pred[a], checks[a], checks[b], overrides, correction, &mut trace,
-                );
+            let dst = if a < s && b < s {
+                checks[b]
             } else if a < s && b == s + a {
-                self.apply_path(
-                    &pred[a], checks[a], boundary, overrides, correction, &mut trace,
-                );
+                boundary
+            } else {
+                continue;
+            };
+            match oracle {
+                Some(o) => self.apply_path(
+                    |v| o.pred(checks[a], v),
+                    checks[a],
+                    dst,
+                    overrides,
+                    correction,
+                    &mut trace,
+                ),
+                None => self.apply_path(
+                    |v| pred[a][v],
+                    checks[a],
+                    dst,
+                    overrides,
+                    correction,
+                    &mut trace,
+                ),
             }
         }
     }
@@ -408,5 +448,31 @@ mod tests {
             decoder.decode_into(&dets, &mut scratch, &mut out);
             assert_eq!(out, decoder.decode(&dets), "syndrome {pattern:#b}");
         }
+    }
+
+    /// The fallback (threshold-exceeded) path must stay exercised and
+    /// bit-identical: a `0` node limit forces per-shot Dijkstra, and
+    /// every syndrome decodes to the same correction either way.
+    #[test]
+    fn oracle_and_fallback_paths_agree_exhaustively() {
+        let dem = repetition_dem(0.01);
+        let with_oracle = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
+        assert!(with_oracle.path_oracle().is_some());
+        let fallback = MwpmDecoder::new(&dem, MwpmConfig::unflagged().with_oracle_node_limit(0));
+        assert!(fallback.path_oracle().is_none());
+        let nd = dem.num_detectors();
+        for pattern in 0..(1u32 << nd) {
+            let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
+            assert_eq!(
+                with_oracle.decode(&dets),
+                fallback.decode(&dets),
+                "syndrome {pattern:#b}"
+            );
+        }
+        let with_stats = with_oracle.stats();
+        let fallback_stats = fallback.stats();
+        assert!(with_stats.oracle_hits > 0 && with_stats.oracle_misses == 0);
+        assert!(fallback_stats.oracle_hits == 0 && fallback_stats.oracle_misses > 0);
+        assert_eq!(with_stats.decodes, fallback_stats.decodes);
     }
 }

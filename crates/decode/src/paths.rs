@@ -1,0 +1,299 @@
+//! Shared shortest-path machinery for the matching decoders: the
+//! single-source Dijkstra both decoders run per shot, and the
+//! all-sources [`PathOracle`] precomputed once per decoding graph.
+//!
+//! PyMatching-class decoders get their speed by paying the path-search
+//! cost once per matching graph, not once per shot per defect. The
+//! oracle does the same here: at decoder construction every source runs
+//! one Dijkstra (parallelized across sources, bit-identical for any
+//! thread count because rows are independent), and the resulting
+//! `dist` matrix plus per-source predecessor trees answer defect-pair
+//! weight queries and unroll correction paths in O(1) per hop at decode
+//! time. Storage is O(V²), so graphs above a configurable node limit
+//! keep the per-shot pooled-Dijkstra fallback.
+
+use crate::scratch::HeapItem;
+use std::collections::BinaryHeap;
+
+/// Decoding graphs with at most this many vertices get a precomputed
+/// [`PathOracle`] by default. `dist` + `pred` cost 16 bytes per
+/// (source, node) entry, so the default caps a graph's oracle at
+/// 1024² × 16 B = 16 MiB.
+pub const DEFAULT_ORACLE_NODE_LIMIT: usize = 1024;
+
+/// One Dijkstra run over `adjacency` from `src` into pooled
+/// `dist`/`pred` arrays; `done` and `heap` are shared across runs and
+/// left drained. `class_weight` prices an edge by its equivalence
+/// class.
+///
+/// The deterministic tie-break (prefer shorter paths via the `1e-6`
+/// per-hop epsilon, rank exactly-tied alternatives stably by class)
+/// lives here so every caller — per-shot decoding and oracle
+/// construction alike — accumulates **bit-identical** distance sums.
+pub(crate) fn dijkstra_into(
+    adjacency: &[Vec<(usize, usize)>],
+    src: usize,
+    class_weight: impl Fn(usize) -> f64,
+    dist: &mut Vec<f64>,
+    pred: &mut Vec<(usize, usize)>,
+    done: &mut Vec<bool>,
+    heap: &mut BinaryHeap<HeapItem>,
+) {
+    let n = adjacency.len();
+    dist.clear();
+    dist.resize(n, f64::INFINITY);
+    pred.clear();
+    pred.resize(n, (usize::MAX, usize::MAX));
+    done.clear();
+    done.resize(n, false);
+    heap.clear();
+    dist[src] = 0.0;
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: src,
+    });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        for &(v, class) in &adjacency[u] {
+            let w = class_weight(class);
+            let nd = d + w + 1e-6 + (class % 1024) as f64 * 1e-9;
+            if nd < dist[v] {
+                dist[v] = nd;
+                pred[v] = (u, class);
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+}
+
+/// On-demand single-source shortest paths with the decoders' exact edge
+/// pricing and tie-breaking: `class_weights[c]` is the weight of every
+/// edge in class `c`. Returns `(dist, pred)` where `pred[v] = (prev,
+/// class)` and unreachable nodes carry `f64::INFINITY` /
+/// `(usize::MAX, usize::MAX)`.
+///
+/// This is the reference implementation the [`PathOracle`] is tested
+/// against; the oracle's rows are produced by the same routine, so
+/// equality is exact (bitwise), not approximate.
+pub fn shortest_paths_from(
+    adjacency: &[Vec<(usize, usize)>],
+    class_weights: &[f64],
+    src: usize,
+) -> (Vec<f64>, Vec<(usize, usize)>) {
+    let mut dist = Vec::new();
+    let mut pred = Vec::new();
+    let mut done = Vec::new();
+    let mut heap = BinaryHeap::new();
+    dijkstra_into(
+        adjacency,
+        src,
+        |c| class_weights[c],
+        &mut dist,
+        &mut pred,
+        &mut done,
+        &mut heap,
+    );
+    (dist, pred)
+}
+
+/// Number of construction worker threads for a graph of `n` sources:
+/// all available cores, but never more threads than sources.
+pub(crate) fn default_build_threads(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, |t| t.get())
+        .clamp(1, n.max(1))
+}
+
+/// Precomputed all-sources shortest paths over a decoding graph.
+///
+/// Row `s` of the `dist` matrix and of the predecessor forest is
+/// exactly the output of [`shortest_paths_from`]`(adjacency, weights,
+/// s)`: rows are computed independently (one Dijkstra per source,
+/// parallelized across construction threads), so the result is
+/// **bit-identical regardless of thread count** and bit-identical to
+/// the per-shot Dijkstra the decoders would otherwise run with no flag
+/// overrides in effect.
+#[derive(Debug)]
+pub struct PathOracle {
+    n: usize,
+    /// Row-major `n × n` distances.
+    dist: Vec<f64>,
+    /// Row-major `n × n` `(prev, class)` predecessor entries;
+    /// `u32::MAX` marks "none" (source or unreachable).
+    pred: Vec<(u32, u32)>,
+}
+
+impl PathOracle {
+    /// Runs one Dijkstra per source over `adjacency` (edges priced by
+    /// `class_weights`), split across `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node or class index does not fit in `u32`.
+    pub fn build(
+        adjacency: &[Vec<(usize, usize)>],
+        class_weights: &[f64],
+        threads: usize,
+    ) -> PathOracle {
+        let n = adjacency.len();
+        let mut dist = vec![f64::INFINITY; n * n];
+        let mut pred = vec![(u32::MAX, u32::MAX); n * n];
+        if n == 0 {
+            return PathOracle { n, dist, pred };
+        }
+        assert!(n <= u32::MAX as usize, "node indices must fit in u32");
+        let rows_per_chunk = n.div_ceil(threads.clamp(1, n));
+        std::thread::scope(|scope| {
+            for (chunk, (dist_chunk, pred_chunk)) in dist
+                .chunks_mut(rows_per_chunk * n)
+                .zip(pred.chunks_mut(rows_per_chunk * n))
+                .enumerate()
+            {
+                scope.spawn(move || {
+                    let mut d = Vec::new();
+                    let mut p = Vec::new();
+                    let mut done = Vec::new();
+                    let mut heap = BinaryHeap::new();
+                    for (row, (dist_row, pred_row)) in dist_chunk
+                        .chunks_mut(n)
+                        .zip(pred_chunk.chunks_mut(n))
+                        .enumerate()
+                    {
+                        let src = chunk * rows_per_chunk + row;
+                        dijkstra_into(
+                            adjacency,
+                            src,
+                            |c| class_weights[c],
+                            &mut d,
+                            &mut p,
+                            &mut done,
+                            &mut heap,
+                        );
+                        dist_row.copy_from_slice(&d);
+                        for (slot, &(u, c)) in pred_row.iter_mut().zip(&p) {
+                            *slot = if u == usize::MAX {
+                                (u32::MAX, u32::MAX)
+                            } else {
+                                assert!(c <= u32::MAX as usize, "class index must fit in u32");
+                                (u as u32, c as u32)
+                            };
+                        }
+                    }
+                });
+            }
+        });
+        PathOracle { n, dist, pred }
+    }
+
+    /// Number of graph nodes (the matrix is `num_nodes × num_nodes`).
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Precomputed storage footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.n * self.n * (std::mem::size_of::<f64>() + std::mem::size_of::<(u32, u32)>())
+    }
+
+    /// Shortest-path distance from `src` to `dst` (`f64::INFINITY` if
+    /// unreachable), including the deterministic tie-break epsilons.
+    #[inline]
+    pub fn dist(&self, src: usize, dst: usize) -> f64 {
+        self.dist[src * self.n + dst]
+    }
+
+    /// The `(prev, class)` predecessor of `dst` on the shortest path
+    /// from `src` — the O(1) next-hop lookup used to unroll correction
+    /// paths. `(usize::MAX, usize::MAX)` means `dst == src` or `dst`
+    /// unreachable.
+    #[inline]
+    pub fn pred(&self, src: usize, dst: usize) -> (usize, usize) {
+        let (u, c) = self.pred[src * self.n + dst];
+        if u == u32::MAX {
+            (usize::MAX, usize::MAX)
+        } else {
+            (u as usize, c as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0 - 1 - 2 with distinct classes, plus an isolated
+    /// node 3.
+    fn path_graph() -> (Vec<Vec<(usize, usize)>>, Vec<f64>) {
+        let adjacency = vec![vec![(1, 0)], vec![(0, 0), (2, 1)], vec![(1, 1)], Vec::new()];
+        (adjacency, vec![1.0, 2.0])
+    }
+
+    #[test]
+    fn oracle_rows_equal_on_demand_runs() {
+        let (adjacency, weights) = path_graph();
+        let oracle = PathOracle::build(&adjacency, &weights, 2);
+        assert_eq!(oracle.num_nodes(), 4);
+        for src in 0..4 {
+            let (dist, pred) = shortest_paths_from(&adjacency, &weights, src);
+            for dst in 0..4 {
+                assert_eq!(
+                    oracle.dist(src, dst).to_bits(),
+                    dist[dst].to_bits(),
+                    "dist[{src}][{dst}]"
+                );
+                assert_eq!(oracle.pred(src, dst), pred[dst], "pred[{src}][{dst}]");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_are_marked() {
+        let (adjacency, weights) = path_graph();
+        let oracle = PathOracle::build(&adjacency, &weights, 1);
+        assert!(oracle.dist(0, 3).is_infinite());
+        assert_eq!(oracle.pred(0, 3), (usize::MAX, usize::MAX));
+        assert_eq!(oracle.pred(0, 0), (usize::MAX, usize::MAX));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_matrix() {
+        let (adjacency, weights) = path_graph();
+        let one = PathOracle::build(&adjacency, &weights, 1);
+        for threads in [2, 3, 8] {
+            let multi = PathOracle::build(&adjacency, &weights, threads);
+            for src in 0..4 {
+                for dst in 0..4 {
+                    assert_eq!(one.dist(src, dst).to_bits(), multi.dist(src, dst).to_bits());
+                    assert_eq!(one.pred(src, dst), multi.pred(src, dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let oracle = PathOracle::build(&[], &[], 4);
+        assert_eq!(oracle.num_nodes(), 0);
+        assert_eq!(oracle.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn path_unrolls_through_pred() {
+        let (adjacency, weights) = path_graph();
+        let oracle = PathOracle::build(&adjacency, &weights, 1);
+        // Walk 2 -> 0 from source 0, collecting classes.
+        let mut classes = Vec::new();
+        let mut cur = 2;
+        while cur != 0 {
+            let (prev, class) = oracle.pred(0, cur);
+            classes.push(class);
+            cur = prev;
+        }
+        assert_eq!(classes, vec![1, 0]);
+        let expected = weights[0] + weights[1] + 2.0 * 1e-6 + (0.0 + 1.0) * 1e-9;
+        assert!((oracle.dist(0, 2) - expected).abs() < 1e-12);
+    }
+}

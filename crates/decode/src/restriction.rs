@@ -2,12 +2,15 @@
 //! Chamberland-style baseline.
 
 use crate::hypergraph::DecodingHypergraph;
-use crate::scratch::{DecodeScratch, HeapItem, MatchingScratch};
-use crate::Decoder;
+use crate::paths::{self, PathOracle, DEFAULT_ORACLE_NODE_LIMIT};
+use crate::scratch::{DecodeScratch, HeapItem, MatchingCounters, MatchingScratch};
+use crate::{Decoder, DecoderStats};
 use qec_math::graph::matching::min_weight_perfect_matching_f64;
 use qec_math::{gf2, BitMatrix, BitVec};
 use qec_sim::DetectorErrorModel;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Structural information about the color code, needed for lifting.
 #[derive(Debug, Clone)]
@@ -34,6 +37,11 @@ pub struct RestrictionConfig {
     pub twice_used_rule: bool,
     /// Measurement error probability `p_M` for flag-mismatch pricing.
     pub measurement_error_probability: f64,
+    /// Precompute a per-lattice [`PathOracle`] when a restricted
+    /// lattice has at most this many vertices (O(V²) storage); larger
+    /// lattices keep the per-shot pooled-Dijkstra fallback. `0`
+    /// disables the oracles.
+    pub oracle_node_limit: usize,
 }
 
 impl RestrictionConfig {
@@ -43,6 +51,7 @@ impl RestrictionConfig {
             flag_conditioning: true,
             twice_used_rule: true,
             measurement_error_probability: p_m,
+            oracle_node_limit: DEFAULT_ORACLE_NODE_LIMIT,
         }
     }
 
@@ -52,7 +61,15 @@ impl RestrictionConfig {
             flag_conditioning: true,
             twice_used_rule: false,
             measurement_error_probability: p_m,
+            oracle_node_limit: DEFAULT_ORACLE_NODE_LIMIT,
         }
+    }
+
+    /// Overrides the oracle node limit (the memory guard); `0` forces
+    /// the per-shot Dijkstra path.
+    pub fn with_oracle_node_limit(mut self, limit: usize) -> Self {
+        self.oracle_node_limit = limit;
+        self
     }
 }
 
@@ -79,6 +96,11 @@ pub struct RestrictionDecoder {
     minus_ln_pm: f64,
     base_choice: Vec<(usize, f64)>,
     lattices: [Lattice; 3],
+    /// Per-lattice precomputed shortest paths (flag-free weights),
+    /// shared read-only across every `run_ber` worker; `None` when a
+    /// lattice exceeds the configured node limit.
+    oracles: [Option<Arc<PathOracle>>; 3],
+    counters: MatchingCounters,
     /// Exact lookup from a class's σ to its index.
     sigma_index: HashMap<Vec<u32>, usize>,
 }
@@ -152,6 +174,22 @@ impl RestrictionDecoder {
             build_lattice((0, 2)),
             build_lattice((1, 2)),
         ];
+        let weights: Vec<f64> = base_choice.iter().map(|&(_, w)| w).collect();
+        let build_oracle = |lattice: &Lattice| {
+            let n = lattice.adjacency.len();
+            (n > 0 && n <= config.oracle_node_limit).then(|| {
+                Arc::new(PathOracle::build(
+                    &lattice.adjacency,
+                    &weights,
+                    paths::default_build_threads(n),
+                ))
+            })
+        };
+        let oracles = [
+            build_oracle(&lattices[0]),
+            build_oracle(&lattices[1]),
+            build_oracle(&lattices[2]),
+        ];
         let sigma_index = hypergraph
             .classes()
             .iter()
@@ -165,6 +203,8 @@ impl RestrictionDecoder {
             minus_ln_pm,
             base_choice,
             lattices,
+            oracles,
+            counters: MatchingCounters::default(),
             sigma_index,
         }
     }
@@ -174,65 +214,23 @@ impl RestrictionDecoder {
         &self.hypergraph
     }
 
-    /// One Dijkstra run on a restricted lattice into pooled
-    /// `dist`/`pred` arrays; `done` and `heap` are shared across runs
-    /// and left drained.
-    #[allow(clippy::too_many_arguments)]
-    fn dijkstra_into(
-        &self,
-        lattice: &Lattice,
-        src: usize,
-        overrides: &HashMap<usize, (usize, f64)>,
-        flag_constant: f64,
-        dist: &mut Vec<f64>,
-        pred: &mut Vec<(usize, usize)>,
-        done: &mut Vec<bool>,
-        heap: &mut BinaryHeap<HeapItem>,
-    ) {
-        let n = lattice.adjacency.len();
-        dist.clear();
-        dist.resize(n, f64::INFINITY);
-        pred.clear();
-        pred.resize(n, (usize::MAX, usize::MAX));
-        done.clear();
-        done.resize(n, false);
-        heap.clear();
-        dist[src] = 0.0;
-        heap.push(HeapItem {
-            dist: 0.0,
-            node: src,
-        });
-        while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
-            if done[u] {
-                continue;
-            }
-            done[u] = true;
-            for &(v, class) in &lattice.adjacency[u] {
-                // Non-overridden classes keep their F = ∅ member but
-                // still pay the global |F| flag-mismatch constant.
-                let w = overrides
-                    .get(&class)
-                    .map_or(self.base_choice[class].1 + flag_constant, |&(_, w)| w);
-                // Deterministic tie-breaking: prefer shorter paths, and
-                // rank exactly-tied alternatives identically in every
-                // lattice so downstream multiplicity counting stays
-                // consistent.
-                let nd = d + w + 1e-6 + (class % 1024) as f64 * 1e-9;
-                if nd < dist[v] {
-                    dist[v] = nd;
-                    pred[v] = (u, class);
-                    heap.push(HeapItem { dist: nd, node: v });
-                }
-            }
-        }
+    /// The precomputed path oracle of restricted lattice `lattice`
+    /// (0 = RG, 1 = RB, 2 = GB), when it fits the configured node
+    /// limit.
+    pub fn path_oracle(&self, lattice: usize) -> Option<&PathOracle> {
+        self.oracles[lattice].as_deref()
     }
 
     /// Runs MWPM on one restricted lattice; appends `(class, a, b)`
-    /// path edges (check-space endpoints) to `em`.
+    /// path edges (check-space endpoints) to `em`. When `oracle` is
+    /// provided (flag-free shot on a lattice below the node limit),
+    /// path weights and predecessors come from the precomputed matrix
+    /// instead of per-shot Dijkstra runs.
     #[allow(clippy::too_many_arguments)]
     fn match_lattice(
         &self,
         lattice: &Lattice,
+        oracle: Option<&PathOracle>,
         flipped_checks: &[usize],
         overrides: &HashMap<usize, (usize, f64)>,
         flag_constant: f64,
@@ -255,26 +253,36 @@ impl RestrictionDecoder {
             return;
         }
         let s = sources.len();
-        while dist.len() < s {
-            dist.push(Vec::new());
-            pred.push(Vec::new());
-        }
-        for i in 0..s {
-            self.dijkstra_into(
-                lattice,
-                sources[i],
-                overrides,
-                flag_constant,
-                &mut dist[i],
-                &mut pred[i],
-                done,
-                heap,
-            );
+        if oracle.is_none() {
+            while dist.len() < s {
+                dist.push(Vec::new());
+                pred.push(Vec::new());
+            }
+            for i in 0..s {
+                // Non-overridden classes keep their F = ∅ member but
+                // still pay the global |F| flag-mismatch constant.
+                paths::dijkstra_into(
+                    &lattice.adjacency,
+                    sources[i],
+                    |class| {
+                        overrides
+                            .get(&class)
+                            .map_or(self.base_choice[class].1 + flag_constant, |&(_, w)| w)
+                    },
+                    &mut dist[i],
+                    &mut pred[i],
+                    done,
+                    heap,
+                );
+            }
         }
         edges.clear();
-        for (i, di) in dist.iter().enumerate().take(s) {
+        for i in 0..s {
             for (j, &sj) in sources.iter().enumerate().skip(i + 1) {
-                let d = di[sj];
+                let d = match oracle {
+                    Some(o) => o.dist(sources[i], sj),
+                    None => dist[i][sj],
+                };
                 if d < UNREACHABLE {
                     edges.push((i, j, d));
                 }
@@ -286,7 +294,10 @@ impl RestrictionDecoder {
         for (a, b) in matching.pairs() {
             let mut cur = sources[b];
             while cur != sources[a] {
-                let (prev, class) = pred[a][cur];
+                let (prev, class) = match oracle {
+                    Some(o) => o.pred(sources[a], cur),
+                    None => pred[a][cur],
+                };
                 em.push((class, lattice.check_of[prev], lattice.check_of[cur]));
                 cur = prev;
             }
@@ -355,6 +366,10 @@ impl Decoder for RestrictionDecoder {
         self.decode_core(detectors, &mut scratch.restriction, out, None);
     }
 
+    fn stats(&self) -> DecoderStats {
+        self.counters.snapshot()
+    }
+
     fn num_observables(&self) -> usize {
         self.hypergraph.num_observables()
     }
@@ -388,6 +403,7 @@ impl RestrictionDecoder {
             flattened,
             at_red,
         } = sc;
+        self.counters.decodes.fetch_add(1, Ordering::Relaxed);
         correction.reset_zeros(self.hypergraph.num_observables());
         self.hypergraph.split_shot_into(detectors, checks, flags);
         overrides.clear();
@@ -409,11 +425,29 @@ impl RestrictionDecoder {
         } else {
             0.0
         };
+        // With no flag reweighting in effect the per-lattice oracles
+        // answer every path query; raised flags reweight the graphs
+        // shot-locally, so those shots — and lattices above the node
+        // limit — run the per-shot pooled Dijkstra instead. A shot
+        // counts as a hit only when every lattice answered from its
+        // oracle.
+        let flag_free = overrides.is_empty() && flag_constant == 0.0;
+        if flag_free && self.oracles.iter().all(Option::is_some) {
+            self.counters.oracle_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.oracle_misses.fetch_add(1, Ordering::Relaxed);
+        }
         em.clear();
         for (li, lattice) in self.lattices.iter().enumerate() {
             let start = em.len();
+            let oracle = if flag_free {
+                self.oracles[li].as_deref()
+            } else {
+                None
+            };
             self.match_lattice(
                 lattice,
+                oracle,
                 checks,
                 overrides,
                 flag_constant,
@@ -689,5 +723,36 @@ mod tests {
             decoder.decode_into(&dets, &mut scratch, &mut out);
             assert_eq!(out, decoder.decode(&dets), "syndrome {pattern:#b}");
         }
+    }
+
+    /// The fallback (threshold-exceeded) path stays exercised: a `0`
+    /// node limit disables every lattice oracle, and all syndromes
+    /// decode to the same correction either way.
+    #[test]
+    fn oracle_and_fallback_paths_agree_exhaustively() {
+        let (dem, ctx) = tiny_color_dem();
+        let with_oracle =
+            RestrictionDecoder::new(&dem, ctx.clone(), RestrictionConfig::flagged(0.01));
+        assert!((0..3).all(|l| with_oracle.path_oracle(l).is_some()));
+        let fallback = RestrictionDecoder::new(
+            &dem,
+            ctx,
+            RestrictionConfig::flagged(0.01).with_oracle_node_limit(0),
+        );
+        assert!((0..3).all(|l| fallback.path_oracle(l).is_none()));
+        let nd = dem.num_detectors();
+        for pattern in 0..(1u32 << nd) {
+            let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
+            assert_eq!(
+                with_oracle.decode(&dets),
+                fallback.decode(&dets),
+                "syndrome {pattern:#b}"
+            );
+        }
+        let with_stats = with_oracle.stats();
+        let fallback_stats = fallback.stats();
+        assert!(with_stats.oracle_hits > 0);
+        assert!(fallback_stats.oracle_hits == 0 && fallback_stats.oracle_misses > 0);
+        assert_eq!(with_stats.decodes, fallback_stats.decodes);
     }
 }

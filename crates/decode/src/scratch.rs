@@ -10,6 +10,7 @@
 use qec_math::BitVec;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// Lifetime counters a decoder exposes through
 /// [`crate::Decoder::stats`].
@@ -27,6 +28,13 @@ pub struct DecoderStats {
     pub giveups_stalled: u64,
     /// Union-Find shots abandoned at the `4n`-round safety limit.
     pub giveups_round_limit: u64,
+    /// Matching-decoder shots whose path queries were answered entirely
+    /// by the precomputed [`crate::PathOracle`] (no per-shot Dijkstra).
+    pub oracle_hits: u64,
+    /// Matching-decoder shots that fell back to per-shot Dijkstra: the
+    /// graph exceeded the oracle node limit, or raised flags reweighted
+    /// the graph shot-locally.
+    pub oracle_misses: u64,
 }
 
 impl DecoderStats {
@@ -34,6 +42,29 @@ impl DecoderStats {
     /// correction.
     pub fn giveups(&self) -> u64 {
         self.giveups_stalled + self.giveups_round_limit
+    }
+}
+
+/// Relaxed atomic lifetime counters of the matching decoders (MWPM and
+/// Restriction): shots decoded and oracle hit/miss tallies, exposed
+/// through [`crate::Decoder::stats`]. Shots that never reach the
+/// matching stage (empty check syndrome) count as decodes but neither
+/// hit nor miss.
+#[derive(Debug, Default)]
+pub(crate) struct MatchingCounters {
+    pub(crate) decodes: AtomicU64,
+    pub(crate) oracle_hits: AtomicU64,
+    pub(crate) oracle_misses: AtomicU64,
+}
+
+impl MatchingCounters {
+    pub(crate) fn snapshot(&self) -> DecoderStats {
+        DecoderStats {
+            decodes: self.decodes.load(AtomicOrdering::Relaxed),
+            oracle_hits: self.oracle_hits.load(AtomicOrdering::Relaxed),
+            oracle_misses: self.oracle_misses.load(AtomicOrdering::Relaxed),
+            ..DecoderStats::default()
+        }
     }
 }
 

@@ -598,6 +598,7 @@ impl Decoder for UnionFindDecoder {
             decodes: self.decodes.load(Ordering::Relaxed),
             giveups_stalled: self.giveups_stalled.load(Ordering::Relaxed),
             giveups_round_limit: self.giveups_round_limit.load(Ordering::Relaxed),
+            ..DecoderStats::default()
         }
     }
 

@@ -166,6 +166,16 @@ fn mwpm_golden_fingerprint() {
         fpb, MWPM_GOLDEN,
         "MWPM decode_into diverged from decode; got {fpb:#018x}",
     );
+    // The same stream through the per-shot-Dijkstra fallback
+    // (oracle disabled) must hit the same constant: the precomputed
+    // oracle changes where path weights come from, never their values.
+    let fallback = MwpmDecoder::new(&dem, MwpmConfig::unflagged().with_oracle_node_limit(0));
+    assert!(fallback.path_oracle().is_none());
+    let fpf = fingerprint_batched(&dem, &fallback, 200, 0x601d_0001);
+    assert_eq!(
+        fpf, MWPM_GOLDEN,
+        "MWPM without oracle diverged from the golden; got {fpf:#018x}",
+    );
 }
 
 #[test]
@@ -199,5 +209,19 @@ fn restriction_golden_fingerprint() {
     assert_eq!(
         fpb, RESTRICTION_GOLDEN,
         "restriction decode_into diverged from decode; got {fpb:#018x}",
+    );
+    // Fallback path (per-lattice oracles disabled) pinned to the same
+    // constant as the oracle path.
+    let (dem, ctx) = color_dem();
+    let fallback = RestrictionDecoder::new(
+        &dem,
+        ctx,
+        RestrictionConfig::flagged(0.01).with_oracle_node_limit(0),
+    );
+    assert!((0..3).all(|l| fallback.path_oracle(l).is_none()));
+    let fpf = fingerprint_batched(&dem, &fallback, 200, 0x601d_0003);
+    assert_eq!(
+        fpf, RESTRICTION_GOLDEN,
+        "restriction without oracle diverged from the golden; got {fpf:#018x}",
     );
 }

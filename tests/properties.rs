@@ -318,3 +318,158 @@ fn decode_into_matches_decode_on_toric_color_pipeline() {
         );
     });
 }
+
+/// A random sparse undirected graph in the decoders' adjacency format:
+/// `adjacency[v]` lists `(neighbor, class)`, with per-class weights.
+fn gen_sparse_graph(g: &mut Gen) -> (Vec<Vec<(usize, usize)>>, Vec<f64>) {
+    let n = g.usize_in(2..=24);
+    let num_classes = g.usize_in(1..=32);
+    let class_weights: Vec<f64> = (0..num_classes).map(|_| g.f64_in(0.05, 12.0)).collect();
+    let mut adjacency = vec![Vec::new(); n];
+    // Expected degree ~3, so most graphs have several components and
+    // unreachable pairs stay well represented.
+    let p_edge = (3.0 / n as f64).min(0.8);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if g.bool(p_edge) {
+                let class = g.usize_in(0..=num_classes - 1);
+                adjacency[u].push((v, class));
+                adjacency[v].push((u, class));
+            }
+        }
+    }
+    (adjacency, class_weights)
+}
+
+/// The oracle's rows must equal on-demand Dijkstra **bitwise** (same
+/// routine, same accumulation order), be invariant under the
+/// construction thread count, and every reconstructed path must sum
+/// back to its distance entry.
+#[test]
+fn path_oracle_matches_on_demand_dijkstra_on_random_graphs() {
+    use fpn_repro::qec_decode::shortest_paths_from;
+    for_all(48, 0x04ac1e, |g| {
+        let (adjacency, class_weights) = gen_sparse_graph(g);
+        let n = adjacency.len();
+        let oracle = PathOracle::build(&adjacency, &class_weights, 1);
+        let threaded = PathOracle::build(&adjacency, &class_weights, g.usize_in(2..=6));
+        for src in 0..n {
+            let (dist, pred) = shortest_paths_from(&adjacency, &class_weights, src);
+            for dst in 0..n {
+                assert_eq!(
+                    oracle.dist(src, dst).to_bits(),
+                    dist[dst].to_bits(),
+                    "oracle dist[{src}][{dst}] != on-demand Dijkstra"
+                );
+                assert_eq!(
+                    oracle.dist(src, dst).to_bits(),
+                    threaded.dist(src, dst).to_bits(),
+                    "oracle dist[{src}][{dst}] depends on thread count"
+                );
+                assert_eq!(oracle.pred(src, dst), pred[dst]);
+                assert_eq!(oracle.pred(src, dst), threaded.pred(src, dst));
+                // Reconstruct the path through the O(1) next-hop
+                // lookups and re-price it edge by edge.
+                if dst != src && oracle.dist(src, dst).is_finite() {
+                    let mut weight = 0.0;
+                    let mut cur = dst;
+                    let mut hops = 0;
+                    while cur != src {
+                        let (prev, class) = oracle.pred(src, cur);
+                        assert_ne!(prev, usize::MAX, "finite distance needs a path");
+                        weight += class_weights[class] + 1e-6 + (class % 1024) as f64 * 1e-9;
+                        cur = prev;
+                        hops += 1;
+                        assert!(hops <= n, "pred chain must not cycle");
+                    }
+                    assert!(
+                        (weight - oracle.dist(src, dst)).abs() <= 1e-9 * weight.max(1.0),
+                        "path weight {weight} != dist {} from {src} to {dst}",
+                        oracle.dist(src, dst)
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Oracle-backed decoding and the per-shot-Dijkstra fallback must
+/// produce identical corrections on realistic multi-round surface DEMs
+/// (below the threshold: default limit; above: limit 0 disables it).
+#[test]
+fn mwpm_oracle_and_fallback_agree_on_surface_dems() {
+    for (d, cases, seed) in [(3usize, 32u64, 0x04ad3u64), (5, 12, 0x04ad5)] {
+        let dem = surface_memory_dem(d);
+        let pm = NoiseModel::new(1e-3).measurement_flip();
+        let pairs: Vec<(MwpmDecoder, MwpmDecoder)> = vec![
+            (
+                MwpmDecoder::new(&dem, MwpmConfig::unflagged()),
+                MwpmDecoder::new(&dem, MwpmConfig::unflagged().with_oracle_node_limit(0)),
+            ),
+            (
+                MwpmDecoder::new(&dem, MwpmConfig::flagged(pm)),
+                MwpmDecoder::new(&dem, MwpmConfig::flagged(pm).with_oracle_node_limit(0)),
+            ),
+        ];
+        for (with_oracle, fallback) in &pairs {
+            assert!(with_oracle.path_oracle().is_some(), "below-threshold graph");
+            assert!(fallback.path_oracle().is_none(), "limit 0 forces fallback");
+        }
+        let q = (8.0 / dem.mechanisms().len() as f64).min(0.25);
+        let mut scratch = DecodeScratch::new();
+        let mut out = BitVec::zeros(0);
+        for_all(cases, seed, |g| {
+            let syndrome = gen_syndrome(g, &dem, q);
+            for (with_oracle, fallback) in &pairs {
+                let reference = fallback.decode(&syndrome);
+                with_oracle.decode_into(&syndrome, &mut scratch, &mut out);
+                assert_eq!(
+                    out, reference,
+                    "oracle decode diverged from per-shot Dijkstra on d={d} surface DEM",
+                );
+            }
+        });
+        // The unflagged decoder answers every nonzero shot from the
+        // oracle; the fallback decoder never touches one.
+        let (with_oracle, fallback) = &pairs[0];
+        assert!(with_oracle.stats().oracle_hits > 0);
+        assert_eq!(with_oracle.stats().oracle_misses, 0);
+        assert_eq!(fallback.stats().oracle_hits, 0);
+        assert!(fallback.stats().oracle_misses > 0);
+    }
+}
+
+/// Same agreement guarantee for the restriction decoder's per-lattice
+/// oracles on the toric color-code DEM.
+#[test]
+fn restriction_oracle_and_fallback_agree_on_toric_color_dem() {
+    let code = toric_color_code(2).expect("toric color code builds");
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(5e-4);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 2, Basis::Z);
+    let dem = DetectorErrorModel::from_circuit(&exp.circuit);
+    let pm = noise.measurement_flip();
+    let ctx = color_context(&code, Basis::Z);
+    let with_oracle = RestrictionDecoder::new(&dem, ctx.clone(), RestrictionConfig::flagged(pm));
+    assert!((0..3).all(|l| with_oracle.path_oracle(l).is_some()));
+    let fallback = RestrictionDecoder::new(
+        &dem,
+        ctx,
+        RestrictionConfig::flagged(pm).with_oracle_node_limit(0),
+    );
+    assert!((0..3).all(|l| fallback.path_oracle(l).is_none()));
+    let q = (8.0 / dem.mechanisms().len() as f64).min(0.25);
+    let mut scratch = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
+    for_all(24, 0x04ac0, |g| {
+        let syndrome = gen_syndrome(g, &dem, q);
+        let reference = fallback.decode(&syndrome);
+        with_oracle.decode_into(&syndrome, &mut scratch, &mut out);
+        assert_eq!(
+            out, reference,
+            "oracle decode diverged from per-shot Dijkstra on the toric color DEM",
+        );
+    });
+    assert!(with_oracle.stats().oracle_hits > 0);
+    assert!(fallback.stats().oracle_misses > 0);
+}
