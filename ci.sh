@@ -14,14 +14,24 @@ cargo build --release --offline --workspace
 # package's integration tests.
 cargo test -q --offline --workspace
 
+# Differential path-tier tests: the lazy SparsePathFinder must match
+# the dense PathOracle and on-demand Dijkstra bitwise, and all three
+# tiers must decode identically on every fixture DEM (including the
+# hyperbolic one above the dense-oracle guard).
+cargo test -q --offline --test properties sparse_finder_matches_oracle_and_dijkstra_on_random_graphs
+cargo test -q --offline --test properties path_tiers_agree
+
 # Quick benchmark smoke run: exercises the batched decode hot path and
 # the per-stage timing harness end to end (1k shots keeps it a few
 # seconds; the JSON lines double as a CI artifact). The run must clear
-# both perf gates — pass_2x (decode_into ≥2x vs decode) and pass_oracle
-# (PathOracle ≥3x vs per-shot Dijkstra, bit-identical corrections) —
-# and leave the BENCH_3.json artifact behind.
+# all three perf gates — pass_2x (decode_into ≥2x vs decode),
+# pass_oracle (PathOracle ≥3x vs per-shot Dijkstra) and pass_sparse
+# (SparsePathFinder ≥2x vs per-shot Dijkstra on a hyperbolic DEM above
+# the dense-oracle guard), each with bit-identical corrections — and
+# leave the BENCH_4.json artifact behind.
 bench_out=$(cargo run --release --offline -p qec-bench -- --shots 1000 | tee /dev/stderr)
 grep -q '"pass_2x":true' <<<"$bench_out"
 grep -q '"pass_oracle":true' <<<"$bench_out"
+grep -q '"pass_sparse":true' <<<"$bench_out"
 grep -q '"identical":true' <<<"$bench_out"
-test -s BENCH_3.json
+test -s BENCH_4.json

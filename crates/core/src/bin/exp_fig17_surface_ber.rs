@@ -6,7 +6,7 @@
 //! our relator search yields the neighboring instances
 //! `[[180,20]]` {4,5} and `[[180,38]]` {5,5} (see DESIGN.md).
 
-use fpn_core::harness::{ber_point, default_threads, print_ber_row};
+use fpn_core::harness::{ber_sweep, default_threads, print_ber_row};
 use fpn_core::prelude::*;
 
 fn main() {
@@ -20,20 +20,20 @@ fn main() {
         let code = rotated_surface_code(d);
         let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
         for basis in [Basis::X, Basis::Z] {
-            for &p in &ps {
-                let pt = ber_point(
-                    &code,
-                    &fpn,
-                    DecoderKind::PlainMwpm,
-                    p,
-                    d,
-                    basis,
-                    max_shots,
-                    target_failures,
-                    23,
-                    threads,
-                );
-                print_ber_row(label, &pt);
+            let sweep = ber_sweep(
+                &code,
+                &fpn,
+                DecoderKind::PlainMwpm,
+                &ps,
+                d,
+                basis,
+                max_shots,
+                target_failures,
+                23,
+                threads,
+            );
+            for pt in &sweep.points {
+                print_ber_row(label, pt);
             }
         }
     }
@@ -53,20 +53,20 @@ fn main() {
             (metrics.effective_rate * 49.0).round()
         );
         for basis in [Basis::X, Basis::Z] {
-            for &p in &ps {
-                let pt = ber_point(
-                    &code,
-                    &fpn,
-                    DecoderKind::FlaggedMwpm,
-                    p,
-                    rounds,
-                    basis,
-                    max_shots,
-                    target_failures,
-                    29,
-                    threads,
-                );
-                print_ber_row(code.name(), &pt);
+            let sweep = ber_sweep(
+                &code,
+                &fpn,
+                DecoderKind::FlaggedMwpm,
+                &ps,
+                rounds,
+                basis,
+                max_shots,
+                target_failures,
+                29,
+                threads,
+            );
+            for pt in &sweep.points {
+                print_ber_row(code.name(), pt);
             }
         }
     }

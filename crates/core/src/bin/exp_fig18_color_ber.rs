@@ -3,7 +3,7 @@
 //! codes (the toric stand-ins for the paper's planar triangular codes,
 //! see DESIGN.md).
 
-use fpn_core::harness::{ber_point, default_threads, print_ber_row};
+use fpn_core::harness::{ber_sweep, default_threads, print_ber_row};
 use fpn_core::prelude::*;
 
 fn main() {
@@ -17,20 +17,20 @@ fn main() {
         let code = toric_color_code(m).expect("toric color builds");
         let fpn = FlagProxyNetwork::build(&code, &FpnConfig::shared());
         for basis in [Basis::X, Basis::Z] {
-            for &p in &ps {
-                let pt = ber_point(
-                    &code,
-                    &fpn,
-                    DecoderKind::FlaggedRestriction,
-                    p,
-                    rounds,
-                    basis,
-                    max_shots,
-                    target_failures,
-                    31,
-                    threads,
-                );
-                print_ber_row(&format!("toric 6.6.6 color m={m}"), &pt);
+            let sweep = ber_sweep(
+                &code,
+                &fpn,
+                DecoderKind::FlaggedRestriction,
+                &ps,
+                rounds,
+                basis,
+                max_shots,
+                target_failures,
+                31,
+                threads,
+            );
+            for pt in &sweep.points {
+                print_ber_row(&format!("toric 6.6.6 color m={m}"), pt);
             }
         }
     }
@@ -50,20 +50,20 @@ fn main() {
             (metrics.effective_rate * 49.0).round()
         );
         for basis in [Basis::X, Basis::Z] {
-            for &p in &ps {
-                let pt = ber_point(
-                    &code,
-                    &fpn,
-                    DecoderKind::FlaggedRestriction,
-                    p,
-                    rounds,
-                    basis,
-                    max_shots,
-                    target_failures,
-                    37,
-                    threads,
-                );
-                print_ber_row(code.name(), &pt);
+            let sweep = ber_sweep(
+                &code,
+                &fpn,
+                DecoderKind::FlaggedRestriction,
+                &ps,
+                rounds,
+                basis,
+                max_shots,
+                target_failures,
+                37,
+                threads,
+            );
+            for pt in &sweep.points {
+                print_ber_row(code.name(), pt);
             }
         }
     }

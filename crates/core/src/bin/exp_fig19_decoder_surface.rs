@@ -2,7 +2,7 @@
 //! with plain MWPM (PyMatching-equivalent, direct architecture) versus
 //! the flagged MWPM decoder on its FPN.
 
-use fpn_core::harness::{ber_point, default_threads, print_ber_row};
+use fpn_core::harness::{ber_sweep, default_threads, print_ber_row};
 use fpn_core::prelude::*;
 
 fn main() {
@@ -28,35 +28,35 @@ fn main() {
     // BER sweep (d = 3 rounds, both bases).
     let ps = [2.5e-4, 5e-4, 1e-3, 2e-3];
     for basis in [Basis::X, Basis::Z] {
-        for &p in &ps {
-            let pt = ber_point(
-                &code,
-                &direct,
-                DecoderKind::PlainMwpm,
-                p,
-                3,
-                basis,
-                400_000,
-                300,
-                11,
-                threads,
-            );
-            print_ber_row("plain MWPM (direct arch)", &pt);
+        let sweep = ber_sweep(
+            &code,
+            &direct,
+            DecoderKind::PlainMwpm,
+            &ps,
+            3,
+            basis,
+            400_000,
+            300,
+            11,
+            threads,
+        );
+        for pt in &sweep.points {
+            print_ber_row("plain MWPM (direct arch)", pt);
         }
-        for &p in &ps {
-            let pt = ber_point(
-                &code,
-                &shared,
-                DecoderKind::FlaggedMwpm,
-                p,
-                3,
-                basis,
-                400_000,
-                300,
-                13,
-                threads,
-            );
-            print_ber_row("flagged MWPM (FPN)", &pt);
+        let sweep = ber_sweep(
+            &code,
+            &shared,
+            DecoderKind::FlaggedMwpm,
+            &ps,
+            3,
+            basis,
+            400_000,
+            300,
+            13,
+            threads,
+        );
+        for pt in &sweep.points {
+            print_ber_row("flagged MWPM (FPN)", pt);
         }
     }
     println!();

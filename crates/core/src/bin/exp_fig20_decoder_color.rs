@@ -4,7 +4,7 @@
 //! color code; we use the `[[24,4,4]]` toric 6.6.6 color code — same
 //! size, same lattice structure, boundary-free.)
 
-use fpn_core::harness::{ber_point, default_threads, print_ber_row};
+use fpn_core::harness::{ber_sweep, default_threads, print_ber_row};
 use fpn_core::prelude::*;
 
 fn main() {
@@ -25,35 +25,35 @@ fn main() {
     }
     let ps = [2.5e-4, 5e-4, 1e-3, 2e-3];
     for basis in [Basis::X, Basis::Z] {
-        for &p in &ps {
-            let pt = ber_point(
-                &code,
-                &shared,
-                DecoderKind::ChamberlandRestriction,
-                p,
-                4,
-                basis,
-                300_000,
-                300,
-                17,
-                threads,
-            );
-            print_ber_row("Chamberland restriction (FPN)", &pt);
+        let sweep = ber_sweep(
+            &code,
+            &shared,
+            DecoderKind::ChamberlandRestriction,
+            &ps,
+            4,
+            basis,
+            300_000,
+            300,
+            17,
+            threads,
+        );
+        for pt in &sweep.points {
+            print_ber_row("Chamberland restriction (FPN)", pt);
         }
-        for &p in &ps {
-            let pt = ber_point(
-                &code,
-                &shared,
-                DecoderKind::FlaggedRestriction,
-                p,
-                4,
-                basis,
-                300_000,
-                300,
-                19,
-                threads,
-            );
-            print_ber_row("flagged restriction (FPN)", &pt);
+        let sweep = ber_sweep(
+            &code,
+            &shared,
+            DecoderKind::FlaggedRestriction,
+            &ps,
+            4,
+            basis,
+            300_000,
+            300,
+            19,
+            threads,
+        );
+        for pt in &sweep.points {
+            print_ber_row("flagged restriction (FPN)", pt);
         }
     }
     println!();

@@ -26,11 +26,39 @@ pub enum DecoderKind {
     ChamberlandRestriction,
 }
 
+/// The pipeline's concrete decoder: kept as an enum (not a boxed
+/// trait object) so sweep harnesses can reprice the existing path
+/// indexes in place when only error probabilities change.
+// One instance per pipeline, never collected — variant size skew is
+// irrelevant here.
+#[allow(clippy::large_enum_variant)]
+enum PipelineDecoder {
+    Mwpm(MwpmDecoder),
+    Restriction(RestrictionDecoder),
+}
+
+impl PipelineDecoder {
+    fn as_decoder(&self) -> &(dyn Decoder + Send) {
+        match self {
+            PipelineDecoder::Mwpm(d) => d,
+            PipelineDecoder::Restriction(d) => d,
+        }
+    }
+}
+
 /// A ready-to-run decoding pipeline: the experiment's detector error
 /// model plus a configured decoder.
+///
+/// Across a BER sweep the decoding-graph *topology* is fixed — only
+/// mechanism probabilities move with `p` — so [`Self::retarget`]
+/// reuses the constructed decoder (repricing its path indexes in
+/// place) instead of rebuilding it; [`Self::constructions`] counts how
+/// many full decoder constructions actually happened.
 pub struct DecodingPipeline {
     dem: DetectorErrorModel,
-    decoder: Box<dyn Decoder + Send>,
+    decoder: PipelineDecoder,
+    kind: DecoderKind,
+    constructions: u64,
 }
 
 impl std::fmt::Debug for DecodingPipeline {
@@ -60,21 +88,79 @@ impl DecodingPipeline {
     ) -> Self {
         let dem = DetectorErrorModel::from_circuit(&experiment.circuit);
         let pm = noise.measurement_flip();
-        let decoder: Box<dyn Decoder + Send> = match kind {
-            DecoderKind::FlaggedMwpm => Box::new(MwpmDecoder::new(&dem, MwpmConfig::flagged(pm))),
-            DecoderKind::PlainMwpm => Box::new(MwpmDecoder::new(&dem, MwpmConfig::unflagged())),
-            DecoderKind::FlaggedRestriction => Box::new(RestrictionDecoder::new(
-                &dem,
-                color_context(code, experiment.basis),
-                RestrictionConfig::flagged(pm),
-            )),
-            DecoderKind::ChamberlandRestriction => Box::new(RestrictionDecoder::new(
-                &dem,
-                color_context(code, experiment.basis),
-                RestrictionConfig::chamberland(pm),
-            )),
+        let decoder = match kind {
+            DecoderKind::FlaggedMwpm => {
+                PipelineDecoder::Mwpm(MwpmDecoder::new(&dem, MwpmConfig::flagged(pm)))
+            }
+            DecoderKind::PlainMwpm => {
+                PipelineDecoder::Mwpm(MwpmDecoder::new(&dem, MwpmConfig::unflagged()))
+            }
+            DecoderKind::FlaggedRestriction => {
+                PipelineDecoder::Restriction(RestrictionDecoder::new(
+                    &dem,
+                    color_context(code, experiment.basis),
+                    RestrictionConfig::flagged(pm),
+                ))
+            }
+            DecoderKind::ChamberlandRestriction => {
+                PipelineDecoder::Restriction(RestrictionDecoder::new(
+                    &dem,
+                    color_context(code, experiment.basis),
+                    RestrictionConfig::chamberland(pm),
+                ))
+            }
         };
-        DecodingPipeline { dem, decoder }
+        DecodingPipeline {
+            dem,
+            decoder,
+            kind,
+            constructions: 1,
+        }
+    }
+
+    /// Points the pipeline at a new experiment of the same shape,
+    /// preferring to **reprice** the existing decoder in place: when
+    /// `kind` is unchanged and the new DEM has the same decoding-graph
+    /// topology (same detectors, edge classes and flag structure —
+    /// true across the points of a `p` sweep), only probabilities are
+    /// recomputed and the constructed path indexes survive. Returns
+    /// `true` on reprice; on any structural change it falls back to a
+    /// full rebuild (incrementing [`Self::constructions`]) and returns
+    /// `false`.
+    pub fn retarget(
+        &mut self,
+        code: &CssCode,
+        experiment: &MemoryExperiment,
+        kind: DecoderKind,
+        noise: &NoiseModel,
+    ) -> bool {
+        let dem = DetectorErrorModel::from_circuit(&experiment.circuit);
+        let pm = noise.measurement_flip();
+        let repriced = kind == self.kind
+            && match (&mut self.decoder, kind) {
+                (PipelineDecoder::Mwpm(d), DecoderKind::FlaggedMwpm) => {
+                    d.reprice(&dem, MwpmConfig::flagged(pm))
+                }
+                (PipelineDecoder::Mwpm(d), DecoderKind::PlainMwpm) => {
+                    d.reprice(&dem, MwpmConfig::unflagged())
+                }
+                (PipelineDecoder::Restriction(d), DecoderKind::FlaggedRestriction) => {
+                    d.reprice(&dem, RestrictionConfig::flagged(pm))
+                }
+                (PipelineDecoder::Restriction(d), DecoderKind::ChamberlandRestriction) => {
+                    d.reprice(&dem, RestrictionConfig::chamberland(pm))
+                }
+                _ => false,
+            };
+        if repriced {
+            self.dem = dem;
+            true
+        } else {
+            let constructions = self.constructions;
+            *self = DecodingPipeline::new(code, experiment, kind, noise);
+            self.constructions = constructions + 1;
+            false
+        }
     }
 
     /// The experiment's detector error model.
@@ -84,7 +170,19 @@ impl DecodingPipeline {
 
     /// The configured decoder.
     pub fn decoder(&self) -> &(dyn Decoder + Send) {
-        self.decoder.as_ref()
+        self.decoder.as_decoder()
+    }
+
+    /// The decoder kind currently configured.
+    pub fn kind(&self) -> DecoderKind {
+        self.kind
+    }
+
+    /// Number of full decoder constructions over this pipeline's
+    /// lifetime (1 after [`Self::new`]; unchanged by a successful
+    /// [`Self::retarget`] reprice).
+    pub fn constructions(&self) -> u64 {
+        self.constructions
     }
 }
 
@@ -147,8 +245,12 @@ pub struct BerStats {
     /// [`qec_decode::PathOracle`] during this run (matching decoders
     /// only).
     pub oracle_hits: usize,
-    /// Shots that fell back to per-shot Dijkstra during this run
-    /// (graph above the oracle node limit, or flag-reweighted shot).
+    /// Shots answered by the lazy [`qec_decode::SparsePathFinder`]
+    /// middle tier during this run (graph above the oracle node limit,
+    /// or flag-reweighted shot).
+    pub sparse_hits: usize,
+    /// Shots that ran full per-shot Dijkstra during this run (both
+    /// path indexes unavailable).
     pub oracle_misses: usize,
 }
 
@@ -245,6 +347,7 @@ pub fn run_ber(
         k,
         decode_giveups: (stats_after.giveups() - stats_before.giveups()) as usize,
         oracle_hits: (stats_after.oracle_hits - stats_before.oracle_hits) as usize,
+        sparse_hits: (stats_after.sparse_hits - stats_before.sparse_hits) as usize,
         oracle_misses: (stats_after.oracle_misses - stats_before.oracle_misses) as usize,
     }
 }
@@ -370,6 +473,43 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_retarget_reprices_without_rebuilding() {
+        let code = rotated_surface_code(3);
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+        let noise_a = NoiseModel::new(1e-3);
+        let exp_a = build_memory_circuit(&code, &fpn, Some(&noise_a), 3, Basis::Z);
+        let mut pipeline = DecodingPipeline::new(&code, &exp_a, DecoderKind::FlaggedMwpm, &noise_a);
+        assert_eq!(pipeline.constructions(), 1);
+        // Same topology, different error rate: reprice in place.
+        let noise_b = NoiseModel::new(2e-3);
+        let exp_b = build_memory_circuit(&code, &fpn, Some(&noise_b), 3, Basis::Z);
+        assert!(pipeline.retarget(&code, &exp_b, DecoderKind::FlaggedMwpm, &noise_b));
+        assert_eq!(pipeline.constructions(), 1);
+        // The repriced decoder must be indistinguishable from one built
+        // fresh at the new rate.
+        let fresh = DecodingPipeline::new(&code, &exp_b, DecoderKind::FlaggedMwpm, &noise_b);
+        for mech in fresh.dem().mechanisms() {
+            let dets = BitVec::from_ones(
+                fresh.dem().num_detectors(),
+                mech.detectors.iter().map(|&d| d as usize),
+            );
+            assert_eq!(
+                pipeline.decoder().decode(&dets),
+                fresh.decoder().decode(&dets),
+                "repriced pipeline diverged from a fresh build"
+            );
+        }
+        // A decoder-kind change cannot be repriced: full rebuild.
+        assert!(!pipeline.retarget(&code, &exp_b, DecoderKind::PlainMwpm, &noise_b));
+        assert_eq!(pipeline.constructions(), 2);
+        assert_eq!(pipeline.kind(), DecoderKind::PlainMwpm);
+        // A round-count change alters the DEM topology: full rebuild.
+        let exp_c = build_memory_circuit(&code, &fpn, Some(&noise_b), 4, Basis::Z);
+        assert!(!pipeline.retarget(&code, &exp_c, DecoderKind::PlainMwpm, &noise_b));
+        assert_eq!(pipeline.constructions(), 3);
+    }
+
+    #[test]
     fn ber_stats_normalization() {
         let stats = BerStats {
             shots: 1000,
@@ -377,6 +517,7 @@ mod tests {
             k: 8,
             decode_giveups: 0,
             oracle_hits: 0,
+            sparse_hits: 0,
             oracle_misses: 0,
         };
         assert!((stats.ber() - 0.04).abs() < 1e-12);

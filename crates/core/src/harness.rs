@@ -20,6 +20,70 @@ pub struct BerPoint {
     pub rounds: usize,
 }
 
+/// Result of a [`ber_sweep`]: the estimated points plus how many full
+/// decoder constructions the sweep needed ([`DecodingPipeline`] keeps
+/// the count — 1 when every point after the first merely repriced the
+/// constructed decoder).
+#[derive(Debug)]
+pub struct BerSweep {
+    /// One point per requested physical error rate, in order.
+    pub points: Vec<BerPoint>,
+    /// Full decoder constructions over the whole sweep.
+    pub decoder_constructions: u64,
+}
+
+/// Grows the shot count on an already-built pipeline until
+/// `target_failures` failures or `max_shots` shots.
+#[allow(clippy::too_many_arguments)]
+fn run_point(
+    pipeline: &DecodingPipeline,
+    exp: &qec_sched::MemoryExperiment,
+    k: usize,
+    p: f64,
+    rounds: usize,
+    basis: Basis,
+    max_shots: usize,
+    target_failures: usize,
+    seed: u64,
+    threads: usize,
+) -> BerPoint {
+    let mut total = BerStats {
+        shots: 0,
+        failures: 0,
+        k,
+        decode_giveups: 0,
+        oracle_hits: 0,
+        sparse_hits: 0,
+        oracle_misses: 0,
+    };
+    let mut chunk = 4096.max(64 * threads);
+    let mut round_seed = seed;
+    while total.shots < max_shots && total.failures < target_failures {
+        let remaining = max_shots - total.shots;
+        let stats = run_ber(
+            &exp.circuit,
+            pipeline.decoder(),
+            chunk.min(remaining),
+            round_seed,
+            threads,
+        );
+        total.shots += stats.shots;
+        total.failures += stats.failures;
+        total.decode_giveups += stats.decode_giveups;
+        total.oracle_hits += stats.oracle_hits;
+        total.sparse_hits += stats.sparse_hits;
+        total.oracle_misses += stats.oracle_misses;
+        round_seed = round_seed.wrapping_add(0x9e3779b97f4a7c15);
+        chunk = (chunk * 2).min(1 << 20);
+    }
+    BerPoint {
+        p,
+        basis,
+        stats: total,
+        rounds,
+    }
+}
+
 /// Runs a memory experiment at one physical error rate, growing the
 /// shot count until `target_failures` failures or `max_shots` shots.
 #[allow(clippy::too_many_arguments)]
@@ -38,38 +102,69 @@ pub fn ber_point(
     let noise = NoiseModel::new(p);
     let exp = build_memory_circuit(code, fpn, Some(&noise), rounds, basis);
     let pipeline = DecodingPipeline::new(code, &exp, kind, &noise);
-    let mut total = BerStats {
-        shots: 0,
-        failures: 0,
-        k: code.k(),
-        decode_giveups: 0,
-        oracle_hits: 0,
-        oracle_misses: 0,
-    };
-    let mut chunk = 4096.max(64 * threads);
-    let mut round_seed = seed;
-    while total.shots < max_shots && total.failures < target_failures {
-        let remaining = max_shots - total.shots;
-        let stats = run_ber(
-            &exp.circuit,
-            pipeline.decoder(),
-            chunk.min(remaining),
-            round_seed,
-            threads,
-        );
-        total.shots += stats.shots;
-        total.failures += stats.failures;
-        total.decode_giveups += stats.decode_giveups;
-        total.oracle_hits += stats.oracle_hits;
-        total.oracle_misses += stats.oracle_misses;
-        round_seed = round_seed.wrapping_add(0x9e3779b97f4a7c15);
-        chunk = (chunk * 2).min(1 << 20);
-    }
-    BerPoint {
+    run_point(
+        &pipeline,
+        &exp,
+        code.k(),
         p,
-        basis,
-        stats: total,
         rounds,
+        basis,
+        max_shots,
+        target_failures,
+        seed,
+        threads,
+    )
+}
+
+/// Runs [`ber_point`]-equivalent estimations at every rate in `ps`,
+/// **reusing one constructed decoder** across the sweep: a `p` change
+/// moves mechanism probabilities but not the decoding-graph topology,
+/// so each point after the first reprices the pipeline in place
+/// ([`DecodingPipeline::retarget`]) instead of rebuilding its path
+/// indexes. Every point uses the same `seed`, so each returned point
+/// is bit-identical to a standalone [`ber_point`] call at that rate.
+#[allow(clippy::too_many_arguments)]
+pub fn ber_sweep(
+    code: &CssCode,
+    fpn: &FlagProxyNetwork,
+    kind: DecoderKind,
+    ps: &[f64],
+    rounds: usize,
+    basis: Basis,
+    max_shots: usize,
+    target_failures: usize,
+    seed: u64,
+    threads: usize,
+) -> BerSweep {
+    let mut points = Vec::with_capacity(ps.len());
+    let mut pipeline: Option<DecodingPipeline> = None;
+    for &p in ps {
+        let noise = NoiseModel::new(p);
+        let exp = build_memory_circuit(code, fpn, Some(&noise), rounds, basis);
+        let pl = match pipeline.take() {
+            None => DecodingPipeline::new(code, &exp, kind, &noise),
+            Some(mut pl) => {
+                pl.retarget(code, &exp, kind, &noise);
+                pl
+            }
+        };
+        points.push(run_point(
+            &pl,
+            &exp,
+            code.k(),
+            p,
+            rounds,
+            basis,
+            max_shots,
+            target_failures,
+            seed,
+            threads,
+        ));
+        pipeline = Some(pl);
+    }
+    BerSweep {
+        points,
+        decoder_constructions: pipeline.map_or(0, |pl| pl.constructions()),
     }
 }
 
@@ -93,4 +188,57 @@ pub fn print_ber_row(label: &str, point: &BerPoint) {
 /// Number of worker threads to use (all cores, minimum 1).
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec_arch::FpnConfig;
+    use qec_code::planar::rotated_surface_code;
+
+    /// A sweep must construct its decoder exactly once (later points
+    /// reprice in place) and still return point-for-point identical
+    /// statistics to standalone `ber_point` calls — the repriced
+    /// decoder is bit-for-bit equivalent to a fresh build.
+    #[test]
+    fn ber_sweep_constructs_once_and_matches_standalone_points() {
+        let code = rotated_surface_code(3);
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+        let ps = [1e-3, 2e-3, 3e-3];
+        let sweep = ber_sweep(
+            &code,
+            &fpn,
+            DecoderKind::FlaggedMwpm,
+            &ps,
+            3,
+            Basis::Z,
+            1024,
+            usize::MAX,
+            17,
+            2,
+        );
+        assert_eq!(
+            sweep.decoder_constructions, 1,
+            "sweep points must reprice, not rebuild"
+        );
+        assert_eq!(sweep.points.len(), ps.len());
+        for (point, &p) in sweep.points.iter().zip(&ps) {
+            let solo = ber_point(
+                &code,
+                &fpn,
+                DecoderKind::FlaggedMwpm,
+                p,
+                3,
+                Basis::Z,
+                1024,
+                usize::MAX,
+                17,
+                2,
+            );
+            assert_eq!(
+                point.stats, solo.stats,
+                "sweep point at p={p} diverged from a standalone ber_point"
+            );
+        }
+    }
 }

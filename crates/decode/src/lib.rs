@@ -29,6 +29,12 @@
 //!   correction path without running Dijkstra; graphs above a
 //!   configurable node limit keep the per-shot fallback (O(V²) memory
 //!   guard).
+//! * [`SparsePathFinder`] — the middle tier of the matching decoders'
+//!   three-tier path strategy (dense oracle → sparse finder → pooled
+//!   per-shot Dijkstra): lazy, defect-seeded truncated searches over an
+//!   O(V+E) CSR index, memoized per shot in [`DecodeScratch`], serving
+//!   graphs above the oracle node limit (the paper's hyperbolic DEMs)
+//!   and flag-reweighted shots — bit-identical to both neighbors.
 //!
 //! All decoders implement [`Decoder`], mapping a shot's detector bits
 //! to predicted logical-observable flips.
@@ -45,7 +51,9 @@ mod unionfind;
 
 pub use hypergraph::{ClassMember, DecodingHypergraph, EquivClass};
 pub use mwpm::{MwpmConfig, MwpmDecoder, TraceEdge};
-pub use paths::{shortest_paths_from, PathOracle, DEFAULT_ORACLE_NODE_LIMIT};
+pub use paths::{
+    shortest_paths_from, PathOracle, SparsePathFinder, SparsePathScratch, DEFAULT_ORACLE_NODE_LIMIT,
+};
 pub use restriction::{ColorCodeContext, RestrictionConfig, RestrictionDecoder, RestrictionEvent};
 pub use scratch::{DecodeScratch, DecoderStats};
 pub use unionfind::{UnionFindConfig, UnionFindDecoder};

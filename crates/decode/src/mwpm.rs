@@ -1,7 +1,7 @@
 //! The flagged MWPM decoder (§VI-C) and its unflagged baseline.
 
 use crate::hypergraph::DecodingHypergraph;
-use crate::paths::{self, PathOracle, DEFAULT_ORACLE_NODE_LIMIT};
+use crate::paths::{self, PathOracle, SparsePathFinder, DEFAULT_ORACLE_NODE_LIMIT};
 use crate::scratch::{DecodeScratch, MatchingCounters, MatchingScratch};
 use crate::{Decoder, DecoderStats};
 use qec_math::graph::matching::min_weight_perfect_matching_f64;
@@ -24,6 +24,16 @@ pub struct MwpmConfig {
     /// this many vertices (O(V²) storage); larger graphs keep the
     /// per-shot pooled-Dijkstra fallback. `0` disables the oracle.
     pub oracle_node_limit: usize,
+    /// Build a [`SparsePathFinder`] (lazy defect-seeded search, O(V+E)
+    /// storage) whenever the dense oracle is unavailable — the middle
+    /// tier of the three-tier path strategy. `false` forces full
+    /// per-shot Dijkstra when the oracle is absent.
+    pub sparse_paths: bool,
+    /// Worker threads for [`PathOracle`] construction; `0` = one per
+    /// available core. The oracle is bit-identical for any value (and
+    /// golden tests pin that), so this is a determinism-testing and
+    /// resource-control knob, not a correctness one.
+    pub build_threads: usize,
 }
 
 impl MwpmConfig {
@@ -33,6 +43,8 @@ impl MwpmConfig {
             flag_conditioning: true,
             measurement_error_probability: p_m,
             oracle_node_limit: DEFAULT_ORACLE_NODE_LIMIT,
+            sparse_paths: true,
+            build_threads: 0,
         }
     }
 
@@ -42,13 +54,28 @@ impl MwpmConfig {
             flag_conditioning: false,
             measurement_error_probability: 0.5,
             oracle_node_limit: DEFAULT_ORACLE_NODE_LIMIT,
+            sparse_paths: true,
+            build_threads: 0,
         }
     }
 
     /// Overrides the oracle node limit (the memory guard); `0` forces
-    /// the per-shot Dijkstra path.
+    /// the sparse tier (or, with [`MwpmConfig::with_sparse_paths`]
+    /// disabled, the per-shot Dijkstra path).
     pub fn with_oracle_node_limit(mut self, limit: usize) -> Self {
         self.oracle_node_limit = limit;
+        self
+    }
+
+    /// Enables or disables the [`SparsePathFinder`] middle tier.
+    pub fn with_sparse_paths(mut self, sparse: bool) -> Self {
+        self.sparse_paths = sparse;
+        self
+    }
+
+    /// Overrides the oracle construction thread count (`0` = auto).
+    pub fn with_build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads;
         self
     }
 }
@@ -75,11 +102,25 @@ pub struct MwpmDecoder {
     /// shared read-only across every `run_ber` worker; `None` when the
     /// graph exceeds the configured node limit.
     oracle: Option<Arc<PathOracle>>,
+    /// Lazy defect-seeded path search, built when the dense oracle is
+    /// unavailable (above the node limit, or disabled); also shared
+    /// read-only across workers.
+    sparse: Option<Arc<SparsePathFinder>>,
     counters: MatchingCounters,
 }
 
 /// Edges costlier than this are treated as unusable.
 const UNREACHABLE: f64 = 1.0e8;
+
+/// Resolves the configured oracle-construction thread knob (`0` =
+/// auto) for a graph of `n` sources.
+fn oracle_threads(config: &MwpmConfig, n: usize) -> usize {
+    if config.build_threads > 0 {
+        config.build_threads
+    } else {
+        paths::default_build_threads(n)
+    }
+}
 
 impl MwpmDecoder {
     /// Builds the decoder from a detector error model.
@@ -124,15 +165,17 @@ impl MwpmDecoder {
                 }
             }
         }
+        let weights: Vec<f64> = base_choice.iter().map(|&(_, w)| w).collect();
         let oracle =
             (!adjacency.is_empty() && adjacency.len() <= config.oracle_node_limit).then(|| {
-                let weights: Vec<f64> = base_choice.iter().map(|&(_, w)| w).collect();
                 Arc::new(PathOracle::build(
                     &adjacency,
                     &weights,
-                    paths::default_build_threads(adjacency.len()),
+                    oracle_threads(&config, adjacency.len()),
                 ))
             });
+        let sparse = (oracle.is_none() && config.sparse_paths && !adjacency.is_empty())
+            .then(|| Arc::new(SparsePathFinder::build(&adjacency, weights)));
         MwpmDecoder {
             hypergraph,
             config,
@@ -141,8 +184,73 @@ impl MwpmDecoder {
             adjacency,
             has_boundary,
             oracle,
+            sparse,
             counters: MatchingCounters::default(),
         }
+    }
+
+    /// Re-targets the decoder at a new detector error model with the
+    /// **same decoding-graph topology** (the BER-sweep case: only the
+    /// mechanism probabilities change with the physical error rate).
+    /// On success the adjacency, oracle matrices and sparse CSR index
+    /// are reused and only re-priced — bit-identical to a fresh
+    /// [`MwpmDecoder::new`] — and `true` is returned. Returns `false`
+    /// (decoder unchanged) when the topology or a structural config
+    /// knob differs, in which case the caller must rebuild.
+    pub fn reprice(&mut self, dem: &DetectorErrorModel, config: MwpmConfig) -> bool {
+        if config.oracle_node_limit != self.config.oracle_node_limit
+            || config.sparse_paths != self.config.sparse_paths
+        {
+            return false;
+        }
+        let hypergraph = DecodingHypergraph::new(dem);
+        let same_topology = hypergraph.num_check_detectors()
+            == self.hypergraph.num_check_detectors()
+            && hypergraph.num_flag_detectors() == self.hypergraph.num_flag_detectors()
+            && hypergraph.num_observables() == self.hypergraph.num_observables()
+            && hypergraph.classes().len() == self.hypergraph.classes().len()
+            && hypergraph
+                .classes()
+                .iter()
+                .zip(self.hypergraph.classes())
+                .all(|(a, b)| a.sigma == b.sigma);
+        if !same_topology {
+            return false;
+        }
+        self.config = config;
+        self.minus_ln_pm = -config
+            .measurement_error_probability
+            .clamp(1e-12, 1.0 - 1e-12)
+            .ln();
+        let no_flags = BitVec::zeros(hypergraph.num_flag_detectors());
+        self.base_choice = hypergraph
+            .classes()
+            .iter()
+            .map(|c| {
+                if config.flag_conditioning {
+                    c.representative(&no_flags, self.minus_ln_pm)
+                } else {
+                    c.representative_unflagged()
+                }
+            })
+            .collect();
+        self.hypergraph = hypergraph;
+        let weights: Vec<f64> = self.base_choice.iter().map(|&(_, w)| w).collect();
+        if let Some(oracle) = &mut self.oracle {
+            let threads = oracle_threads(&config, self.adjacency.len());
+            match Arc::get_mut(oracle) {
+                Some(o) => o.reprice(&self.adjacency, &weights, threads),
+                // Shared with a still-live worker: swap in a fresh one.
+                None => *oracle = Arc::new(PathOracle::build(&self.adjacency, &weights, threads)),
+            }
+        }
+        if let Some(sparse) = &mut self.sparse {
+            match Arc::get_mut(sparse) {
+                Some(s) => s.reprice(&weights),
+                None => *sparse = Arc::new(SparsePathFinder::build(&self.adjacency, weights)),
+            }
+        }
+        true
     }
 
     /// The underlying hypergraph.
@@ -154,6 +262,44 @@ impl MwpmDecoder {
     /// configured node limit.
     pub fn path_oracle(&self) -> Option<&PathOracle> {
         self.oracle.as_deref()
+    }
+
+    /// The lazy sparse path finder, built when the dense oracle is
+    /// absent and the sparse tier is enabled.
+    pub fn sparse_finder(&self) -> Option<&SparsePathFinder> {
+        self.sparse.as_deref()
+    }
+
+    /// Applies a harvested sparse-tier path: the `(prev, cur, class)`
+    /// hops are exactly the sequence [`MwpmDecoder::apply_path`]'s
+    /// predecessor walk visits, so corrections and traces match the
+    /// other tiers bit for bit.
+    fn apply_hops(
+        &self,
+        hops: &[(u32, u32, u32)],
+        overrides: &HashMap<usize, (usize, f64)>,
+        correction: &mut BitVec,
+        trace: &mut Option<&mut Vec<TraceEdge>>,
+    ) {
+        for &(prev, cur, class) in hops {
+            let class = class as usize;
+            let (member, weight) = overrides
+                .get(&class)
+                .copied()
+                .unwrap_or(self.base_choice[class]);
+            for &obs in &self.hypergraph.classes()[class].members[member].observables {
+                correction.flip(obs as usize);
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceEdge {
+                    class,
+                    member,
+                    weight,
+                    from: prev as usize,
+                    to: cur as usize,
+                });
+            }
+        }
     }
 
     fn apply_path(
@@ -260,6 +406,9 @@ impl MwpmDecoder {
             done,
             heap,
             edges,
+            sparse,
+            targets,
+            weights,
             ..
         } = sc;
         self.counters.decodes.fetch_add(1, Ordering::Relaxed);
@@ -286,36 +435,67 @@ impl MwpmDecoder {
             0.0
         };
         let s = checks.len();
-        // With no flag reweighting in effect the precomputed oracle
-        // answers every path query; raised flags (overrides or the
-        // global constant) reweight the graph shot-locally, so those
-        // shots — and graphs above the node limit — run the per-shot
-        // pooled Dijkstra instead.
+        // Three-tier path strategy. With no flag reweighting in effect
+        // the precomputed dense oracle answers every query; raised
+        // flags (overrides or the global constant) reweight the graph
+        // shot-locally, so those shots — and graphs above the node
+        // limit, where no oracle exists — fall to the sparse finder
+        // (defect-seeded truncated searches, re-priced per shot through
+        // the weight closure), and only when that tier is disabled to
+        // full per-shot pooled Dijkstra.
         let oracle = self
             .oracle
             .as_deref()
             .filter(|_| overrides.is_empty() && flag_constant == 0.0);
+        let sparse_finder = if oracle.is_none() {
+            self.sparse.as_deref()
+        } else {
+            None
+        };
         if oracle.is_some() {
             self.counters.oracle_hits.fetch_add(1, Ordering::Relaxed);
+        } else if sparse_finder.is_some() {
+            self.counters.sparse_hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.counters.oracle_misses.fetch_add(1, Ordering::Relaxed);
         }
-        if oracle.is_none() {
+        // Non-overridden classes keep their F = ∅ member but still pay
+        // the global |F| flag-mismatch constant.
+        let class_weight = |class: usize| {
+            overrides
+                .get(&class)
+                .map_or(self.base_choice[class].1 + flag_constant, |&(_, w)| w)
+        };
+        if let Some(sp) = sparse_finder {
+            targets.clear();
+            targets.extend_from_slice(checks);
+            if self.has_boundary {
+                targets.push(boundary);
+            }
+            // Resolve the shot's pricing once into a slice so the
+            // search relaxes edges by array indexing, not per-edge map
+            // lookups. The entries are exactly what `class_weight`
+            // would return, so distances stay bit-identical.
+            if overrides.is_empty() && flag_constant == 0.0 {
+                sp.matching_paths_into(checks, targets, |c| sp.class_weights()[c], sparse);
+            } else {
+                weights.clear();
+                weights.extend(self.base_choice.iter().map(|&(_, w)| w + flag_constant));
+                for (&class, &(_, w)) in overrides.iter() {
+                    weights[class] = w;
+                }
+                sp.matching_paths_into(checks, targets, |c| weights[c], sparse);
+            }
+        } else if oracle.is_none() {
             while dist.len() < s {
                 dist.push(Vec::new());
                 pred.push(Vec::new());
             }
             for i in 0..s {
-                // Non-overridden classes keep their F = ∅ member but
-                // still pay the global |F| flag-mismatch constant.
                 paths::dijkstra_into(
                     &self.adjacency,
                     checks[i],
-                    |class| {
-                        overrides
-                            .get(&class)
-                            .map_or(self.base_choice[class].1 + flag_constant, |&(_, w)| w)
-                    },
+                    class_weight,
                     &mut dist[i],
                     &mut pred[i],
                     done,
@@ -324,23 +504,27 @@ impl MwpmDecoder {
             }
         }
         // Matching instance: flipped detectors 0..s, boundary copies
-        // s..2s when the code has a boundary.
-        let pair_dist = |i: usize, dst: usize| -> f64 {
-            match oracle {
-                Some(o) => o.dist(checks[i], dst),
-                None => dist[i][dst],
+        // s..2s when the code has a boundary. `tj` is the sparse-tier
+        // target index (checks at their own positions, boundary last).
+        let pair_dist = |i: usize, tj: usize, node: usize| -> f64 {
+            if let Some(o) = oracle {
+                o.dist(checks[i], node)
+            } else if sparse_finder.is_some() {
+                sparse.dist(i, tj)
+            } else {
+                dist[i][node]
             }
         };
         edges.clear();
         for i in 0..s {
             for (j, &cj) in checks.iter().enumerate().skip(i + 1) {
-                let d = pair_dist(i, cj);
+                let d = pair_dist(i, j, cj);
                 if d < UNREACHABLE {
                     edges.push((i, j, d));
                 }
             }
             if self.has_boundary {
-                let d = pair_dist(i, boundary);
+                let d = pair_dist(i, s, boundary);
                 if d < UNREACHABLE {
                     edges.push((i, s + i, d));
                 }
@@ -358,30 +542,33 @@ impl MwpmDecoder {
             return; // no consistent pairing: give up
         };
         for (a, b) in matching.pairs() {
-            let dst = if a < s && b < s {
-                checks[b]
+            let (dst, tj) = if a < s && b < s {
+                (checks[b], b)
             } else if a < s && b == s + a {
-                boundary
+                (boundary, s)
             } else {
                 continue;
             };
-            match oracle {
-                Some(o) => self.apply_path(
+            if let Some(o) = oracle {
+                self.apply_path(
                     |v| o.pred(checks[a], v),
                     checks[a],
                     dst,
                     overrides,
                     correction,
                     &mut trace,
-                ),
-                None => self.apply_path(
+                );
+            } else if sparse_finder.is_some() {
+                self.apply_hops(sparse.path(a, tj), overrides, correction, &mut trace);
+            } else {
+                self.apply_path(
                     |v| pred[a][v],
                     checks[a],
                     dst,
                     overrides,
                     correction,
                     &mut trace,
-                ),
+                );
             }
         }
     }
@@ -451,15 +638,23 @@ mod tests {
     }
 
     /// The fallback (threshold-exceeded) path must stay exercised and
-    /// bit-identical: a `0` node limit forces per-shot Dijkstra, and
-    /// every syndrome decodes to the same correction either way.
+    /// bit-identical: a `0` node limit with the sparse tier disabled
+    /// forces per-shot Dijkstra, and every syndrome decodes to the same
+    /// correction either way.
     #[test]
     fn oracle_and_fallback_paths_agree_exhaustively() {
         let dem = repetition_dem(0.01);
         let with_oracle = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
         assert!(with_oracle.path_oracle().is_some());
-        let fallback = MwpmDecoder::new(&dem, MwpmConfig::unflagged().with_oracle_node_limit(0));
+        assert!(with_oracle.sparse_finder().is_none());
+        let fallback = MwpmDecoder::new(
+            &dem,
+            MwpmConfig::unflagged()
+                .with_oracle_node_limit(0)
+                .with_sparse_paths(false),
+        );
         assert!(fallback.path_oracle().is_none());
+        assert!(fallback.sparse_finder().is_none());
         let nd = dem.num_detectors();
         for pattern in 0..(1u32 << nd) {
             let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
@@ -473,6 +668,80 @@ mod tests {
         let fallback_stats = fallback.stats();
         assert!(with_stats.oracle_hits > 0 && with_stats.oracle_misses == 0);
         assert!(fallback_stats.oracle_hits == 0 && fallback_stats.oracle_misses > 0);
+        assert!(with_stats.sparse_hits == 0 && fallback_stats.sparse_hits == 0);
         assert_eq!(with_stats.decodes, fallback_stats.decodes);
+    }
+
+    /// The middle tier: with the oracle disabled, the sparse finder
+    /// serves every non-empty shot, bit-identical to both the dense
+    /// tier and the Dijkstra fallback.
+    #[test]
+    fn sparse_tier_agrees_with_oracle_and_fallback_exhaustively() {
+        let dem = repetition_dem(0.01);
+        let dense = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
+        let sparse = MwpmDecoder::new(&dem, MwpmConfig::unflagged().with_oracle_node_limit(0));
+        assert!(sparse.path_oracle().is_none());
+        assert!(sparse.sparse_finder().is_some());
+        let fallback = MwpmDecoder::new(
+            &dem,
+            MwpmConfig::unflagged()
+                .with_oracle_node_limit(0)
+                .with_sparse_paths(false),
+        );
+        let nd = dem.num_detectors();
+        let mut scratch = DecodeScratch::new();
+        let mut out = BitVec::zeros(0);
+        for pattern in 0..(1u32 << nd) {
+            let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
+            sparse.decode_into(&dets, &mut scratch, &mut out);
+            assert_eq!(out, dense.decode(&dets), "vs dense, syndrome {pattern:#b}");
+            assert_eq!(
+                out,
+                fallback.decode(&dets),
+                "vs fallback, syndrome {pattern:#b}"
+            );
+        }
+        let stats = sparse.stats();
+        assert!(stats.sparse_hits > 0);
+        assert!(stats.oracle_hits == 0 && stats.oracle_misses == 0);
+    }
+
+    /// Sweep reuse: re-pricing a decoder at a new error rate must be
+    /// indistinguishable from building it fresh — oracle matrices
+    /// bitwise equal, every syndrome decoding identically.
+    #[test]
+    fn reprice_is_bitwise_equal_to_fresh_build() {
+        let dem_a = repetition_dem(0.01);
+        let dem_b = repetition_dem(0.05);
+        let mut repriced = MwpmDecoder::new(&dem_a, MwpmConfig::unflagged());
+        assert!(repriced.reprice(&dem_b, MwpmConfig::unflagged()));
+        let fresh = MwpmDecoder::new(&dem_b, MwpmConfig::unflagged());
+        let (ro, fo) = (
+            repriced.path_oracle().unwrap(),
+            fresh.path_oracle().unwrap(),
+        );
+        for src in 0..ro.num_nodes() {
+            for dst in 0..ro.num_nodes() {
+                assert_eq!(ro.dist(src, dst).to_bits(), fo.dist(src, dst).to_bits());
+                assert_eq!(ro.pred(src, dst), fo.pred(src, dst));
+            }
+        }
+        let nd = dem_b.num_detectors();
+        for pattern in 0..(1u32 << nd) {
+            let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
+            assert_eq!(repriced.decode(&dets), fresh.decode(&dets));
+        }
+        // Sparse-tier variant re-prices the CSR weights in place.
+        let mut sparse =
+            MwpmDecoder::new(&dem_a, MwpmConfig::unflagged().with_oracle_node_limit(0));
+        assert!(sparse.reprice(&dem_b, MwpmConfig::unflagged().with_oracle_node_limit(0)));
+        let sparse_fresh =
+            MwpmDecoder::new(&dem_b, MwpmConfig::unflagged().with_oracle_node_limit(0));
+        for pattern in 0..(1u32 << nd) {
+            let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
+            assert_eq!(sparse.decode(&dets), sparse_fresh.decode(&dets));
+        }
+        // Structural config changes refuse to reprice.
+        assert!(!sparse.reprice(&dem_b, MwpmConfig::unflagged()));
     }
 }

@@ -21,15 +21,29 @@ use std::collections::BinaryHeap;
 /// 1024² × 16 B = 16 MiB.
 pub const DEFAULT_ORACLE_NODE_LIMIT: usize = 1024;
 
+/// The single deterministic relaxation formula every path search in
+/// this module shares: tentative distance of a neighbor reached from a
+/// node at distance `d` over a class-`class` edge of weight `w`.
+///
+/// The `1e-6` per-hop epsilon prefers shorter paths among weight ties
+/// and the `1e-9 · (class % 1024)` term ranks exactly-tied alternatives
+/// stably by class. Keeping the formula (and its left-to-right
+/// accumulation order) in one place is what makes the dense oracle, the
+/// sparse finder and the per-shot fallback **bitwise** interchangeable.
+#[inline]
+fn relaxed_dist(d: f64, w: f64, class: usize) -> f64 {
+    d + w + 1e-6 + (class % 1024) as f64 * 1e-9
+}
+
 /// One Dijkstra run over `adjacency` from `src` into pooled
 /// `dist`/`pred` arrays; `done` and `heap` are shared across runs and
 /// left drained. `class_weight` prices an edge by its equivalence
 /// class.
 ///
-/// The deterministic tie-break (prefer shorter paths via the `1e-6`
-/// per-hop epsilon, rank exactly-tied alternatives stably by class)
-/// lives here so every caller — per-shot decoding and oracle
-/// construction alike — accumulates **bit-identical** distance sums.
+/// Relaxations price edges through [`relaxed_dist`], the single
+/// deterministic tie-break site shared with the [`PathOracle`] and the
+/// [`SparsePathFinder`], so every caller accumulates **bit-identical**
+/// distance sums.
 pub(crate) fn dijkstra_into(
     adjacency: &[Vec<(usize, usize)>],
     src: usize,
@@ -59,7 +73,7 @@ pub(crate) fn dijkstra_into(
         done[u] = true;
         for &(v, class) in &adjacency[u] {
             let w = class_weight(class);
-            let nd = d + w + 1e-6 + (class % 1024) as f64 * 1e-9;
+            let nd = relaxed_dist(d, w, class);
             if nd < dist[v] {
                 dist[v] = nd;
                 pred[v] = (u, class);
@@ -139,17 +153,53 @@ impl PathOracle {
         threads: usize,
     ) -> PathOracle {
         let n = adjacency.len();
-        let mut dist = vec![f64::INFINITY; n * n];
-        let mut pred = vec![(u32::MAX, u32::MAX); n * n];
+        let mut oracle = PathOracle {
+            n,
+            dist: vec![f64::INFINITY; n * n],
+            pred: vec![(u32::MAX, u32::MAX); n * n],
+        };
+        oracle.fill(adjacency, class_weights, threads);
+        oracle
+    }
+
+    /// Recomputes every row against new class weights over the same
+    /// graph, reusing the allocated matrices — the sweep-reuse path: a
+    /// BER sweep re-prices the decoding graph at each physical error
+    /// rate without reallocating O(V²) storage. Bit-identical to a
+    /// fresh [`PathOracle::build`] with the same inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adjacency` has a different vertex count than the
+    /// oracle was built for.
+    pub fn reprice(
+        &mut self,
+        adjacency: &[Vec<(usize, usize)>],
+        class_weights: &[f64],
+        threads: usize,
+    ) {
+        assert_eq!(
+            adjacency.len(),
+            self.n,
+            "reprice requires the graph the oracle was built for"
+        );
+        self.fill(adjacency, class_weights, threads);
+    }
+
+    /// Runs the all-sources Dijkstra sweep into the existing matrices,
+    /// overwriting every entry.
+    fn fill(&mut self, adjacency: &[Vec<(usize, usize)>], class_weights: &[f64], threads: usize) {
+        let n = self.n;
         if n == 0 {
-            return PathOracle { n, dist, pred };
+            return;
         }
         assert!(n <= u32::MAX as usize, "node indices must fit in u32");
         let rows_per_chunk = n.div_ceil(threads.clamp(1, n));
         std::thread::scope(|scope| {
-            for (chunk, (dist_chunk, pred_chunk)) in dist
+            for (chunk, (dist_chunk, pred_chunk)) in self
+                .dist
                 .chunks_mut(rows_per_chunk * n)
-                .zip(pred.chunks_mut(rows_per_chunk * n))
+                .zip(self.pred.chunks_mut(rows_per_chunk * n))
                 .enumerate()
             {
                 scope.spawn(move || {
@@ -185,7 +235,6 @@ impl PathOracle {
                 });
             }
         });
-        PathOracle { n, dist, pred }
     }
 
     /// Number of graph nodes (the matrix is `num_nodes × num_nodes`).
@@ -217,6 +266,320 @@ impl PathOracle {
         } else {
             (u as usize, c as usize)
         }
+    }
+}
+
+/// Lazy, defect-seeded shortest paths for decoding graphs above the
+/// [`PathOracle`] node limit — the middle tier of the three-tier path
+/// strategy (dense oracle → sparse finder → pooled per-shot Dijkstra).
+///
+/// Instead of precomputing all V² pairs (dense oracle) or running one
+/// *full-graph* Dijkstra per defect per shot (fallback), the finder
+/// grows a Dijkstra region from each defect that actually fired and
+/// stops as soon as every target that defect still needs is settled.
+/// Because Dijkstra settles nodes in nondecreasing distance order, the
+/// settled targets carry their **final** distances and predecessors —
+/// the truncation is exact, and since relaxations price edges through
+/// the same [`relaxed_dist`] tie-break the harvested results are
+/// **bitwise** equal to a full run's.
+///
+/// For matching, source `i` only needs targets `i+1..` (the matcher
+/// consumes each unordered pair once, from the lower-indexed side; the
+/// boundary, when present, is the last target so every source keeps
+/// it), which roughly halves the searched volume on top of the early
+/// exit. Results are memoized per shot in a [`SparsePathScratch`]:
+/// an `s × t` pair-distance table plus unrolled path hops, so the
+/// per-shot path index is O(defects · targets), never O(V²).
+///
+/// The finder itself stores only the CSR graph — O(V + E) — and the
+/// flag-free class weights; searches can be re-priced per shot through
+/// a weight closure, so unlike the dense oracle it also serves
+/// flag-reweighted shots.
+#[derive(Debug)]
+pub struct SparsePathFinder {
+    /// CSR offsets: node `v`'s edges live at
+    /// `edges[offsets[v] as usize .. offsets[v + 1] as usize]`.
+    offsets: Vec<u32>,
+    /// CSR-packed `(neighbor, class)` pairs, in exactly the order the
+    /// adjacency lists enumerate them (relaxation order is part of the
+    /// bitwise-determinism contract).
+    edges: Vec<(u32, u32)>,
+    /// Flag-free per-class weights (the decoders' base pricing), kept
+    /// for standalone searches and sweep re-pricing.
+    class_weights: Vec<f64>,
+}
+
+impl SparsePathFinder {
+    /// Packs `adjacency` into CSR form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node, class or edge index does not fit in `u32`.
+    pub fn build(adjacency: &[Vec<(usize, usize)>], class_weights: Vec<f64>) -> SparsePathFinder {
+        let n = adjacency.len();
+        assert!(n <= u32::MAX as usize, "node indices must fit in u32");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(adjacency.iter().map(Vec::len).sum());
+        offsets.push(0);
+        for list in adjacency {
+            for &(v, class) in list {
+                assert!(class <= u32::MAX as usize, "class indices must fit in u32");
+                edges.push((v as u32, class as u32));
+            }
+            let end = u32::try_from(edges.len()).expect("edge count must fit in u32");
+            offsets.push(end);
+        }
+        SparsePathFinder {
+            offsets,
+            edges,
+            class_weights,
+        }
+    }
+
+    /// Number of graph nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Resident index footprint in bytes — O(V + E), against the dense
+    /// oracle's O(V²).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.edges.len() * std::mem::size_of::<(u32, u32)>()
+            + self.class_weights.len() * std::mem::size_of::<f64>()
+    }
+
+    /// The flag-free per-class weights the finder was built with.
+    pub fn class_weights(&self) -> &[f64] {
+        &self.class_weights
+    }
+
+    /// Replaces the stored flag-free class weights — the sweep-reuse
+    /// path, mirroring [`PathOracle::reprice`]. The CSR structure is
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight count changes.
+    pub fn reprice(&mut self, class_weights: &[f64]) {
+        assert_eq!(
+            class_weights.len(),
+            self.class_weights.len(),
+            "reprice requires the class set the finder was built for"
+        );
+        self.class_weights.copy_from_slice(class_weights);
+    }
+
+    /// Exact distances and unrolled paths from every source to **all**
+    /// `targets`, harvested into `scratch` (query them with
+    /// [`SparsePathScratch::dist`] / [`SparsePathScratch::path`]).
+    /// Edges are priced by `class_weight`; pass
+    /// `|c| finder.class_weights()[c]` for the flag-free base pricing.
+    pub fn all_paths_into(
+        &self,
+        sources: &[usize],
+        targets: &[usize],
+        class_weight: impl Fn(usize) -> f64,
+        scratch: &mut SparsePathScratch,
+    ) {
+        self.search_into(sources, targets, |_| 0, class_weight, scratch);
+    }
+
+    /// The matching-shaped search: source `i` gets exact distances and
+    /// paths to `targets[i + 1..]` only (entries below the diagonal
+    /// stay "unreachable" in the scratch). With `targets` = the defect
+    /// list (plus a trailing boundary node when the graph has one),
+    /// this is every pair the matcher can consume, at roughly half the
+    /// all-pairs search volume.
+    pub fn matching_paths_into(
+        &self,
+        sources: &[usize],
+        targets: &[usize],
+        class_weight: impl Fn(usize) -> f64,
+        scratch: &mut SparsePathScratch,
+    ) {
+        self.search_into(sources, targets, |i| i + 1, class_weight, scratch);
+    }
+
+    /// Shared search body: one truncated Dijkstra per source, needing
+    /// targets `first_needed(i)..`, harvesting distances and dst→src
+    /// path hops as each search finishes.
+    fn search_into(
+        &self,
+        sources: &[usize],
+        targets: &[usize],
+        first_needed: impl Fn(usize) -> usize,
+        class_weight: impl Fn(usize) -> f64,
+        sc: &mut SparsePathScratch,
+    ) {
+        let t = targets.len();
+        sc.ensure(self.num_nodes());
+        sc.num_targets = t;
+        sc.pair_dist.clear();
+        sc.pair_dist.resize(sources.len() * t, f64::INFINITY);
+        sc.path_span.clear();
+        sc.path_span.resize(sources.len() * t, (0, 0));
+        sc.hops.clear();
+        for (i, &src) in sources.iter().enumerate() {
+            let first = first_needed(i).min(t);
+            if first >= t {
+                continue;
+            }
+            let epoch = sc.next_epoch();
+            // Mark this source's needed targets; duplicates collapse.
+            let mut remaining = 0usize;
+            for &tn in &targets[first..] {
+                if sc.target[tn] != epoch {
+                    sc.target[tn] = epoch;
+                    remaining += 1;
+                }
+            }
+            sc.heap.clear();
+            sc.dist[src] = 0.0;
+            sc.pred[src] = (u32::MAX, u32::MAX);
+            sc.seen[src] = epoch;
+            sc.heap.push(HeapItem {
+                dist: 0.0,
+                node: src,
+            });
+            while let Some(HeapItem { dist: d, node: u }) = sc.heap.pop() {
+                if sc.done[u] == epoch {
+                    continue;
+                }
+                sc.done[u] = epoch;
+                if sc.target[u] == epoch {
+                    remaining -= 1;
+                    if remaining == 0 {
+                        // Every needed target settled: its dist/pred
+                        // are final (Dijkstra settles in nondecreasing
+                        // distance order), so stop growing the region.
+                        break;
+                    }
+                }
+                let (lo, hi) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
+                for &(v, class) in &self.edges[lo..hi] {
+                    let class = class as usize;
+                    let v = v as usize;
+                    let w = class_weight(class);
+                    let nd = relaxed_dist(d, w, class);
+                    let dv = if sc.seen[v] == epoch {
+                        sc.dist[v]
+                    } else {
+                        f64::INFINITY
+                    };
+                    if nd < dv {
+                        sc.dist[v] = nd;
+                        sc.pred[v] = (u as u32, class as u32);
+                        sc.seen[v] = epoch;
+                        sc.heap.push(HeapItem { dist: nd, node: v });
+                    }
+                }
+            }
+            // Harvest: settled targets carry final distances; anything
+            // unsettled was unreachable (the heap drained first) and
+            // keeps the INFINITY / empty-path defaults.
+            for (tj, &node) in targets.iter().enumerate().skip(first) {
+                if sc.done[node] != epoch {
+                    continue;
+                }
+                let idx = i * t + tj;
+                sc.pair_dist[idx] = sc.dist[node];
+                let start = sc.hops.len() as u32;
+                let mut cur = node;
+                while cur != src {
+                    let (prev, class) = sc.pred[cur];
+                    sc.hops.push((prev, cur as u32, class));
+                    cur = prev as usize;
+                }
+                sc.path_span[idx] = (start, sc.hops.len() as u32 - start);
+            }
+        }
+    }
+}
+
+/// Per-shot memo of a [`SparsePathFinder`] search: epoch-stamped
+/// Dijkstra arrays (reset in O(touched) between searches) plus the
+/// harvested pair-distance table and unrolled path hops. Lives inside
+/// [`crate::DecodeScratch`], one per worker thread.
+#[derive(Debug, Default)]
+pub struct SparsePathScratch {
+    /// Current search epoch; an array entry is valid iff its stamp
+    /// matches.
+    epoch: u32,
+    /// Stamp: `dist`/`pred` of this node were written this search.
+    seen: Vec<u32>,
+    /// Stamp: this node was settled this search.
+    done: Vec<u32>,
+    /// Stamp: this node is a needed target of this search.
+    target: Vec<u32>,
+    dist: Vec<f64>,
+    pred: Vec<(u32, u32)>,
+    heap: BinaryHeap<HeapItem>,
+    /// Width of the harvested pair tables.
+    num_targets: usize,
+    /// Row-major `sources × targets` distances (`INFINITY` = not
+    /// searched or unreachable).
+    pair_dist: Vec<f64>,
+    /// Row-major `(start, len)` spans into `hops` per pair.
+    path_span: Vec<(u32, u32)>,
+    /// Unrolled `(prev, cur, class)` path hops in dst→src walk order.
+    hops: Vec<(u32, u32, u32)>,
+}
+
+impl SparsePathScratch {
+    /// Creates an empty scratch; arrays size themselves on first use.
+    pub fn new() -> Self {
+        SparsePathScratch::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.seen.len() < n {
+            self.seen.resize(n, 0);
+            self.done.resize(n, 0);
+            self.target.resize(n, 0);
+            self.dist.resize(n, 0.0);
+            self.pred.resize(n, (u32::MAX, u32::MAX));
+        }
+    }
+
+    /// Advances to a fresh epoch, invalidating every stamped entry in
+    /// O(1); on the (astronomically rare) wrap, clears the stamps.
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.seen.fill(0);
+            self.done.fill(0);
+            self.target.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Harvested distance from source index `source` to target index
+    /// `target` of the last search (`INFINITY` = unreachable, or a
+    /// pair the search shape skipped).
+    #[inline]
+    pub fn dist(&self, source: usize, target: usize) -> f64 {
+        self.pair_dist[source * self.num_targets + target]
+    }
+
+    /// Harvested `(prev, cur, class)` hops of the shortest path for
+    /// the pair, in dst→src walk order — exactly the sequence a
+    /// predecessor-chain walk of the full Dijkstra would visit.
+    #[inline]
+    pub fn path(&self, source: usize, target: usize) -> &[(u32, u32, u32)] {
+        let (start, len) = self.path_span[source * self.num_targets + target];
+        &self.hops[start as usize..(start + len) as usize]
+    }
+
+    /// Current footprint of the harvested per-shot path index in bytes
+    /// (pair table + spans + hops) — the O(defects · targets) memo,
+    /// reported by `qec-bench` against the dense oracle's would-be
+    /// O(V²).
+    pub fn memo_bytes(&self) -> usize {
+        self.pair_dist.len() * std::mem::size_of::<f64>()
+            + self.path_span.len() * std::mem::size_of::<(u32, u32)>()
+            + self.hops.len() * std::mem::size_of::<(u32, u32, u32)>()
     }
 }
 
@@ -295,5 +658,87 @@ mod tests {
         assert_eq!(classes, vec![1, 0]);
         let expected = weights[0] + weights[1] + 2.0 * 1e-6 + (0.0 + 1.0) * 1e-9;
         assert!((oracle.dist(0, 2) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_finder_matches_on_demand_dijkstra_bitwise() {
+        let (adjacency, weights) = path_graph();
+        let finder = SparsePathFinder::build(&adjacency, weights.clone());
+        assert_eq!(finder.num_nodes(), 4);
+        let all: Vec<usize> = (0..4).collect();
+        let mut sc = SparsePathScratch::new();
+        finder.all_paths_into(&all, &all, |c| weights[c], &mut sc);
+        for src in 0..4 {
+            let (dist, pred) = shortest_paths_from(&adjacency, &weights, src);
+            for (dst, &full_dist) in dist.iter().enumerate() {
+                assert_eq!(
+                    sc.dist(src, dst).to_bits(),
+                    full_dist.to_bits(),
+                    "sparse dist[{src}][{dst}]"
+                );
+                // The harvested hops replay the pred-chain walk.
+                let mut cur = dst;
+                for &(prev, hop_cur, class) in sc.path(src, dst) {
+                    assert_eq!(hop_cur as usize, cur);
+                    assert_eq!(pred[cur], (prev as usize, class as usize));
+                    cur = prev as usize;
+                }
+                if full_dist.is_finite() {
+                    assert_eq!(cur, src, "path must reach the source");
+                } else {
+                    assert!(sc.path(src, dst).is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matching_shape_skips_the_lower_triangle() {
+        let (adjacency, weights) = path_graph();
+        let finder = SparsePathFinder::build(&adjacency, weights.clone());
+        let nodes = [0usize, 1, 2];
+        let mut sc = SparsePathScratch::new();
+        finder.matching_paths_into(&nodes, &nodes, |c| weights[c], &mut sc);
+        // Upper triangle is exact…
+        let (dist0, _) = shortest_paths_from(&adjacency, &weights, 0);
+        assert_eq!(sc.dist(0, 1).to_bits(), dist0[1].to_bits());
+        assert_eq!(sc.dist(0, 2).to_bits(), dist0[2].to_bits());
+        // …the diagonal and below were never searched.
+        assert!(sc.dist(1, 0).is_infinite());
+        assert!(sc.dist(2, 2).is_infinite());
+        assert!(sc.path(1, 0).is_empty());
+    }
+
+    #[test]
+    fn sparse_finder_reprice_changes_base_weights_only() {
+        let (adjacency, weights) = path_graph();
+        let mut finder = SparsePathFinder::build(&adjacency, weights);
+        let new_weights = vec![3.0, 0.5];
+        finder.reprice(&new_weights);
+        let all: Vec<usize> = (0..4).collect();
+        let mut sc = SparsePathScratch::new();
+        finder.all_paths_into(&all, &all, |c| finder.class_weights()[c], &mut sc);
+        let (dist, _) = shortest_paths_from(&adjacency, &new_weights, 0);
+        for (dst, &full_dist) in dist.iter().enumerate() {
+            assert_eq!(sc.dist(0, dst).to_bits(), full_dist.to_bits());
+        }
+    }
+
+    #[test]
+    fn oracle_reprice_is_bitwise_equal_to_fresh_build() {
+        let (adjacency, weights) = path_graph();
+        let mut oracle = PathOracle::build(&adjacency, &weights, 2);
+        let new_weights = vec![0.25, 7.5];
+        oracle.reprice(&adjacency, &new_weights, 3);
+        let fresh = PathOracle::build(&adjacency, &new_weights, 1);
+        for src in 0..4 {
+            for dst in 0..4 {
+                assert_eq!(
+                    oracle.dist(src, dst).to_bits(),
+                    fresh.dist(src, dst).to_bits()
+                );
+                assert_eq!(oracle.pred(src, dst), fresh.pred(src, dst));
+            }
+        }
     }
 }

@@ -2,7 +2,9 @@
 //! Chamberland-style baseline.
 
 use crate::hypergraph::DecodingHypergraph;
-use crate::paths::{self, PathOracle, DEFAULT_ORACLE_NODE_LIMIT};
+use crate::paths::{
+    self, PathOracle, SparsePathFinder, SparsePathScratch, DEFAULT_ORACLE_NODE_LIMIT,
+};
 use crate::scratch::{DecodeScratch, HeapItem, MatchingCounters, MatchingScratch};
 use crate::{Decoder, DecoderStats};
 use qec_math::graph::matching::min_weight_perfect_matching_f64;
@@ -42,6 +44,15 @@ pub struct RestrictionConfig {
     /// lattices keep the per-shot pooled-Dijkstra fallback. `0`
     /// disables the oracles.
     pub oracle_node_limit: usize,
+    /// Build a per-lattice [`SparsePathFinder`] (lazy defect-seeded
+    /// search, O(V+E) storage) whenever that lattice's dense oracle is
+    /// unavailable — the middle tier of the three-tier path strategy.
+    /// `false` forces full per-shot Dijkstra when an oracle is absent.
+    pub sparse_paths: bool,
+    /// Worker threads for [`PathOracle`] construction; `0` = one per
+    /// available core. The oracle is bit-identical for any value, so
+    /// this is a determinism-testing and resource-control knob.
+    pub build_threads: usize,
 }
 
 impl RestrictionConfig {
@@ -52,6 +63,8 @@ impl RestrictionConfig {
             twice_used_rule: true,
             measurement_error_probability: p_m,
             oracle_node_limit: DEFAULT_ORACLE_NODE_LIMIT,
+            sparse_paths: true,
+            build_threads: 0,
         }
     }
 
@@ -62,13 +75,28 @@ impl RestrictionConfig {
             twice_used_rule: false,
             measurement_error_probability: p_m,
             oracle_node_limit: DEFAULT_ORACLE_NODE_LIMIT,
+            sparse_paths: true,
+            build_threads: 0,
         }
     }
 
     /// Overrides the oracle node limit (the memory guard); `0` forces
-    /// the per-shot Dijkstra path.
+    /// the sparse tier (or, with [`RestrictionConfig::with_sparse_paths`]
+    /// disabled, the per-shot Dijkstra path).
     pub fn with_oracle_node_limit(mut self, limit: usize) -> Self {
         self.oracle_node_limit = limit;
+        self
+    }
+
+    /// Enables or disables the [`SparsePathFinder`] middle tier.
+    pub fn with_sparse_paths(mut self, sparse: bool) -> Self {
+        self.sparse_paths = sparse;
+        self
+    }
+
+    /// Overrides the oracle construction thread count (`0` = auto).
+    pub fn with_build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads;
         self
     }
 }
@@ -100,12 +128,25 @@ pub struct RestrictionDecoder {
     /// shared read-only across every `run_ber` worker; `None` when a
     /// lattice exceeds the configured node limit.
     oracles: [Option<Arc<PathOracle>>; 3],
+    /// Per-lattice lazy path finders, built when that lattice's dense
+    /// oracle is unavailable; also shared read-only across workers.
+    sparses: [Option<Arc<SparsePathFinder>>; 3],
     counters: MatchingCounters,
     /// Exact lookup from a class's σ to its index.
     sigma_index: HashMap<Vec<u32>, usize>,
 }
 
 const UNREACHABLE: f64 = 1.0e8;
+
+/// Resolves the configured oracle-construction thread knob (`0` =
+/// auto) for a lattice of `n` sources.
+fn oracle_threads(config: &RestrictionConfig, n: usize) -> usize {
+    if config.build_threads > 0 {
+        config.build_threads
+    } else {
+        paths::default_build_threads(n)
+    }
+}
 
 impl RestrictionDecoder {
     /// Builds the decoder from a detector error model and the color
@@ -181,7 +222,7 @@ impl RestrictionDecoder {
                 Arc::new(PathOracle::build(
                     &lattice.adjacency,
                     &weights,
-                    paths::default_build_threads(n),
+                    oracle_threads(&config, n),
                 ))
             })
         };
@@ -190,6 +231,16 @@ impl RestrictionDecoder {
             build_oracle(&lattices[1]),
             build_oracle(&lattices[2]),
         ];
+        let build_sparse = |li: usize| {
+            (oracles[li].is_none() && config.sparse_paths && !lattices[li].adjacency.is_empty())
+                .then(|| {
+                    Arc::new(SparsePathFinder::build(
+                        &lattices[li].adjacency,
+                        weights.clone(),
+                    ))
+                })
+        };
+        let sparses = [build_sparse(0), build_sparse(1), build_sparse(2)];
         let sigma_index = hypergraph
             .classes()
             .iter()
@@ -204,9 +255,81 @@ impl RestrictionDecoder {
             base_choice,
             lattices,
             oracles,
+            sparses,
             counters: MatchingCounters::default(),
             sigma_index,
         }
+    }
+
+    /// Re-targets the decoder at a new detector error model with the
+    /// **same decoding-graph topology** (the BER-sweep case: only the
+    /// mechanism probabilities change with the physical error rate).
+    /// On success the lattices, oracle matrices and sparse CSR indexes
+    /// are reused and only re-priced — bit-identical to a fresh
+    /// [`RestrictionDecoder::new`] — and `true` is returned. Returns
+    /// `false` (decoder unchanged) when the topology or a structural
+    /// config knob differs, in which case the caller must rebuild.
+    pub fn reprice(&mut self, dem: &DetectorErrorModel, config: RestrictionConfig) -> bool {
+        if config.oracle_node_limit != self.config.oracle_node_limit
+            || config.sparse_paths != self.config.sparse_paths
+        {
+            return false;
+        }
+        let hypergraph = DecodingHypergraph::with_primitive_size(dem, usize::MAX);
+        let same_topology = hypergraph.num_check_detectors()
+            == self.hypergraph.num_check_detectors()
+            && hypergraph.num_flag_detectors() == self.hypergraph.num_flag_detectors()
+            && hypergraph.num_observables() == self.hypergraph.num_observables()
+            && hypergraph.classes().len() == self.hypergraph.classes().len()
+            && hypergraph
+                .classes()
+                .iter()
+                .zip(self.hypergraph.classes())
+                .all(|(a, b)| a.sigma == b.sigma)
+            && (0..hypergraph.num_check_detectors()).all(|c| {
+                hypergraph.check_meta(c).color == self.hypergraph.check_meta(c).color
+                    && hypergraph.check_meta(c).id == self.hypergraph.check_meta(c).id
+            });
+        if !same_topology {
+            return false;
+        }
+        self.config = config;
+        self.minus_ln_pm = -config
+            .measurement_error_probability
+            .clamp(1e-12, 1.0 - 1e-12)
+            .ln();
+        let no_flags = BitVec::zeros(hypergraph.num_flag_detectors());
+        self.base_choice = hypergraph
+            .classes()
+            .iter()
+            .map(|c| {
+                if config.flag_conditioning {
+                    c.representative(&no_flags, self.minus_ln_pm)
+                } else {
+                    c.representative_unflagged()
+                }
+            })
+            .collect();
+        self.hypergraph = hypergraph;
+        let weights: Vec<f64> = self.base_choice.iter().map(|&(_, w)| w).collect();
+        for li in 0..3 {
+            let adjacency = &self.lattices[li].adjacency;
+            if let Some(oracle) = &mut self.oracles[li] {
+                let threads = oracle_threads(&config, adjacency.len());
+                match Arc::get_mut(oracle) {
+                    Some(o) => o.reprice(adjacency, &weights, threads),
+                    // Shared with a still-live worker: swap in fresh.
+                    None => *oracle = Arc::new(PathOracle::build(adjacency, &weights, threads)),
+                }
+            }
+            if let Some(sparse) = &mut self.sparses[li] {
+                match Arc::get_mut(sparse) {
+                    Some(s) => s.reprice(&weights),
+                    None => *sparse = Arc::new(SparsePathFinder::build(adjacency, weights.clone())),
+                }
+            }
+        }
+        true
     }
 
     /// The underlying hypergraph.
@@ -221,16 +344,26 @@ impl RestrictionDecoder {
         self.oracles[lattice].as_deref()
     }
 
+    /// The lazy sparse path finder of restricted lattice `lattice`,
+    /// built when that lattice's dense oracle is absent and the sparse
+    /// tier is enabled.
+    pub fn sparse_finder(&self, lattice: usize) -> Option<&SparsePathFinder> {
+        self.sparses[lattice].as_deref()
+    }
+
     /// Runs MWPM on one restricted lattice; appends `(class, a, b)`
     /// path edges (check-space endpoints) to `em`. When `oracle` is
     /// provided (flag-free shot on a lattice below the node limit),
-    /// path weights and predecessors come from the precomputed matrix
-    /// instead of per-shot Dijkstra runs.
+    /// path weights and predecessors come from the precomputed matrix;
+    /// otherwise `sparse` (when built) answers them with defect-seeded
+    /// truncated searches, and only as a last resort does the lattice
+    /// run full per-shot Dijkstra.
     #[allow(clippy::too_many_arguments)]
     fn match_lattice(
         &self,
         lattice: &Lattice,
         oracle: Option<&PathOracle>,
+        sparse: Option<&SparsePathFinder>,
         flipped_checks: &[usize],
         overrides: &HashMap<usize, (usize, f64)>,
         flag_constant: f64,
@@ -240,6 +373,8 @@ impl RestrictionDecoder {
         done: &mut Vec<bool>,
         heap: &mut BinaryHeap<HeapItem>,
         edges: &mut Vec<(usize, usize, f64)>,
+        ssc: &mut SparsePathScratch,
+        weights: &mut Vec<f64>,
         em: &mut Vec<(usize, usize, usize)>,
     ) {
         sources.clear();
@@ -253,22 +388,40 @@ impl RestrictionDecoder {
             return;
         }
         let s = sources.len();
-        if oracle.is_none() {
+        // Non-overridden classes keep their F = ∅ member but still pay
+        // the global |F| flag-mismatch constant.
+        let class_weight = |class: usize| {
+            overrides
+                .get(&class)
+                .map_or(self.base_choice[class].1 + flag_constant, |&(_, w)| w)
+        };
+        if let Some(sp) = sparse {
+            // Restricted lattices have no boundary vertex, so the
+            // matching targets are exactly the sources. Pricing is
+            // resolved once into a slice so relaxations index an array
+            // instead of consulting the override map per edge; the
+            // entries are exactly what `class_weight` would return, so
+            // distances stay bit-identical.
+            if overrides.is_empty() && flag_constant == 0.0 {
+                sp.matching_paths_into(sources, sources, |c| sp.class_weights()[c], ssc);
+            } else {
+                weights.clear();
+                weights.extend(self.base_choice.iter().map(|&(_, w)| w + flag_constant));
+                for (&class, &(_, w)) in overrides.iter() {
+                    weights[class] = w;
+                }
+                sp.matching_paths_into(sources, sources, |c| weights[c], ssc);
+            }
+        } else if oracle.is_none() {
             while dist.len() < s {
                 dist.push(Vec::new());
                 pred.push(Vec::new());
             }
             for i in 0..s {
-                // Non-overridden classes keep their F = ∅ member but
-                // still pay the global |F| flag-mismatch constant.
                 paths::dijkstra_into(
                     &lattice.adjacency,
                     sources[i],
-                    |class| {
-                        overrides
-                            .get(&class)
-                            .map_or(self.base_choice[class].1 + flag_constant, |&(_, w)| w)
-                    },
+                    class_weight,
                     &mut dist[i],
                     &mut pred[i],
                     done,
@@ -279,9 +432,12 @@ impl RestrictionDecoder {
         edges.clear();
         for i in 0..s {
             for (j, &sj) in sources.iter().enumerate().skip(i + 1) {
-                let d = match oracle {
-                    Some(o) => o.dist(sources[i], sj),
-                    None => dist[i][sj],
+                let d = if let Some(o) = oracle {
+                    o.dist(sources[i], sj)
+                } else if sparse.is_some() {
+                    ssc.dist(i, j)
+                } else {
+                    dist[i][sj]
                 };
                 if d < UNREACHABLE {
                     edges.push((i, j, d));
@@ -292,6 +448,18 @@ impl RestrictionDecoder {
             return;
         };
         for (a, b) in matching.pairs() {
+            if sparse.is_some() && oracle.is_none() {
+                // Harvested hops replay the predecessor walk below,
+                // dst → src, so the emitted edges are identical.
+                for &(prev, cur, class) in ssc.path(a, b) {
+                    em.push((
+                        class as usize,
+                        lattice.check_of[prev as usize],
+                        lattice.check_of[cur as usize],
+                    ));
+                }
+                continue;
+            }
             let mut cur = sources[b];
             while cur != sources[a] {
                 let (prev, class) = match oracle {
@@ -396,6 +564,9 @@ impl RestrictionDecoder {
             done,
             heap,
             edges,
+            sparse,
+            targets: _,
+            weights,
             sources,
             em,
             counts,
@@ -425,15 +596,26 @@ impl RestrictionDecoder {
         } else {
             0.0
         };
-        // With no flag reweighting in effect the per-lattice oracles
-        // answer every path query; raised flags reweight the graphs
-        // shot-locally, so those shots — and lattices above the node
-        // limit — run the per-shot pooled Dijkstra instead. A shot
-        // counts as a hit only when every lattice answered from its
-        // oracle.
+        // Three-tier path strategy, per lattice. With no flag
+        // reweighting in effect a lattice's dense oracle answers every
+        // query; otherwise its sparse finder (when built) runs
+        // defect-seeded truncated searches re-priced through the weight
+        // closure; only a lattice with neither runs full per-shot
+        // Dijkstra. A shot counts as an oracle hit when every lattice
+        // answered from its dense matrix, as a sparse hit when every
+        // non-empty lattice avoided full Dijkstra with at least one
+        // served by the sparse finder, and as a miss otherwise.
         let flag_free = overrides.is_empty() && flag_constant == 0.0;
-        if flag_free && self.oracles.iter().all(Option::is_some) {
+        let all_oracle = flag_free && self.oracles.iter().all(Option::is_some);
+        let no_dijkstra = (0..3).all(|li| {
+            self.lattices[li].adjacency.is_empty()
+                || (flag_free && self.oracles[li].is_some())
+                || self.sparses[li].is_some()
+        });
+        if all_oracle {
             self.counters.oracle_hits.fetch_add(1, Ordering::Relaxed);
+        } else if no_dijkstra {
+            self.counters.sparse_hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.counters.oracle_misses.fetch_add(1, Ordering::Relaxed);
         }
@@ -445,9 +627,15 @@ impl RestrictionDecoder {
             } else {
                 None
             };
+            let sparse_finder = if oracle.is_none() {
+                self.sparses[li].as_deref()
+            } else {
+                None
+            };
             self.match_lattice(
                 lattice,
                 oracle,
+                sparse_finder,
                 checks,
                 overrides,
                 flag_constant,
@@ -457,6 +645,8 @@ impl RestrictionDecoder {
                 done,
                 heap,
                 edges,
+                sparse,
+                weights,
                 em,
             );
             if let Some(t) = trace.as_deref_mut() {
@@ -726,20 +916,25 @@ mod tests {
     }
 
     /// The fallback (threshold-exceeded) path stays exercised: a `0`
-    /// node limit disables every lattice oracle, and all syndromes
-    /// decode to the same correction either way.
+    /// node limit with the sparse tier disabled forces per-shot
+    /// Dijkstra, and all syndromes decode to the same correction
+    /// either way.
     #[test]
     fn oracle_and_fallback_paths_agree_exhaustively() {
         let (dem, ctx) = tiny_color_dem();
         let with_oracle =
             RestrictionDecoder::new(&dem, ctx.clone(), RestrictionConfig::flagged(0.01));
         assert!((0..3).all(|l| with_oracle.path_oracle(l).is_some()));
+        assert!((0..3).all(|l| with_oracle.sparse_finder(l).is_none()));
         let fallback = RestrictionDecoder::new(
             &dem,
             ctx,
-            RestrictionConfig::flagged(0.01).with_oracle_node_limit(0),
+            RestrictionConfig::flagged(0.01)
+                .with_oracle_node_limit(0)
+                .with_sparse_paths(false),
         );
         assert!((0..3).all(|l| fallback.path_oracle(l).is_none()));
+        assert!((0..3).all(|l| fallback.sparse_finder(l).is_none()));
         let nd = dem.num_detectors();
         for pattern in 0..(1u32 << nd) {
             let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
@@ -753,6 +948,70 @@ mod tests {
         let fallback_stats = fallback.stats();
         assert!(with_stats.oracle_hits > 0);
         assert!(fallback_stats.oracle_hits == 0 && fallback_stats.oracle_misses > 0);
+        assert!(fallback_stats.sparse_hits == 0);
         assert_eq!(with_stats.decodes, fallback_stats.decodes);
+    }
+
+    /// The middle tier: with oracles disabled, every lattice is served
+    /// by its sparse finder, bit-identical to both the dense tier and
+    /// the Dijkstra fallback.
+    #[test]
+    fn sparse_tier_agrees_with_oracle_and_fallback_exhaustively() {
+        let (dem, ctx) = tiny_color_dem();
+        let dense = RestrictionDecoder::new(&dem, ctx.clone(), RestrictionConfig::flagged(0.01));
+        let sparse = RestrictionDecoder::new(
+            &dem,
+            ctx.clone(),
+            RestrictionConfig::flagged(0.01).with_oracle_node_limit(0),
+        );
+        assert!((0..3).all(|l| sparse.path_oracle(l).is_none()));
+        assert!((0..3).all(|l| sparse.sparse_finder(l).is_some()));
+        let fallback = RestrictionDecoder::new(
+            &dem,
+            ctx,
+            RestrictionConfig::flagged(0.01)
+                .with_oracle_node_limit(0)
+                .with_sparse_paths(false),
+        );
+        let nd = dem.num_detectors();
+        let mut scratch = DecodeScratch::new();
+        let mut out = BitVec::zeros(0);
+        for pattern in 0..(1u32 << nd) {
+            let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
+            sparse.decode_into(&dets, &mut scratch, &mut out);
+            assert_eq!(out, dense.decode(&dets), "vs dense, syndrome {pattern:#b}");
+            assert_eq!(
+                out,
+                fallback.decode(&dets),
+                "vs fallback, syndrome {pattern:#b}"
+            );
+        }
+        let stats = sparse.stats();
+        assert!(stats.sparse_hits > 0);
+        assert!(stats.oracle_hits == 0 && stats.oracle_misses == 0);
+    }
+
+    /// Sweep reuse: re-pricing at a new error rate must decode every
+    /// syndrome exactly like a freshly built decoder.
+    #[test]
+    fn reprice_is_bitwise_equal_to_fresh_build() {
+        let (dem, ctx) = tiny_color_dem();
+        for limit in [DEFAULT_ORACLE_NODE_LIMIT, 0] {
+            let config = RestrictionConfig::flagged(0.05).with_oracle_node_limit(limit);
+            let mut repriced = RestrictionDecoder::new(
+                &dem,
+                ctx.clone(),
+                RestrictionConfig::flagged(0.01).with_oracle_node_limit(limit),
+            );
+            assert!(repriced.reprice(&dem, config));
+            let fresh = RestrictionDecoder::new(&dem, ctx.clone(), config);
+            let nd = dem.num_detectors();
+            for pattern in 0..(1u32 << nd) {
+                let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
+                assert_eq!(repriced.decode(&dets), fresh.decode(&dets), "limit {limit}");
+            }
+            // Structural config changes refuse to reprice.
+            assert!(!repriced.reprice(&dem, config.with_oracle_node_limit(limit.wrapping_add(1))));
+        }
     }
 }

@@ -31,9 +31,13 @@ pub struct DecoderStats {
     /// Matching-decoder shots whose path queries were answered entirely
     /// by the precomputed [`crate::PathOracle`] (no per-shot Dijkstra).
     pub oracle_hits: u64,
-    /// Matching-decoder shots that fell back to per-shot Dijkstra: the
-    /// graph exceeded the oracle node limit, or raised flags reweighted
-    /// the graph shot-locally.
+    /// Matching-decoder shots answered by the lazy
+    /// [`crate::SparsePathFinder`] (defect-seeded truncated searches):
+    /// the graph exceeded the dense-oracle node limit, or raised flags
+    /// reweighted it shot-locally.
+    pub sparse_hits: u64,
+    /// Matching-decoder shots that ran full per-shot Dijkstra: both the
+    /// dense oracle and the sparse finder were unavailable.
     pub oracle_misses: u64,
 }
 
@@ -54,6 +58,7 @@ impl DecoderStats {
 pub(crate) struct MatchingCounters {
     pub(crate) decodes: AtomicU64,
     pub(crate) oracle_hits: AtomicU64,
+    pub(crate) sparse_hits: AtomicU64,
     pub(crate) oracle_misses: AtomicU64,
 }
 
@@ -62,6 +67,7 @@ impl MatchingCounters {
         DecoderStats {
             decodes: self.decodes.load(AtomicOrdering::Relaxed),
             oracle_hits: self.oracle_hits.load(AtomicOrdering::Relaxed),
+            sparse_hits: self.sparse_hits.load(AtomicOrdering::Relaxed),
             oracle_misses: self.oracle_misses.load(AtomicOrdering::Relaxed),
             ..DecoderStats::default()
         }
@@ -86,6 +92,14 @@ impl DecodeScratch {
     /// Creates an empty scratch; buffers size themselves on first use.
     pub fn new() -> Self {
         DecodeScratch::default()
+    }
+
+    /// Current footprint in bytes of the sparse-tier per-shot path
+    /// memos (both matching decoders' scratches) — the
+    /// O(defects · targets) structure `qec-bench` reports against the
+    /// dense oracle's would-be O(V²) matrix.
+    pub fn sparse_memo_bytes(&self) -> usize {
+        self.mwpm.sparse.memo_bytes() + self.restriction.sparse.memo_bytes()
     }
 }
 
@@ -130,6 +144,15 @@ pub(crate) struct MatchingScratch {
     pub(crate) done: Vec<bool>,
     pub(crate) heap: BinaryHeap<HeapItem>,
     pub(crate) edges: Vec<(usize, usize, f64)>,
+    /// Sparse-tier per-shot path memo (epoch-stamped Dijkstra arrays +
+    /// harvested pair distances and path hops).
+    pub(crate) sparse: crate::paths::SparsePathScratch,
+    /// Sparse-tier target list of the current shot/lattice.
+    pub(crate) targets: Vec<usize>,
+    /// Sparse-tier per-shot effective class weights (base + flag
+    /// constant, overridden entries replaced), so relaxations index a
+    /// slice instead of consulting the override map per edge.
+    pub(crate) weights: Vec<f64>,
     /// Restriction only: sources of the current restricted lattice.
     pub(crate) sources: Vec<usize>,
     /// Restriction only: matched `(class, check_a, check_b)` edges.

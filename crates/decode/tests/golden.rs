@@ -2,149 +2,47 @@
 //!
 //! Each test replays a deterministic stream of syndromes (mechanisms of
 //! a pinned detector error model fired by a seeded RNG) through a
-//! decoder and folds every correction into a 64-bit FNV-1a fingerprint.
-//! The pinned constants freeze today's decoder behaviour: any change to
-//! matching weights, tie-breaking, lifting or the RNG itself shows up
-//! as a fingerprint mismatch. The hand-derivable cases alongside them
-//! pin *correct* behaviour, so a fingerprint change plus green
-//! hand-cases means "intentional behaviour change — re-pin", while a
-//! hand-case failure means "regression".
+//! decoder and folds every correction into a 64-bit FNV-1a fingerprint
+//! (via [`qec_testkit::fingerprint_decoder`]). The pinned constants
+//! freeze today's decoder behaviour: any change to matching weights,
+//! tie-breaking, lifting or the RNG itself shows up as a fingerprint
+//! mismatch. The hand-derivable cases alongside them pin *correct*
+//! behaviour, so a fingerprint change plus green hand-cases means
+//! "intentional behaviour change — re-pin", while a hand-case failure
+//! means "regression".
+//!
+//! Every matching-decoder golden is pinned across all three path
+//! tiers: the dense [`qec_decode::PathOracle`], the lazy
+//! [`qec_decode::SparsePathFinder`] and the per-shot Dijkstra
+//! fallback. The tiers change where path weights come from, never
+//! their values, so one constant covers all of them.
 
 use qec_decode::{
-    ColorCodeContext, DecodeScratch, Decoder, MwpmConfig, MwpmDecoder, RestrictionConfig,
-    RestrictionDecoder, UnionFindConfig, UnionFindDecoder,
+    Decoder, MwpmConfig, MwpmDecoder, RestrictionConfig, RestrictionDecoder, UnionFindConfig,
+    UnionFindDecoder,
 };
-use qec_math::rng::{Rng, Xoshiro256StarStar};
-use qec_math::BitVec;
-use qec_sim::{Circuit, DetectorErrorModel, DetectorMeta};
+use qec_sim::DetectorErrorModel;
+use qec_testkit::{
+    assert_single_faults_corrected, fingerprint_decoder, hyperbolic_memory_dem,
+    mechanism_fire_probability, repetition_dem, tiny_color_dem,
+};
 
-/// Two-round distance-3 repetition-code memory: data 0,1,2; checks
-/// (0,1) and (1,2); observable on qubit 0. Small enough to hand-derive,
-/// rich enough (time-like + space-like edges) to exercise matching.
-fn repetition_dem(p: f64) -> DetectorErrorModel {
-    let mut c = Circuit::new(5);
-    c.reset(&[0, 1, 2, 3, 4]);
-    c.x_error(&[0, 1, 2], p);
-    c.cx(&[(0, 3), (1, 3), (1, 4), (2, 4)]);
-    let m = c.measure(&[3, 4], 1e-3);
-    c.add_detector(vec![m], DetectorMeta::check(0, 0));
-    c.add_detector(vec![m + 1], DetectorMeta::check(1, 0));
-    let md = c.measure(&[0, 1, 2], 0.0);
-    c.add_detector(vec![m, md, md + 1], DetectorMeta::check(0, 1));
-    c.add_detector(vec![m + 1, md + 1, md + 2], DetectorMeta::check(1, 1));
-    let obs = c.add_observable();
-    c.include_in_observable(obs, &[md]);
-    DetectorErrorModel::from_circuit(&c)
-}
+/// Golden syndrome streams fire each mechanism with probability 0.2,
+/// so multi-error patterns (where decoders genuinely differ) are well
+/// represented on the tiny fixture DEMs.
+const GOLDEN_Q: f64 = 0.2;
 
-/// Miniature color-code-like model: R, G, B plaquettes all touching
-/// data qubit 0, which carries the observable (same shape as the
-/// restriction decoder's unit fixture, rebuilt here because test
-/// binaries cannot reach `#[cfg(test)]` items).
-fn color_dem() -> (DetectorErrorModel, ColorCodeContext) {
-    let mut c = Circuit::new(5);
-    c.reset(&[0, 1, 2, 3, 4]);
-    c.x_error(&[0, 1], 0.01);
-    c.cx(&[(0, 2), (1, 2), (0, 3), (0, 4)]);
-    let m = c.measure(&[2, 3, 4], 0.0);
-    c.add_detector(vec![m], DetectorMeta::colored_check(0, 0, 0));
-    c.add_detector(vec![m + 1], DetectorMeta::colored_check(1, 0, 1));
-    c.add_detector(vec![m + 2], DetectorMeta::colored_check(2, 0, 2));
-    let md = c.measure(&[0, 1], 0.0);
-    c.add_detector(vec![m, md, md + 1], DetectorMeta::colored_check(0, 1, 0));
-    c.add_detector(vec![m + 1, md], DetectorMeta::colored_check(1, 1, 1));
-    c.add_detector(vec![m + 2, md], DetectorMeta::colored_check(2, 1, 2));
-    let obs = c.add_observable();
-    c.include_in_observable(obs, &[md]);
-    let ctx = ColorCodeContext {
-        plaquette_colors: vec![0, 1, 2],
-        plaquette_supports: vec![vec![0, 1], vec![0], vec![0]],
-        qubit_observables: vec![vec![0], vec![]],
-    };
-    (DetectorErrorModel::from_circuit(&c), ctx)
-}
-
-/// Replays `shots` seeded syndromes through `decoder` and returns an
-/// FNV-1a fingerprint of every (syndrome, correction) pair.
-///
-/// Syndromes are built by firing each DEM mechanism independently with
-/// probability 0.2, so multi-error patterns (where decoders genuinely
-/// differ) are well represented.
 fn fingerprint(dem: &DetectorErrorModel, decoder: &dyn Decoder, shots: usize, seed: u64) -> u64 {
-    fingerprint_inner(dem, decoder, shots, seed, false)
+    fingerprint_decoder(dem, decoder, shots, seed, GOLDEN_Q, false)
 }
 
-/// Same syndrome stream as [`fingerprint`] but decoded through
-/// `decode_into` with **one** scratch reused across all shots — pinning
-/// the batched hot path to the same golden constants as the allocating
-/// reference path.
 fn fingerprint_batched(
     dem: &DetectorErrorModel,
     decoder: &dyn Decoder,
     shots: usize,
     seed: u64,
 ) -> u64 {
-    fingerprint_inner(dem, decoder, shots, seed, true)
-}
-
-fn fingerprint_inner(
-    dem: &DetectorErrorModel,
-    decoder: &dyn Decoder,
-    shots: usize,
-    seed: u64,
-    batched: bool,
-) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
-    let mut scratch = DecodeScratch::new();
-    let mut out = BitVec::zeros(0);
-    let mut h = FNV_OFFSET;
-    for _ in 0..shots {
-        let mut fold = |x: u64| {
-            h = (h ^ x).wrapping_mul(FNV_PRIME);
-        };
-        let mut syndrome = BitVec::zeros(dem.num_detectors());
-        for mech in dem.mechanisms() {
-            if rng.gen_bool(0.2) {
-                for &d in &mech.detectors {
-                    syndrome.flip(d as usize);
-                }
-            }
-        }
-        for d in syndrome.iter_ones() {
-            fold(d as u64 + 1);
-        }
-        let correction = if batched {
-            decoder.decode_into(&syndrome, &mut scratch, &mut out);
-            &out
-        } else {
-            out = decoder.decode(&syndrome);
-            &out
-        };
-        for o in correction.iter_ones() {
-            fold(0x8000_0000_0000_0000 | o as u64);
-        }
-        fold(u64::MAX);
-    }
-    h
-}
-
-/// Asserts the decoder corrects every single mechanism of its own DEM
-/// (the hand-derivable half of each golden test).
-fn assert_single_faults_corrected(dem: &DetectorErrorModel, decoder: &dyn Decoder) {
-    for mech in dem.mechanisms() {
-        let dets = BitVec::from_ones(
-            dem.num_detectors(),
-            mech.detectors.iter().map(|&d| d as usize),
-        );
-        let predicted = decoder.decode(&dets);
-        let actual = BitVec::from_ones(
-            dem.num_observables(),
-            mech.observables.iter().map(|&o| o as usize),
-        );
-        assert_eq!(predicted, actual, "mechanism {mech:?}");
-    }
+    fingerprint_decoder(dem, decoder, shots, seed, GOLDEN_Q, true)
 }
 
 const MWPM_GOLDEN: u64 = 0x980c_3861_500c_87db;
@@ -153,7 +51,7 @@ const RESTRICTION_GOLDEN: u64 = 0x6191_30b7_b57e_c496;
 
 #[test]
 fn mwpm_golden_fingerprint() {
-    let dem = repetition_dem(0.01);
+    let dem = repetition_dem(0.01, 1e-3);
     let decoder = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
     assert_single_faults_corrected(&dem, &decoder);
     let fp = fingerprint(&dem, &decoder, 200, 0x601d_0001);
@@ -166,11 +64,25 @@ fn mwpm_golden_fingerprint() {
         fpb, MWPM_GOLDEN,
         "MWPM decode_into diverged from decode; got {fpb:#018x}",
     );
-    // The same stream through the per-shot-Dijkstra fallback
-    // (oracle disabled) must hit the same constant: the precomputed
-    // oracle changes where path weights come from, never their values.
-    let fallback = MwpmDecoder::new(&dem, MwpmConfig::unflagged().with_oracle_node_limit(0));
+    // The same stream through the sparse middle tier (oracle disabled
+    // by limit 0) must hit the same constant.
+    let sparse = MwpmDecoder::new(&dem, MwpmConfig::unflagged().with_oracle_node_limit(0));
+    assert!(sparse.path_oracle().is_none());
+    assert!(sparse.sparse_finder().is_some());
+    let fps = fingerprint_batched(&dem, &sparse, 200, 0x601d_0001);
+    assert_eq!(
+        fps, MWPM_GOLDEN,
+        "MWPM sparse tier diverged from the golden; got {fps:#018x}",
+    );
+    // And through the per-shot-Dijkstra fallback (both indexes off).
+    let fallback = MwpmDecoder::new(
+        &dem,
+        MwpmConfig::unflagged()
+            .with_oracle_node_limit(0)
+            .with_sparse_paths(false),
+    );
     assert!(fallback.path_oracle().is_none());
+    assert!(fallback.sparse_finder().is_none());
     let fpf = fingerprint_batched(&dem, &fallback, 200, 0x601d_0001);
     assert_eq!(
         fpf, MWPM_GOLDEN,
@@ -180,7 +92,7 @@ fn mwpm_golden_fingerprint() {
 
 #[test]
 fn unionfind_golden_fingerprint() {
-    let dem = repetition_dem(0.01);
+    let dem = repetition_dem(0.01, 1e-3);
     let decoder = UnionFindDecoder::new(&dem, UnionFindConfig::unflagged());
     assert_single_faults_corrected(&dem, &decoder);
     let fp = fingerprint(&dem, &decoder, 200, 0x601d_0002);
@@ -197,7 +109,7 @@ fn unionfind_golden_fingerprint() {
 
 #[test]
 fn restriction_golden_fingerprint() {
-    let (dem, ctx) = color_dem();
+    let (dem, ctx) = tiny_color_dem();
     let decoder = RestrictionDecoder::new(&dem, ctx, RestrictionConfig::flagged(0.01));
     assert_single_faults_corrected(&dem, &decoder);
     let fp = fingerprint(&dem, &decoder, 200, 0x601d_0003);
@@ -210,18 +122,88 @@ fn restriction_golden_fingerprint() {
         fpb, RESTRICTION_GOLDEN,
         "restriction decode_into diverged from decode; got {fpb:#018x}",
     );
-    // Fallback path (per-lattice oracles disabled) pinned to the same
-    // constant as the oracle path.
-    let (dem, ctx) = color_dem();
+    // Sparse middle tier (per-lattice oracles disabled) pinned to the
+    // same constant as the oracle path.
+    let (dem, ctx) = tiny_color_dem();
+    let sparse = RestrictionDecoder::new(
+        &dem,
+        ctx.clone(),
+        RestrictionConfig::flagged(0.01).with_oracle_node_limit(0),
+    );
+    assert!((0..3).all(|l| sparse.path_oracle(l).is_none()));
+    assert!((0..3).all(|l| sparse.sparse_finder(l).is_some()));
+    let fps = fingerprint_batched(&dem, &sparse, 200, 0x601d_0003);
+    assert_eq!(
+        fps, RESTRICTION_GOLDEN,
+        "restriction sparse tier diverged from the golden; got {fps:#018x}",
+    );
+    // Per-shot-Dijkstra fallback (both indexes off).
     let fallback = RestrictionDecoder::new(
         &dem,
         ctx,
-        RestrictionConfig::flagged(0.01).with_oracle_node_limit(0),
+        RestrictionConfig::flagged(0.01)
+            .with_oracle_node_limit(0)
+            .with_sparse_paths(false),
     );
     assert!((0..3).all(|l| fallback.path_oracle(l).is_none()));
+    assert!((0..3).all(|l| fallback.sparse_finder(l).is_none()));
     let fpf = fingerprint_batched(&dem, &fallback, 200, 0x601d_0003);
     assert_eq!(
         fpf, RESTRICTION_GOLDEN,
         "restriction without oracle diverged from the golden; got {fpf:#018x}",
+    );
+}
+
+/// Golden fingerprint on the hyperbolic fixture — 1224 check detectors,
+/// above the default dense-oracle guard, the regime the sparse tier
+/// exists for. One constant pins all three tiers *and* both dense
+/// construction thread counts (oracle rows are computed independently
+/// per source, so threading must not change a single bit).
+const HYPERBOLIC_MWPM_GOLDEN: u64 = 0xdbc3_92cd_c9e2_d3e6;
+
+#[test]
+fn hyperbolic_three_tier_golden_fingerprint() {
+    let dem = hyperbolic_memory_dem();
+    let q = mechanism_fire_probability(&dem, 8.0);
+    let seed = 0x601d_0004;
+
+    // Default config lands on the sparse middle tier here.
+    let sparse = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
+    assert!(
+        sparse.path_oracle().is_none(),
+        "1224 nodes exceed the guard"
+    );
+    assert!(sparse.sparse_finder().is_some());
+    let fps = fingerprint_decoder(&dem, &sparse, 24, seed, q, true);
+    assert_eq!(
+        fps, HYPERBOLIC_MWPM_GOLDEN,
+        "hyperbolic sparse-tier corrections changed; got {fps:#018x} — re-pin only if intentional",
+    );
+    assert!(sparse.stats().sparse_hits > 0);
+
+    // Dense tier, admitted by a raised limit, at two construction
+    // thread counts.
+    for threads in [1usize, 3] {
+        let dense = MwpmDecoder::new(
+            &dem,
+            MwpmConfig::unflagged()
+                .with_oracle_node_limit(2048)
+                .with_build_threads(threads),
+        );
+        assert!(dense.path_oracle().is_some());
+        let fpd = fingerprint_decoder(&dem, &dense, 24, seed, q, true);
+        assert_eq!(
+            fpd, HYPERBOLIC_MWPM_GOLDEN,
+            "hyperbolic dense tier ({threads} build threads) diverged; got {fpd:#018x}",
+        );
+    }
+
+    // Per-shot Dijkstra fallback.
+    let fallback = MwpmDecoder::new(&dem, MwpmConfig::unflagged().with_sparse_paths(false));
+    assert!(fallback.sparse_finder().is_none());
+    let fpf = fingerprint_decoder(&dem, &fallback, 24, seed, q, true);
+    assert_eq!(
+        fpf, HYPERBOLIC_MWPM_GOLDEN,
+        "hyperbolic Dijkstra fallback diverged; got {fpf:#018x}",
     );
 }

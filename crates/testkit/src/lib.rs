@@ -1,0 +1,249 @@
+//! Shared test fixtures for the Flag-Proxy Networks reproduction.
+//!
+//! The decoder test suites (unit goldens, integration properties,
+//! benches) all need the same handful of workloads: tiny hand-derivable
+//! DEMs, realistic multi-round surface/color memories, one hyperbolic
+//! DEM **above** the dense path-oracle node limit, and seeded random
+//! sparse decoding graphs. This crate builds them in exactly one place
+//! so the fixtures (and therefore the pinned golden constants) cannot
+//! drift apart between suites.
+//!
+//! Everything here is deterministic: fixtures take explicit seeds or
+//! none at all, and the fingerprint helpers replay seeded syndrome
+//! streams byte-for-byte reproducibly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fpn_core::prelude::*;
+use qec_math::rng::{Rng, Xoshiro256StarStar};
+use qec_math::BitVec;
+use qec_sim::DetectorMeta;
+
+pub use qec_decode::ColorCodeContext;
+
+/// Two-round distance-3 repetition-code memory: data 0,1,2; checks
+/// (0,1) and (1,2); observable on qubit 0. Small enough to hand-derive,
+/// rich enough (time-like + space-like edges) to exercise matching.
+/// `p` is the data-error rate, `measure_flip` the first-round
+/// measurement flip rate (the golden tests use `1e-3` so time-like
+/// edges carry distinct weights; the unit suites use `0.0`).
+pub fn repetition_dem(p: f64, measure_flip: f64) -> DetectorErrorModel {
+    let mut c = Circuit::new(5);
+    c.reset(&[0, 1, 2, 3, 4]);
+    c.x_error(&[0, 1, 2], p);
+    c.cx(&[(0, 3), (1, 3), (1, 4), (2, 4)]);
+    let m = c.measure(&[3, 4], measure_flip);
+    c.add_detector(vec![m], DetectorMeta::check(0, 0));
+    c.add_detector(vec![m + 1], DetectorMeta::check(1, 0));
+    let md = c.measure(&[0, 1, 2], 0.0);
+    c.add_detector(vec![m, md, md + 1], DetectorMeta::check(0, 1));
+    c.add_detector(vec![m + 1, md + 1, md + 2], DetectorMeta::check(1, 1));
+    let obs = c.add_observable();
+    c.include_in_observable(obs, &[md]);
+    DetectorErrorModel::from_circuit(&c)
+}
+
+/// Miniature color-code-like model: R, G, B plaquettes all touching
+/// data qubit 0, which carries the observable. A single data error
+/// flips all three plaquettes, exercising matching, the twice-used
+/// rule and lifting in a hand-checkable setting.
+pub fn tiny_color_dem() -> (DetectorErrorModel, ColorCodeContext) {
+    let mut c = Circuit::new(5);
+    c.reset(&[0, 1, 2, 3, 4]);
+    c.x_error(&[0, 1], 0.01);
+    c.cx(&[(0, 2), (1, 2), (0, 3), (0, 4)]);
+    let m = c.measure(&[2, 3, 4], 0.0);
+    c.add_detector(vec![m], DetectorMeta::colored_check(0, 0, 0));
+    c.add_detector(vec![m + 1], DetectorMeta::colored_check(1, 0, 1));
+    c.add_detector(vec![m + 2], DetectorMeta::colored_check(2, 0, 2));
+    let md = c.measure(&[0, 1], 0.0);
+    c.add_detector(vec![m, md, md + 1], DetectorMeta::colored_check(0, 1, 0));
+    c.add_detector(vec![m + 1, md], DetectorMeta::colored_check(1, 1, 1));
+    c.add_detector(vec![m + 2, md], DetectorMeta::colored_check(2, 1, 2));
+    let obs = c.add_observable();
+    c.include_in_observable(obs, &[md]);
+    let ctx = ColorCodeContext {
+        plaquette_colors: vec![0, 1, 2],
+        plaquette_supports: vec![vec![0, 1], vec![0], vec![0]],
+        qubit_observables: vec![vec![0], vec![]],
+    };
+    (DetectorErrorModel::from_circuit(&c), ctx)
+}
+
+/// A 3-round distance-`d` rotated-surface-code memory-Z DEM under
+/// circuit-level depolarizing noise at `p = 1e-3` — the decode-path
+/// suites share it so batched and allocating paths face realistic
+/// multi-round syndromes, not toy graphs.
+pub fn surface_memory_dem(d: usize) -> DetectorErrorModel {
+    let code = rotated_surface_code(d);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(1e-3);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+    DetectorErrorModel::from_circuit(&exp.circuit)
+}
+
+/// The 2-round toric color-code memory-Z experiment at `p = 5e-4`
+/// used by the restriction-decoder suites: returns the code, the
+/// experiment (for pipeline-level tests) and the noise model.
+pub fn toric_color_memory() -> (CssCode, MemoryExperiment, NoiseModel) {
+    let code = toric_color_code(2).expect("toric color code builds");
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(5e-4);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 2, Basis::Z);
+    (code, exp, noise)
+}
+
+/// Its DEM plus the color context and measurement-flip rate needed to
+/// build a [`qec_decode::RestrictionDecoder`] directly.
+pub fn toric_color_dem() -> (DetectorErrorModel, ColorCodeContext, f64) {
+    let (code, exp, noise) = toric_color_memory();
+    let dem = DetectorErrorModel::from_circuit(&exp.circuit);
+    let ctx = color_context(&code, Basis::Z);
+    (dem, ctx, noise.measurement_flip())
+}
+
+/// A 16-round memory-Z experiment on the `[[180, 4, 8, 8]]` {4,5}
+/// hyperbolic surface code (`SURFACE_REGISTRY[2]`) at `p = 1e-3`,
+/// realized as a direct FPN.
+///
+/// Its decoding graph has **1224 check detectors** — above the default
+/// 1024-node dense-oracle guard — so decoders built from this DEM with
+/// default configs exercise the [`qec_decode::SparsePathFinder`] middle
+/// tier, exactly the paper's large-hyperbolic-DEM regime.
+pub fn hyperbolic_memory_experiment() -> (CssCode, MemoryExperiment, NoiseModel) {
+    hyperbolic_memory_experiment_at(1e-3)
+}
+
+/// The hyperbolic fixture at a caller-chosen physical error rate
+/// (same code, FPN, round count and basis as
+/// [`hyperbolic_memory_experiment`]). The DEM topology is identical at
+/// every `p` — only mechanism probabilities (and hence defect density)
+/// change — so benchmarks can pick a sparser operating point without
+/// leaving the fixture's decoding graph.
+pub fn hyperbolic_memory_experiment_at(p: f64) -> (CssCode, MemoryExperiment, NoiseModel) {
+    let code = hyperbolic_surface_code(&SURFACE_REGISTRY[2]).expect("registry code builds");
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(p);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 16, Basis::Z);
+    (code, exp, noise)
+}
+
+/// The hyperbolic experiment's DEM (see
+/// [`hyperbolic_memory_experiment`]).
+pub fn hyperbolic_memory_dem() -> DetectorErrorModel {
+    let (_, exp, _) = hyperbolic_memory_experiment();
+    DetectorErrorModel::from_circuit(&exp.circuit)
+}
+
+/// A random sparse undirected graph in the decoders' adjacency format:
+/// `adjacency[v]` lists `(neighbor, class)`, with per-class weights in
+/// `[0.05, 12.0)`. Expected degree is ~3, so most draws have several
+/// connected components and unreachable pairs stay well represented —
+/// the shape the path-tier differential tests need.
+pub fn random_sparse_graph(rng: &mut Xoshiro256StarStar) -> (Vec<Vec<(usize, usize)>>, Vec<f64>) {
+    let n = rng.gen_range(2..=24usize);
+    let num_classes = rng.gen_range(1..=32usize);
+    let class_weights: Vec<f64> = (0..num_classes)
+        .map(|_| 0.05 + rng.gen_f64() * (12.0 - 0.05))
+        .collect();
+    let mut adjacency = vec![Vec::new(); n];
+    let p_edge = (3.0 / n as f64).min(0.8);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p_edge) {
+                let class = rng.gen_range(0..num_classes);
+                adjacency[u].push((v, class));
+                adjacency[v].push((u, class));
+            }
+        }
+    }
+    (adjacency, class_weights)
+}
+
+/// Fires each DEM mechanism independently with probability `q` and
+/// XORs its detectors into a fresh syndrome.
+pub fn random_syndrome(rng: &mut impl Rng, dem: &DetectorErrorModel, q: f64) -> BitVec {
+    let mut syndrome = BitVec::zeros(dem.num_detectors());
+    for mech in dem.mechanisms() {
+        if rng.gen_bool(q) {
+            for &det in &mech.detectors {
+                syndrome.flip(det as usize);
+            }
+        }
+    }
+    syndrome
+}
+
+/// A per-shot mechanism-fire probability targeting ~`expected` fired
+/// mechanisms per shot regardless of DEM size (capped at 0.25), so
+/// debug-mode matching stays fast while multi-error clusters remain
+/// well represented.
+pub fn mechanism_fire_probability(dem: &DetectorErrorModel, expected: f64) -> f64 {
+    (expected / dem.mechanisms().len() as f64).min(0.25)
+}
+
+/// Replays `shots` seeded syndromes (each DEM mechanism fired with
+/// probability `q`) through `decoder` and folds every
+/// (syndrome, correction) pair into a 64-bit FNV-1a fingerprint —
+/// the golden-test primitive. With `batched` the corrections come from
+/// `decode_into` reusing **one** scratch across all shots, pinning the
+/// batched hot path to the same constant as the allocating path.
+pub fn fingerprint_decoder(
+    dem: &DetectorErrorModel,
+    decoder: &dyn Decoder,
+    shots: usize,
+    seed: u64,
+    q: f64,
+    batched: bool,
+) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut scratch = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
+    let mut h = FNV_OFFSET;
+    for _ in 0..shots {
+        let mut fold = |x: u64| {
+            h = (h ^ x).wrapping_mul(FNV_PRIME);
+        };
+        let syndrome = random_syndrome(&mut rng, dem, q);
+        for d in syndrome.iter_ones() {
+            fold(d as u64 + 1);
+        }
+        let correction = if batched {
+            decoder.decode_into(&syndrome, &mut scratch, &mut out);
+            &out
+        } else {
+            out = decoder.decode(&syndrome);
+            &out
+        };
+        for o in correction.iter_ones() {
+            fold(0x8000_0000_0000_0000 | o as u64);
+        }
+        fold(u64::MAX);
+    }
+    h
+}
+
+/// Asserts `decoder` corrects every single mechanism of its own DEM —
+/// the hand-derivable half of each golden test.
+///
+/// # Panics
+///
+/// Panics (test-assert style) when any single-mechanism syndrome
+/// decodes to the wrong observable set.
+pub fn assert_single_faults_corrected(dem: &DetectorErrorModel, decoder: &dyn Decoder) {
+    for mech in dem.mechanisms() {
+        let dets = BitVec::from_ones(
+            dem.num_detectors(),
+            mech.detectors.iter().map(|&d| d as usize),
+        );
+        let predicted = decoder.decode(&dets);
+        let actual = BitVec::from_ones(
+            dem.num_observables(),
+            mech.observables.iter().map(|&o| o as usize),
+        );
+        assert_eq!(predicted, actual, "mechanism {mech:?}");
+    }
+}

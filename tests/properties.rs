@@ -10,6 +10,10 @@ use fpn_repro::qec_sim::{
     sample_mask, Circuit, DetectorErrorModel, DetectorMeta, Pauli, TableauSimulator,
 };
 use qec_math::rng::Xoshiro256StarStar;
+use qec_testkit::{
+    hyperbolic_memory_dem, mechanism_fire_probability, random_sparse_graph, random_syndrome,
+    surface_memory_dem, toric_color_dem,
+};
 
 /// A random GF(2) matrix with 1..=max_rows rows and 1..=max_cols cols.
 fn gen_matrix(g: &mut Gen, max_rows: usize, max_cols: usize) -> BitMatrix {
@@ -239,32 +243,6 @@ fn sample_mask_per_bit_frequencies_match_p() {
     }
 }
 
-/// A 3-round distance-`d` rotated-surface-code memory-Z DEM under
-/// circuit-level depolarizing noise — the decode-path workloads below
-/// share it so the batched and allocating paths face realistic
-/// multi-round syndromes, not toy graphs.
-fn surface_memory_dem(d: usize) -> DetectorErrorModel {
-    let code = rotated_surface_code(d);
-    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
-    let noise = NoiseModel::new(1e-3);
-    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
-    DetectorErrorModel::from_circuit(&exp.circuit)
-}
-
-/// Fires each DEM mechanism independently with probability `q` and
-/// XORs its detectors into a fresh syndrome.
-fn gen_syndrome(g: &mut Gen, dem: &DetectorErrorModel, q: f64) -> BitVec {
-    let mut syndrome = BitVec::zeros(dem.num_detectors());
-    for mech in dem.mechanisms() {
-        if g.bool(q) {
-            for &det in &mech.detectors {
-                syndrome.flip(det as usize);
-            }
-        }
-    }
-    syndrome
-}
-
 #[test]
 fn decode_into_matches_decode_on_surface_dems() {
     for (d, cases, seed) in [(3usize, 48u64, 0xd3c0u64), (5, 16, 0xd5c0)] {
@@ -278,11 +256,11 @@ fn decode_into_matches_decode_on_surface_dems() {
         // Aim for ~8 fired mechanisms per shot regardless of DEM size,
         // so debug-mode matching stays fast while still exercising
         // multi-error clusters.
-        let q = (8.0 / dem.mechanisms().len() as f64).min(0.25);
+        let q = mechanism_fire_probability(&dem, 8.0);
         let mut scratch = DecodeScratch::new();
         let mut out = BitVec::zeros(0);
         for_all(cases, seed, |g| {
-            let syndrome = gen_syndrome(g, &dem, q);
+            let syndrome = random_syndrome(g.rng(), &dem, q);
             for decoder in &decoders {
                 let reference = decoder.decode(&syndrome);
                 decoder.decode_into(&syndrome, &mut scratch, &mut out);
@@ -297,17 +275,14 @@ fn decode_into_matches_decode_on_surface_dems() {
 
 #[test]
 fn decode_into_matches_decode_on_toric_color_pipeline() {
-    let code = toric_color_code(2).expect("toric color code builds");
-    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
-    let noise = NoiseModel::new(5e-4);
-    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 2, Basis::Z);
+    let (code, exp, noise) = qec_testkit::toric_color_memory();
     let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedRestriction, &noise);
     let dem = DetectorErrorModel::from_circuit(&exp.circuit);
-    let q = (8.0 / dem.mechanisms().len() as f64).min(0.25);
+    let q = mechanism_fire_probability(&dem, 8.0);
     let mut scratch = DecodeScratch::new();
     let mut out = BitVec::zeros(0);
     for_all(32, 0xc010, |g| {
-        let syndrome = gen_syndrome(g, &dem, q);
+        let syndrome = random_syndrome(g.rng(), &dem, q);
         let reference = pipeline.decoder().decode(&syndrome);
         pipeline
             .decoder()
@@ -319,28 +294,6 @@ fn decode_into_matches_decode_on_toric_color_pipeline() {
     });
 }
 
-/// A random sparse undirected graph in the decoders' adjacency format:
-/// `adjacency[v]` lists `(neighbor, class)`, with per-class weights.
-fn gen_sparse_graph(g: &mut Gen) -> (Vec<Vec<(usize, usize)>>, Vec<f64>) {
-    let n = g.usize_in(2..=24);
-    let num_classes = g.usize_in(1..=32);
-    let class_weights: Vec<f64> = (0..num_classes).map(|_| g.f64_in(0.05, 12.0)).collect();
-    let mut adjacency = vec![Vec::new(); n];
-    // Expected degree ~3, so most graphs have several components and
-    // unreachable pairs stay well represented.
-    let p_edge = (3.0 / n as f64).min(0.8);
-    for u in 0..n {
-        for v in (u + 1)..n {
-            if g.bool(p_edge) {
-                let class = g.usize_in(0..=num_classes - 1);
-                adjacency[u].push((v, class));
-                adjacency[v].push((u, class));
-            }
-        }
-    }
-    (adjacency, class_weights)
-}
-
 /// The oracle's rows must equal on-demand Dijkstra **bitwise** (same
 /// routine, same accumulation order), be invariant under the
 /// construction thread count, and every reconstructed path must sum
@@ -349,7 +302,7 @@ fn gen_sparse_graph(g: &mut Gen) -> (Vec<Vec<(usize, usize)>>, Vec<f64>) {
 fn path_oracle_matches_on_demand_dijkstra_on_random_graphs() {
     use fpn_repro::qec_decode::shortest_paths_from;
     for_all(48, 0x04ac1e, |g| {
-        let (adjacency, class_weights) = gen_sparse_graph(g);
+        let (adjacency, class_weights) = random_sparse_graph(g.rng());
         let n = adjacency.len();
         let oracle = PathOracle::build(&adjacency, &class_weights, 1);
         let threaded = PathOracle::build(&adjacency, &class_weights, g.usize_in(2..=6));
@@ -393,83 +346,246 @@ fn path_oracle_matches_on_demand_dijkstra_on_random_graphs() {
     });
 }
 
-/// Oracle-backed decoding and the per-shot-Dijkstra fallback must
-/// produce identical corrections on realistic multi-round surface DEMs
-/// (below the threshold: default limit; above: limit 0 disables it).
+/// The lazy sparse finder's harvested pair distances and paths must
+/// equal the dense oracle's rows and on-demand Dijkstra **bitwise** on
+/// random sparse graphs — including disconnected components
+/// (unreachable stays `INFINITY` and an empty path both ways) — and
+/// the triangular matching-shaped search must agree with the all-pairs
+/// search on every pair it claims to cover.
 #[test]
-fn mwpm_oracle_and_fallback_agree_on_surface_dems() {
+fn sparse_finder_matches_oracle_and_dijkstra_on_random_graphs() {
+    use fpn_repro::qec_decode::{shortest_paths_from, SparsePathFinder, SparsePathScratch};
+    let mut sc = SparsePathScratch::new();
+    for_all(48, 0x59a45e, |g| {
+        let (adjacency, class_weights) = random_sparse_graph(g.rng());
+        let n = adjacency.len();
+        let oracle = PathOracle::build(&adjacency, &class_weights, 1);
+        let finder = SparsePathFinder::build(&adjacency, class_weights.clone());
+        assert_eq!(finder.num_nodes(), n);
+        let all: Vec<usize> = (0..n).collect();
+        finder.all_paths_into(&all, &all, |c| class_weights[c], &mut sc);
+        for src in 0..n {
+            let (dist, pred) = shortest_paths_from(&adjacency, &class_weights, src);
+            for (dst, &full_dist) in dist.iter().enumerate() {
+                assert_eq!(
+                    sc.dist(src, dst).to_bits(),
+                    full_dist.to_bits(),
+                    "sparse dist[{src}][{dst}] != on-demand Dijkstra"
+                );
+                assert_eq!(
+                    sc.dist(src, dst).to_bits(),
+                    oracle.dist(src, dst).to_bits(),
+                    "sparse dist[{src}][{dst}] != dense oracle"
+                );
+                // The harvested hops must replay the full Dijkstra's
+                // predecessor-chain walk exactly (dst→src order).
+                let mut expect: Vec<(u32, u32, u32)> = Vec::new();
+                if dst != src && full_dist.is_finite() {
+                    let mut cur = dst;
+                    while cur != src {
+                        let (prev, class) = pred[cur];
+                        expect.push((prev as u32, cur as u32, class as u32));
+                        cur = prev;
+                    }
+                }
+                assert_eq!(sc.path(src, dst), &expect[..]);
+            }
+        }
+        // Matching-shaped search over a random defect list with a
+        // boundary-style trailing target: source `i` covers targets
+        // `i+1..` (duplicates included), and each covered pair must be
+        // bitwise identical to the full per-source Dijkstra.
+        let s = g.usize_in(0..=n.min(6));
+        let sources: Vec<usize> = (0..s).map(|_| g.usize_in(0..=n - 1)).collect();
+        let mut targets = sources.clone();
+        targets.push(g.usize_in(0..=n - 1));
+        finder.matching_paths_into(&sources, &targets, |c| class_weights[c], &mut sc);
+        for (i, &src) in sources.iter().enumerate() {
+            let (dist, pred) = shortest_paths_from(&adjacency, &class_weights, src);
+            for (tj, &dst) in targets.iter().enumerate().skip(i + 1) {
+                assert_eq!(
+                    sc.dist(i, tj).to_bits(),
+                    dist[dst].to_bits(),
+                    "matching-shaped dist[{i}][{tj}] != on-demand Dijkstra"
+                );
+                let mut expect: Vec<(u32, u32, u32)> = Vec::new();
+                if dst != src && dist[dst].is_finite() {
+                    let mut cur = dst;
+                    while cur != src {
+                        let (prev, class) = pred[cur];
+                        expect.push((prev as u32, cur as u32, class as u32));
+                        cur = prev;
+                    }
+                }
+                assert_eq!(sc.path(i, tj), &expect[..]);
+            }
+        }
+    });
+}
+
+/// On the hyperbolic fixture — whose 1224 check detectors exceed the
+/// default dense-oracle guard, the regime the sparse tier exists for —
+/// all three tiers must produce identical corrections on realistic
+/// multi-error syndromes.
+#[test]
+fn mwpm_path_tiers_agree_on_hyperbolic_dem() {
+    let dem = hyperbolic_memory_dem();
+    let dense = MwpmDecoder::new(&dem, MwpmConfig::unflagged().with_oracle_node_limit(2048));
+    assert!(
+        dense.path_oracle().is_some(),
+        "raised limit admits the oracle"
+    );
+    let sparse = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
+    assert!(
+        sparse.path_oracle().is_none(),
+        "default guard rejects 1224 nodes"
+    );
+    assert!(sparse.sparse_finder().is_some());
+    let fallback = MwpmDecoder::new(&dem, MwpmConfig::unflagged().with_sparse_paths(false));
+    assert!(fallback.sparse_finder().is_none());
+    let q = mechanism_fire_probability(&dem, 6.0);
+    let mut scratch = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
+    for_all(12, 0x04a99, |g| {
+        let syndrome = random_syndrome(g.rng(), &dem, q);
+        let reference = fallback.decode(&syndrome);
+        dense.decode_into(&syndrome, &mut scratch, &mut out);
+        assert_eq!(
+            out, reference,
+            "oracle decode diverged on the hyperbolic DEM"
+        );
+        sparse.decode_into(&syndrome, &mut scratch, &mut out);
+        assert_eq!(
+            out, reference,
+            "sparse decode diverged on the hyperbolic DEM"
+        );
+    });
+    assert!(sparse.stats().sparse_hits > 0);
+    assert_eq!(sparse.stats().oracle_misses, 0);
+}
+
+/// All three path tiers — dense oracle, lazy sparse finder, per-shot
+/// Dijkstra — must produce identical corrections on realistic
+/// multi-round surface DEMs (default config selects the oracle below
+/// the node limit; limit 0 drops to the sparse tier; limit 0 with
+/// sparse paths off forces the Dijkstra fallback).
+#[test]
+fn mwpm_path_tiers_agree_on_surface_dems() {
     for (d, cases, seed) in [(3usize, 32u64, 0x04ad3u64), (5, 12, 0x04ad5)] {
         let dem = surface_memory_dem(d);
         let pm = NoiseModel::new(1e-3).measurement_flip();
-        let pairs: Vec<(MwpmDecoder, MwpmDecoder)> = vec![
-            (
+        let triples: Vec<[MwpmDecoder; 3]> = vec![
+            [
                 MwpmDecoder::new(&dem, MwpmConfig::unflagged()),
                 MwpmDecoder::new(&dem, MwpmConfig::unflagged().with_oracle_node_limit(0)),
-            ),
-            (
+                MwpmDecoder::new(
+                    &dem,
+                    MwpmConfig::unflagged()
+                        .with_oracle_node_limit(0)
+                        .with_sparse_paths(false),
+                ),
+            ],
+            [
                 MwpmDecoder::new(&dem, MwpmConfig::flagged(pm)),
                 MwpmDecoder::new(&dem, MwpmConfig::flagged(pm).with_oracle_node_limit(0)),
-            ),
+                MwpmDecoder::new(
+                    &dem,
+                    MwpmConfig::flagged(pm)
+                        .with_oracle_node_limit(0)
+                        .with_sparse_paths(false),
+                ),
+            ],
         ];
-        for (with_oracle, fallback) in &pairs {
-            assert!(with_oracle.path_oracle().is_some(), "below-threshold graph");
-            assert!(fallback.path_oracle().is_none(), "limit 0 forces fallback");
+        for [dense, sparse, fallback] in &triples {
+            assert!(dense.path_oracle().is_some(), "below-threshold graph");
+            assert!(sparse.path_oracle().is_none(), "limit 0 drops the oracle");
+            assert!(sparse.sparse_finder().is_some(), "sparse tier engaged");
+            assert!(fallback.path_oracle().is_none());
+            assert!(fallback.sparse_finder().is_none(), "fallback forced");
         }
-        let q = (8.0 / dem.mechanisms().len() as f64).min(0.25);
+        let q = mechanism_fire_probability(&dem, 8.0);
         let mut scratch = DecodeScratch::new();
         let mut out = BitVec::zeros(0);
         for_all(cases, seed, |g| {
-            let syndrome = gen_syndrome(g, &dem, q);
-            for (with_oracle, fallback) in &pairs {
+            let syndrome = random_syndrome(g.rng(), &dem, q);
+            for [dense, sparse, fallback] in &triples {
                 let reference = fallback.decode(&syndrome);
-                with_oracle.decode_into(&syndrome, &mut scratch, &mut out);
+                dense.decode_into(&syndrome, &mut scratch, &mut out);
                 assert_eq!(
                     out, reference,
                     "oracle decode diverged from per-shot Dijkstra on d={d} surface DEM",
                 );
+                sparse.decode_into(&syndrome, &mut scratch, &mut out);
+                assert_eq!(
+                    out, reference,
+                    "sparse-tier decode diverged from per-shot Dijkstra on d={d} surface DEM",
+                );
             }
         });
-        // The unflagged decoder answers every nonzero shot from the
-        // oracle; the fallback decoder never touches one.
-        let (with_oracle, fallback) = &pairs[0];
-        assert!(with_oracle.stats().oracle_hits > 0);
-        assert_eq!(with_oracle.stats().oracle_misses, 0);
+        // The unflagged dense decoder answers every nonzero shot from
+        // the oracle, the sparse decoder from the finder, and the
+        // fallback decoder runs full Dijkstra each time.
+        let [dense, sparse, fallback] = &triples[0];
+        assert!(dense.stats().oracle_hits > 0);
+        assert_eq!(dense.stats().sparse_hits, 0);
+        assert_eq!(dense.stats().oracle_misses, 0);
+        assert!(sparse.stats().sparse_hits > 0);
+        assert_eq!(sparse.stats().oracle_hits, 0);
+        assert_eq!(sparse.stats().oracle_misses, 0);
         assert_eq!(fallback.stats().oracle_hits, 0);
+        assert_eq!(fallback.stats().sparse_hits, 0);
         assert!(fallback.stats().oracle_misses > 0);
+        // Flagged shots reweight the graph shot-locally, which the
+        // sparse tier serves too (the dense oracle cannot).
+        let [_, sparse_flagged, _] = &triples[1];
+        assert_eq!(sparse_flagged.stats().oracle_misses, 0);
+        assert!(sparse_flagged.stats().sparse_hits > 0);
     }
 }
 
-/// Same agreement guarantee for the restriction decoder's per-lattice
-/// oracles on the toric color-code DEM.
+/// Same three-tier agreement guarantee for the restriction decoder's
+/// per-lattice path indexes on the toric color-code DEM.
 #[test]
-fn restriction_oracle_and_fallback_agree_on_toric_color_dem() {
-    let code = toric_color_code(2).expect("toric color code builds");
-    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
-    let noise = NoiseModel::new(5e-4);
-    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 2, Basis::Z);
-    let dem = DetectorErrorModel::from_circuit(&exp.circuit);
-    let pm = noise.measurement_flip();
-    let ctx = color_context(&code, Basis::Z);
-    let with_oracle = RestrictionDecoder::new(&dem, ctx.clone(), RestrictionConfig::flagged(pm));
-    assert!((0..3).all(|l| with_oracle.path_oracle(l).is_some()));
+fn restriction_path_tiers_agree_on_toric_color_dem() {
+    let (dem, ctx, pm) = toric_color_dem();
+    let dense = RestrictionDecoder::new(&dem, ctx.clone(), RestrictionConfig::flagged(pm));
+    assert!((0..3).all(|l| dense.path_oracle(l).is_some()));
+    let sparse = RestrictionDecoder::new(
+        &dem,
+        ctx.clone(),
+        RestrictionConfig::flagged(pm).with_oracle_node_limit(0),
+    );
+    assert!((0..3).all(|l| sparse.path_oracle(l).is_none()));
+    assert!((0..3).all(|l| sparse.sparse_finder(l).is_some()));
     let fallback = RestrictionDecoder::new(
         &dem,
         ctx,
-        RestrictionConfig::flagged(pm).with_oracle_node_limit(0),
+        RestrictionConfig::flagged(pm)
+            .with_oracle_node_limit(0)
+            .with_sparse_paths(false),
     );
     assert!((0..3).all(|l| fallback.path_oracle(l).is_none()));
-    let q = (8.0 / dem.mechanisms().len() as f64).min(0.25);
+    assert!((0..3).all(|l| fallback.sparse_finder(l).is_none()));
+    let q = mechanism_fire_probability(&dem, 8.0);
     let mut scratch = DecodeScratch::new();
     let mut out = BitVec::zeros(0);
     for_all(24, 0x04ac0, |g| {
-        let syndrome = gen_syndrome(g, &dem, q);
+        let syndrome = random_syndrome(g.rng(), &dem, q);
         let reference = fallback.decode(&syndrome);
-        with_oracle.decode_into(&syndrome, &mut scratch, &mut out);
+        dense.decode_into(&syndrome, &mut scratch, &mut out);
         assert_eq!(
             out, reference,
             "oracle decode diverged from per-shot Dijkstra on the toric color DEM",
         );
+        sparse.decode_into(&syndrome, &mut scratch, &mut out);
+        assert_eq!(
+            out, reference,
+            "sparse-tier decode diverged from per-shot Dijkstra on the toric color DEM",
+        );
     });
-    assert!(with_oracle.stats().oracle_hits > 0);
+    assert!(dense.stats().oracle_hits > 0);
+    assert!(sparse.stats().sparse_hits > 0);
+    assert_eq!(sparse.stats().oracle_misses, 0);
     assert!(fallback.stats().oracle_misses > 0);
+    assert_eq!(fallback.stats().sparse_hits, 0);
 }
