@@ -21,17 +21,28 @@ cargo test -q --offline --workspace
 cargo test -q --offline --test properties sparse_finder_matches_oracle_and_dijkstra_on_random_graphs
 cargo test -q --offline --test properties path_tiers_agree
 
-# Quick benchmark smoke run: exercises the batched decode hot path and
-# the per-stage timing harness end to end (1k shots keeps it a few
-# seconds; the JSON lines double as a CI artifact). The run must clear
-# all three perf gates — pass_2x (decode_into ≥2x vs decode),
-# pass_oracle (PathOracle ≥3x vs per-shot Dijkstra) and pass_sparse
-# (SparsePathFinder ≥2x vs per-shot Dijkstra on a hyperbolic DEM above
-# the dense-oracle guard), each with bit-identical corrections — and
-# leave the BENCH_4.json artifact behind.
-bench_out=$(cargo run --release --offline -p qec-bench -- --shots 1000 | tee /dev/stderr)
+# Quick benchmark smoke run with qec-obs tracing enabled: exercises
+# the batched decode hot path and the per-stage timing harness end to
+# end (1k shots keeps it a few seconds; the JSON lines double as a CI
+# artifact). The run must clear all four perf gates — pass_2x
+# (decode_into ≥2x vs decode), pass_oracle (PathOracle ≥3x vs per-shot
+# Dijkstra), pass_sparse (SparsePathFinder ≥2x vs per-shot Dijkstra on
+# a hyperbolic DEM above the dense-oracle guard) and pass_obs_overhead
+# (per-batch tracing within 10% of the untraced decode stage), each
+# with bit-identical corrections — and leave the BENCH_5.json artifact
+# behind (`--out` passed explicitly; the default stays BENCH_4.json).
+mkdir -p target
+trace_file=target/obs_trace.jsonl
+bench_out=$(cargo run --release --offline -p qec-bench -- \
+    --shots 1000 --out BENCH_5.json --trace "$trace_file" | tee /dev/stderr)
 grep -q '"pass_2x":true' <<<"$bench_out"
 grep -q '"pass_oracle":true' <<<"$bench_out"
 grep -q '"pass_sparse":true' <<<"$bench_out"
+grep -q '"pass_obs_overhead":true' <<<"$bench_out"
 grep -q '"identical":true' <<<"$bench_out"
-test -s BENCH_4.json
+test -s BENCH_5.json
+
+# The bench run's structured trace must be non-empty, well-formed
+# JSON lines with balanced span enter/close nesting.
+test -s "$trace_file"
+cargo run --release --offline -p qec-obs --bin obs_validate -- "$trace_file"

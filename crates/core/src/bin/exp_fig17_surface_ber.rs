@@ -6,10 +6,12 @@
 //! our relator search yields the neighboring instances
 //! `[[180,20]]` {4,5} and `[[180,38]]` {5,5} (see DESIGN.md).
 
-use fpn_core::harness::{ber_sweep, default_threads, print_ber_row};
+use fpn_core::harness::{ber_sweep, default_threads, print_ber_row, print_sweep_summary};
 use fpn_core::prelude::*;
 
 fn main() {
+    // `QEC_OBS=1` writes a JSON-lines trace (see DESIGN.md).
+    qec_obs::init_from_env();
     let threads = default_threads();
     let ps = [5e-4, 7.5e-4, 1e-3];
     let max_shots = 60_000;
@@ -35,6 +37,7 @@ fn main() {
             for pt in &sweep.points {
                 print_ber_row(label, pt);
             }
+            print_sweep_summary(label, &sweep);
         }
     }
     // {4,5} n=180 (paper: [[160,18,8,6]]) and {5,5} n=180 (paper:
@@ -68,10 +71,12 @@ fn main() {
             for pt in &sweep.points {
                 print_ber_row(code.name(), pt);
             }
+            print_sweep_summary(code.name(), &sweep);
         }
     }
     println!();
     println!("Paper shape: the hyperbolic codes' BER/k is comparable to the planar");
     println!("codes' while encoding 20-38 logical qubits in a few hundred physical");
     println!("qubits (the d=5 planar equivalent would need 980-1862).");
+    qec_obs::finish();
 }

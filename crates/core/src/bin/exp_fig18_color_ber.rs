@@ -3,10 +3,12 @@
 //! codes (the toric stand-ins for the paper's planar triangular codes,
 //! see DESIGN.md).
 
-use fpn_core::harness::{ber_sweep, default_threads, print_ber_row};
+use fpn_core::harness::{ber_sweep, default_threads, print_ber_row, print_sweep_summary};
 use fpn_core::prelude::*;
 
 fn main() {
+    // `QEC_OBS=1` writes a JSON-lines trace (see DESIGN.md).
+    qec_obs::init_from_env();
     let threads = default_threads();
     let ps = [5e-4, 7.5e-4, 1e-3];
     let max_shots = 40_000;
@@ -32,6 +34,7 @@ fn main() {
             for pt in &sweep.points {
                 print_ber_row(&format!("toric 6.6.6 color m={m}"), pt);
             }
+            print_sweep_summary(&format!("toric 6.6.6 color m={m}"), &sweep);
         }
     }
     // {4,6} n=96 (paper: [[216,40,8,8]]) and {5,8} n=200 (paper:
@@ -65,10 +68,12 @@ fn main() {
             for pt in &sweep.points {
                 print_ber_row(code.name(), pt);
             }
+            print_sweep_summary(code.name(), &sweep);
         }
     }
     println!();
     println!("Paper shape: hyperbolic color codes track the flat-geometry color");
     println!("codes' BER/k while encoding far more logical qubits per physical");
     println!("qubit.");
+    qec_obs::finish();
 }

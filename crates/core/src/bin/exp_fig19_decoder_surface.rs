@@ -2,10 +2,12 @@
 //! with plain MWPM (PyMatching-equivalent, direct architecture) versus
 //! the flagged MWPM decoder on its FPN.
 
-use fpn_core::harness::{ber_sweep, default_threads, print_ber_row};
+use fpn_core::harness::{ber_sweep, default_threads, print_ber_row, print_sweep_summary};
 use fpn_core::prelude::*;
 
 fn main() {
+    // `QEC_OBS=1` writes a JSON-lines trace (see DESIGN.md).
+    qec_obs::init_from_env();
     let threads = default_threads();
     let code = hyperbolic_surface_code(&SURFACE_REGISTRY[12]).expect("registry code builds");
     assert_eq!((code.n(), code.k()), (30, 8));
@@ -43,6 +45,7 @@ fn main() {
         for pt in &sweep.points {
             print_ber_row("plain MWPM (direct arch)", pt);
         }
+        print_sweep_summary("plain MWPM (direct arch)", &sweep);
         let sweep = ber_sweep(
             &code,
             &shared,
@@ -58,9 +61,11 @@ fn main() {
         for pt in &sweep.points {
             print_ber_row("flagged MWPM (FPN)", pt);
         }
+        print_sweep_summary("flagged MWPM (FPN)", &sweep);
     }
     println!();
     println!("Paper shape: plain MWPM on the direct architecture saturates at");
     println!("d_eff = 2 (shallow slope); the flagged decoder recovers the full");
     println!("distance (steeper slope, lower BER at small p).");
+    qec_obs::finish();
 }

@@ -4,10 +4,12 @@
 //! color code; we use the `[[24,4,4]]` toric 6.6.6 color code — same
 //! size, same lattice structure, boundary-free.)
 
-use fpn_core::harness::{ber_sweep, default_threads, print_ber_row};
+use fpn_core::harness::{ber_sweep, default_threads, print_ber_row, print_sweep_summary};
 use fpn_core::prelude::*;
 
 fn main() {
+    // `QEC_OBS=1` writes a JSON-lines trace (see DESIGN.md).
+    qec_obs::init_from_env();
     let threads = default_threads();
     let code = toric_color_code(2).expect("toric color code builds");
     println!("== Fig. 20: {} ==", code.name());
@@ -40,6 +42,7 @@ fn main() {
         for pt in &sweep.points {
             print_ber_row("Chamberland restriction (FPN)", pt);
         }
+        print_sweep_summary("Chamberland restriction (FPN)", &sweep);
         let sweep = ber_sweep(
             &code,
             &shared,
@@ -55,8 +58,10 @@ fn main() {
         for pt in &sweep.points {
             print_ber_row("flagged restriction (FPN)", pt);
         }
+        print_sweep_summary("flagged restriction (FPN)", &sweep);
     }
     println!();
     println!("Paper shape: the Chamberland-style decoder is stuck at d_eff = 2;");
     println!("the flagged Restriction decoder recovers the full code distance.");
+    qec_obs::finish();
 }

@@ -8,6 +8,7 @@ use qec_decode::{
 };
 use qec_math::rng::Xoshiro256StarStar;
 use qec_math::BitVec;
+use qec_obs::Registry;
 use qec_sched::{Basis, MemoryExperiment};
 use qec_sim::noise::NoiseModel;
 use qec_sim::{Circuit, DetectorErrorModel, FrameBatch, FrameSampler};
@@ -59,6 +60,10 @@ pub struct DecodingPipeline {
     decoder: PipelineDecoder,
     kind: DecoderKind,
     constructions: u64,
+    /// Metrics registry shared by every decoder this pipeline ever
+    /// builds: counter names are interned, so a retarget rebuild
+    /// continues the same series instead of starting over.
+    metrics: Registry,
 }
 
 impl std::fmt::Debug for DecodingPipeline {
@@ -86,27 +91,51 @@ impl DecodingPipeline {
         kind: DecoderKind,
         noise: &NoiseModel,
     ) -> Self {
+        Self::build(code, experiment, kind, noise, Registry::new(), 1)
+    }
+
+    /// Shared constructor: `new` starts a fresh registry, a retarget
+    /// rebuild passes the existing one through so counters accumulate
+    /// across decoder generations.
+    fn build(
+        code: &CssCode,
+        experiment: &MemoryExperiment,
+        kind: DecoderKind,
+        noise: &NoiseModel,
+        metrics: Registry,
+        constructions: u64,
+    ) -> Self {
+        let mut span =
+            qec_obs::span_with("pipeline.build", &[("kind", format!("{kind:?}").into())]);
         let dem = DetectorErrorModel::from_circuit(&experiment.circuit);
+        span.field("detectors", dem.num_detectors());
+        span.field("mechanisms", dem.mechanisms().len());
         let pm = noise.measurement_flip();
         let decoder = match kind {
-            DecoderKind::FlaggedMwpm => {
-                PipelineDecoder::Mwpm(MwpmDecoder::new(&dem, MwpmConfig::flagged(pm)))
-            }
-            DecoderKind::PlainMwpm => {
-                PipelineDecoder::Mwpm(MwpmDecoder::new(&dem, MwpmConfig::unflagged()))
-            }
+            DecoderKind::FlaggedMwpm => PipelineDecoder::Mwpm(MwpmDecoder::with_metrics(
+                &dem,
+                MwpmConfig::flagged(pm),
+                metrics.clone(),
+            )),
+            DecoderKind::PlainMwpm => PipelineDecoder::Mwpm(MwpmDecoder::with_metrics(
+                &dem,
+                MwpmConfig::unflagged(),
+                metrics.clone(),
+            )),
             DecoderKind::FlaggedRestriction => {
-                PipelineDecoder::Restriction(RestrictionDecoder::new(
+                PipelineDecoder::Restriction(RestrictionDecoder::with_metrics(
                     &dem,
                     color_context(code, experiment.basis),
                     RestrictionConfig::flagged(pm),
+                    metrics.clone(),
                 ))
             }
             DecoderKind::ChamberlandRestriction => {
-                PipelineDecoder::Restriction(RestrictionDecoder::new(
+                PipelineDecoder::Restriction(RestrictionDecoder::with_metrics(
                     &dem,
                     color_context(code, experiment.basis),
                     RestrictionConfig::chamberland(pm),
+                    metrics.clone(),
                 ))
             }
         };
@@ -114,7 +143,8 @@ impl DecodingPipeline {
             dem,
             decoder,
             kind,
-            constructions: 1,
+            constructions,
+            metrics,
         }
     }
 
@@ -134,6 +164,7 @@ impl DecodingPipeline {
         kind: DecoderKind,
         noise: &NoiseModel,
     ) -> bool {
+        let mut span = qec_obs::span("pipeline.retarget");
         let dem = DetectorErrorModel::from_circuit(&experiment.circuit);
         let pm = noise.measurement_flip();
         let repriced = kind == self.kind
@@ -152,13 +183,19 @@ impl DecodingPipeline {
                 }
                 _ => false,
             };
+        span.field("repriced", repriced);
         if repriced {
             self.dem = dem;
             true
         } else {
-            let constructions = self.constructions;
-            *self = DecodingPipeline::new(code, experiment, kind, noise);
-            self.constructions = constructions + 1;
+            *self = DecodingPipeline::build(
+                code,
+                experiment,
+                kind,
+                noise,
+                self.metrics.clone(),
+                self.constructions + 1,
+            );
             false
         }
     }
@@ -183,6 +220,13 @@ impl DecodingPipeline {
     /// [`Self::retarget`] reprice).
     pub fn constructions(&self) -> u64 {
         self.constructions
+    }
+
+    /// The metrics registry shared by every decoder generation of this
+    /// pipeline (tier counters, build gauges, the harness's per-batch
+    /// latency histogram). Observe-only.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 }
 
@@ -302,11 +346,25 @@ pub fn run_ber(
     let next_batch = AtomicUsize::new(0);
     let k = circuit.observables().len();
     let stats_before = decoder.stats();
+    let mut run_span = qec_obs::span_with(
+        "ber.run",
+        &[
+            ("shots", (batches * 64).into()),
+            ("threads", threads.into()),
+            ("seed", seed.into()),
+        ],
+    );
+    // Per-batch wall-clock histogram (sample + decode + compare of one
+    // 64-shot batch). Always-on like the tier counters: three relaxed
+    // atomic adds per batch, invisible to decode results.
+    let batch_hist = decoder.metrics().map(|m| m.histogram("ber.batch_ns"));
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for worker in 0..threads {
             let failures = &failures;
             let next_batch = &next_batch;
+            let batch_hist = batch_hist.clone();
             scope.spawn(move || {
+                let _worker_span = qec_obs::span_with("ber.worker", &[("worker", worker.into())]);
                 let sampler = FrameSampler::new(circuit);
                 let mut scratch = FrameBatch::new();
                 let mut decode_scratch = DecodeScratch::new();
@@ -319,6 +377,7 @@ pub fn run_ber(
                     if b >= batches {
                         break;
                     }
+                    let batch_start = batch_hist.as_ref().map(|_| std::time::Instant::now());
                     let mut rng = Xoshiro256StarStar::from_seed_stream(seed, b as u64);
                     let batch = sampler.sample_batch_with(&mut scratch, &mut rng);
                     for shot in 0..64 {
@@ -335,20 +394,30 @@ pub fn run_ber(
                             local_failures += 1;
                         }
                     }
+                    if let (Some(hist), Some(start)) = (&batch_hist, batch_start) {
+                        let ns = start.elapsed().as_nanos();
+                        hist.record(u64::try_from(ns).unwrap_or(u64::MAX));
+                    }
                 }
                 failures.fetch_add(local_failures, Ordering::Relaxed);
             });
         }
     });
-    let stats_after = decoder.stats();
+    // Per-run attribution: the decoder's counters are lifetime values
+    // (shared across pipeline rebuilds), so this run's numbers are the
+    // delta between the surrounding snapshots.
+    let delta = decoder.stats().delta(&stats_before);
+    let failures = failures.load(Ordering::Relaxed);
+    run_span.field("failures", failures);
+    run_span.field("giveups", delta.giveups());
     BerStats {
         shots: batches * 64,
-        failures: failures.load(Ordering::Relaxed),
+        failures,
         k,
-        decode_giveups: (stats_after.giveups() - stats_before.giveups()) as usize,
-        oracle_hits: (stats_after.oracle_hits - stats_before.oracle_hits) as usize,
-        sparse_hits: (stats_after.sparse_hits - stats_before.sparse_hits) as usize,
-        oracle_misses: (stats_after.oracle_misses - stats_before.oracle_misses) as usize,
+        decode_giveups: delta.giveups() as usize,
+        oracle_hits: delta.oracle_hits as usize,
+        sparse_hits: delta.sparse_hits as usize,
+        oracle_misses: delta.oracle_misses as usize,
     }
 }
 

@@ -4,8 +4,16 @@
 use crate::{run_ber, BerStats, DecoderKind, DecodingPipeline};
 use qec_arch::FlagProxyNetwork;
 use qec_code::CssCode;
+use qec_obs::RegistrySnapshot;
 use qec_sched::{build_memory_circuit, Basis};
 use qec_sim::noise::NoiseModel;
+
+fn basis_name(basis: Basis) -> &'static str {
+    match basis {
+        Basis::X => "X",
+        Basis::Z => "Z",
+    }
+}
 
 /// One point of a BER sweep.
 #[derive(Debug, Clone, Copy)]
@@ -30,6 +38,12 @@ pub struct BerSweep {
     pub points: Vec<BerPoint>,
     /// Full decoder constructions over the whole sweep.
     pub decoder_constructions: u64,
+    /// Snapshot of the pipeline's metrics registry at the end of the
+    /// sweep: lifetime decode/tier/give-up counters, build-size gauges
+    /// and the per-batch latency histogram, covering every point (the
+    /// registry survives retarget rebuilds). Feeds the experiment
+    /// binaries' summary lines ([`print_sweep_summary`]).
+    pub metrics: RegistrySnapshot,
 }
 
 /// Grows the shot count on an already-built pipeline until
@@ -56,6 +70,14 @@ fn run_point(
         sparse_hits: 0,
         oracle_misses: 0,
     };
+    let mut point_span = qec_obs::span_with(
+        "ber.point",
+        &[
+            ("p", p.into()),
+            ("basis", basis_name(basis).into()),
+            ("rounds", rounds.into()),
+        ],
+    );
     let mut chunk = 4096.max(64 * threads);
     let mut round_seed = seed;
     while total.shots < max_shots && total.failures < target_failures {
@@ -76,6 +98,9 @@ fn run_point(
         round_seed = round_seed.wrapping_add(0x9e3779b97f4a7c15);
         chunk = (chunk * 2).min(1 << 20);
     }
+    point_span.field("shots", total.shots);
+    point_span.field("failures", total.failures);
+    point_span.field("giveups", total.decode_giveups);
     BerPoint {
         p,
         basis,
@@ -136,6 +161,14 @@ pub fn ber_sweep(
     seed: u64,
     threads: usize,
 ) -> BerSweep {
+    let _sweep_span = qec_obs::span_with(
+        "ber.sweep",
+        &[
+            ("points", ps.len().into()),
+            ("basis", basis_name(basis).into()),
+            ("rounds", rounds.into()),
+        ],
+    );
     let mut points = Vec::with_capacity(ps.len());
     let mut pipeline: Option<DecodingPipeline> = None;
     for &p in ps {
@@ -162,18 +195,20 @@ pub fn ber_sweep(
         ));
         pipeline = Some(pl);
     }
+    let (decoder_constructions, metrics) = pipeline
+        .map_or((0, RegistrySnapshot::default()), |pl| {
+            (pl.constructions(), pl.metrics().snapshot())
+        });
     BerSweep {
         points,
-        decoder_constructions: pipeline.map_or(0, |pl| pl.constructions()),
+        decoder_constructions,
+        metrics,
     }
 }
 
 /// Prints one sweep row in the paper's style.
 pub fn print_ber_row(label: &str, point: &BerPoint) {
-    let basis = match point.basis {
-        Basis::X => "X",
-        Basis::Z => "Z",
-    };
+    let basis = basis_name(point.basis);
     println!(
         "{label:<42} p={:<8.1e} mem-{basis} rounds={:<2} shots={:<8} fails={:<6} BER={:.3e} BER/k={:.3e}",
         point.p,
@@ -182,6 +217,28 @@ pub fn print_ber_row(label: &str, point: &BerPoint) {
         point.stats.failures,
         point.stats.ber(),
         point.stats.ber_norm(),
+    );
+}
+
+/// Prints a sweep's one-line summary from its registry snapshot:
+/// total decodes, decoder give-ups (silent partial corrections, now
+/// visible), the three path-tier shares, and how many times the
+/// decoder was actually constructed vs repriced.
+pub fn print_sweep_summary(label: &str, sweep: &BerSweep) {
+    let m = &sweep.metrics;
+    let decodes = m.counter("decode.decodes");
+    let giveups = m.counter("decode.giveups.stalled") + m.counter("decode.giveups.round_limit");
+    let oracle = m.counter("decode.tier.oracle_hits");
+    let sparse = m.counter("decode.tier.sparse_hits");
+    let dijkstra = m.counter("decode.tier.dijkstra_fallbacks");
+    let tier_total = (oracle + sparse + dijkstra).max(1) as f64;
+    let pct = |n: u64| 100.0 * n as f64 / tier_total;
+    println!(
+        "{label:<42} summary: decodes={decodes} giveups={giveups} tiers: oracle={:.1}% sparse={:.1}% dijkstra={:.1}% constructions={}",
+        pct(oracle),
+        pct(sparse),
+        pct(dijkstra),
+        sweep.decoder_constructions,
     );
 }
 
@@ -240,5 +297,85 @@ mod tests {
                 "sweep point at p={p} diverged from a standalone ber_point"
             );
         }
+    }
+
+    /// Per-sweep-point stats attribution: the decoder's counters are
+    /// lifetime atomics shared across retarget rebuilds, so each
+    /// point's `BerStats` must report that point's *delta*, not the
+    /// accumulated totals. Pinned two ways: (a) each point's tier
+    /// counts equal a standalone `ber_point`'s (whose decoder starts
+    /// from zero), and (b) the per-point deltas sum back to the
+    /// sweep-lifetime registry counters.
+    #[test]
+    fn sweep_points_report_per_point_tier_deltas() {
+        let code = rotated_surface_code(3);
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+        let ps = [1e-3, 3e-3, 1e-2];
+        let sweep = ber_sweep(
+            &code,
+            &fpn,
+            DecoderKind::FlaggedMwpm,
+            &ps,
+            3,
+            Basis::Z,
+            512,
+            usize::MAX,
+            23,
+            2,
+        );
+        let mut tier_sum = 0u64;
+        for (point, &p) in sweep.points.iter().zip(&ps) {
+            let tiers =
+                point.stats.oracle_hits + point.stats.sparse_hits + point.stats.oracle_misses;
+            assert!(
+                tiers <= point.stats.shots,
+                "point at p={p} reports more tier hits ({tiers}) than shots — \
+                 accumulated lifetime counts leaked into the per-point stats"
+            );
+            let solo = ber_point(
+                &code,
+                &fpn,
+                DecoderKind::FlaggedMwpm,
+                p,
+                3,
+                Basis::Z,
+                512,
+                usize::MAX,
+                23,
+                2,
+            );
+            assert_eq!(
+                (
+                    point.stats.oracle_hits,
+                    point.stats.sparse_hits,
+                    point.stats.oracle_misses,
+                    point.stats.decode_giveups,
+                ),
+                (
+                    solo.stats.oracle_hits,
+                    solo.stats.sparse_hits,
+                    solo.stats.oracle_misses,
+                    solo.stats.decode_giveups,
+                ),
+                "per-point tier counts at p={p} must match a fresh decoder's"
+            );
+            tier_sum += tiers as u64;
+        }
+        // The sweep's registry keeps the lifetime series: the sum of
+        // the reported per-point deltas reassembles it exactly.
+        let m = &sweep.metrics;
+        assert_eq!(
+            m.counter("decode.tier.oracle_hits")
+                + m.counter("decode.tier.sparse_hits")
+                + m.counter("decode.tier.dijkstra_fallbacks"),
+            tier_sum,
+            "per-point deltas must sum to the sweep-lifetime registry counters"
+        );
+        assert_eq!(m.counter("decoder.constructions"), 1);
+        assert_eq!(m.counter("decoder.reprices"), ps.len() as u64 - 1);
+        // At p-sweep rates some shots raise flags: the flagged decoder
+        // must report both oracle-tier and sparse-tier activity, and
+        // the decodes counter bounds the tier total.
+        assert!(m.counter("decode.decodes") >= tier_sum);
     }
 }

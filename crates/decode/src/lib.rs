@@ -90,6 +90,21 @@ pub trait Decoder: Sync {
         DecoderStats::default()
     }
 
+    /// The decoder's metrics registry (tier-hit counters, build-size
+    /// gauges, size histograms), when it keeps one.
+    ///
+    /// Every in-tree decoder owns a [`qec_obs::Registry`] — private by
+    /// default, or shared when constructed through a `with_metrics`
+    /// constructor (how [`fpn_core`'s] pipeline keeps one continuous
+    /// counter series across retarget rebuilds). Metrics are
+    /// observe-only: nothing read from the registry ever influences
+    /// decoding.
+    ///
+    /// [`fpn_core`'s]: ../fpn_core/struct.DecodingPipeline.html
+    fn metrics(&self) -> Option<&qec_obs::Registry> {
+        None
+    }
+
     /// Number of observables this decoder predicts.
     fn num_observables(&self) -> usize;
 }

@@ -6,9 +6,9 @@ use crate::scratch::{DecodeScratch, MatchingCounters, MatchingScratch};
 use crate::{Decoder, DecoderStats};
 use qec_math::graph::matching::min_weight_perfect_matching_f64;
 use qec_math::BitVec;
+use qec_obs::Registry;
 use qec_sim::DetectorErrorModel;
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Configuration of [`MwpmDecoder`].
@@ -106,6 +106,9 @@ pub struct MwpmDecoder {
     /// unavailable (above the node limit, or disabled); also shared
     /// read-only across workers.
     sparse: Option<Arc<SparsePathFinder>>,
+    /// Metrics registry the counters and build gauges live in; private
+    /// unless the decoder was built via [`MwpmDecoder::with_metrics`].
+    metrics: Registry,
     counters: MatchingCounters,
 }
 
@@ -123,8 +126,18 @@ fn oracle_threads(config: &MwpmConfig, n: usize) -> usize {
 }
 
 impl MwpmDecoder {
-    /// Builds the decoder from a detector error model.
+    /// Builds the decoder from a detector error model, with a private
+    /// metrics registry.
     pub fn new(dem: &DetectorErrorModel, config: MwpmConfig) -> Self {
+        Self::with_metrics(dem, config, Registry::new())
+    }
+
+    /// Builds the decoder recording into a caller-supplied metrics
+    /// registry. Metric names are interned, so rebuilding a decoder
+    /// against the same registry (the pipeline-retarget case) continues
+    /// the existing counter series instead of starting over.
+    pub fn with_metrics(dem: &DetectorErrorModel, config: MwpmConfig, metrics: Registry) -> Self {
+        metrics.counter("decoder.constructions").inc();
         let hypergraph = DecodingHypergraph::new(dem);
         let minus_ln_pm = -config
             .measurement_error_probability
@@ -168,14 +181,37 @@ impl MwpmDecoder {
         let weights: Vec<f64> = base_choice.iter().map(|&(_, w)| w).collect();
         let oracle =
             (!adjacency.is_empty() && adjacency.len() <= config.oracle_node_limit).then(|| {
-                Arc::new(PathOracle::build(
+                let _span = qec_obs::span_with(
+                    "decoder.build.oracle",
+                    &[("nodes", adjacency.len().into())],
+                );
+                let oracle = Arc::new(PathOracle::build(
                     &adjacency,
                     &weights,
                     oracle_threads(&config, adjacency.len()),
-                ))
+                ));
+                metrics
+                    .gauge("build.oracle.nodes")
+                    .set(oracle.num_nodes() as u64);
+                metrics
+                    .gauge("build.oracle.bytes")
+                    .set(oracle.memory_bytes() as u64);
+                oracle
             });
-        let sparse = (oracle.is_none() && config.sparse_paths && !adjacency.is_empty())
-            .then(|| Arc::new(SparsePathFinder::build(&adjacency, weights)));
+        let sparse =
+            (oracle.is_none() && config.sparse_paths && !adjacency.is_empty()).then(|| {
+                let _span =
+                    qec_obs::span_with("decoder.build.csr", &[("nodes", adjacency.len().into())]);
+                let sparse = Arc::new(SparsePathFinder::build(&adjacency, weights));
+                metrics
+                    .gauge("build.sparse.nodes")
+                    .set(sparse.num_nodes() as u64);
+                metrics
+                    .gauge("build.sparse.bytes")
+                    .set(sparse.memory_bytes() as u64);
+                sparse
+            });
+        let counters = MatchingCounters::register(&metrics);
         MwpmDecoder {
             hypergraph,
             config,
@@ -185,7 +221,8 @@ impl MwpmDecoder {
             has_boundary,
             oracle,
             sparse,
-            counters: MatchingCounters::default(),
+            metrics,
+            counters,
         }
     }
 
@@ -217,6 +254,8 @@ impl MwpmDecoder {
         if !same_topology {
             return false;
         }
+        let _span = qec_obs::span("decoder.reprice");
+        self.metrics.counter("decoder.reprices").inc();
         self.config = config;
         self.minus_ln_pm = -config
             .measurement_error_probability
@@ -380,6 +419,10 @@ impl Decoder for MwpmDecoder {
         self.counters.snapshot()
     }
 
+    fn metrics(&self) -> Option<&Registry> {
+        Some(&self.metrics)
+    }
+
     fn num_observables(&self) -> usize {
         self.hypergraph.num_observables()
     }
@@ -411,9 +454,10 @@ impl MwpmDecoder {
             weights,
             ..
         } = sc;
-        self.counters.decodes.fetch_add(1, Ordering::Relaxed);
+        self.counters.decodes.inc();
         correction.reset_zeros(self.hypergraph.num_observables());
         self.hypergraph.split_shot_into(detectors, checks, flags);
+        self.counters.defects.record(checks.len() as u64);
         // Flag-conditioned overrides for affected classes.
         overrides.clear();
         if self.config.flag_conditioning && !flags.is_zero() {
@@ -453,11 +497,11 @@ impl MwpmDecoder {
             None
         };
         if oracle.is_some() {
-            self.counters.oracle_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.oracle_hits.inc();
         } else if sparse_finder.is_some() {
-            self.counters.sparse_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.sparse_hits.inc();
         } else {
-            self.counters.oracle_misses.fetch_add(1, Ordering::Relaxed);
+            self.counters.oracle_misses.inc();
         }
         // Non-overridden classes keep their F = ∅ member but still pay
         // the global |F| flag-mismatch constant.

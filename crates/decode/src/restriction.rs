@@ -9,9 +9,9 @@ use crate::scratch::{DecodeScratch, HeapItem, MatchingCounters, MatchingScratch}
 use crate::{Decoder, DecoderStats};
 use qec_math::graph::matching::min_weight_perfect_matching_f64;
 use qec_math::{gf2, BitMatrix, BitVec};
+use qec_obs::Registry;
 use qec_sim::DetectorErrorModel;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Structural information about the color code, needed for lifting.
@@ -131,6 +131,10 @@ pub struct RestrictionDecoder {
     /// Per-lattice lazy path finders, built when that lattice's dense
     /// oracle is unavailable; also shared read-only across workers.
     sparses: [Option<Arc<SparsePathFinder>>; 3],
+    /// Metrics registry the counters and build gauges live in; private
+    /// unless the decoder was built via
+    /// [`RestrictionDecoder::with_metrics`].
+    metrics: Registry,
     counters: MatchingCounters,
     /// Exact lookup from a class's σ to its index.
     sigma_index: HashMap<Vec<u32>, usize>,
@@ -156,6 +160,24 @@ impl RestrictionDecoder {
     ///
     /// Panics if some parity detector lacks color metadata.
     pub fn new(dem: &DetectorErrorModel, ctx: ColorCodeContext, config: RestrictionConfig) -> Self {
+        Self::with_metrics(dem, ctx, config, Registry::new())
+    }
+
+    /// Builds the decoder recording into a caller-supplied metrics
+    /// registry. Metric names are interned, so rebuilding against the
+    /// same registry (the pipeline-retarget case) continues the
+    /// existing counter series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some parity detector lacks color metadata.
+    pub fn with_metrics(
+        dem: &DetectorErrorModel,
+        ctx: ColorCodeContext,
+        config: RestrictionConfig,
+        metrics: Registry,
+    ) -> Self {
+        metrics.counter("decoder.constructions").inc();
         let hypergraph = DecodingHypergraph::with_primitive_size(dem, usize::MAX);
         let minus_ln_pm = -config
             .measurement_error_probability
@@ -216,28 +238,52 @@ impl RestrictionDecoder {
             build_lattice((1, 2)),
         ];
         let weights: Vec<f64> = base_choice.iter().map(|&(_, w)| w).collect();
-        let build_oracle = |lattice: &Lattice| {
+        let build_oracle = |li: usize| {
+            let lattice = &lattices[li];
             let n = lattice.adjacency.len();
             (n > 0 && n <= config.oracle_node_limit).then(|| {
-                Arc::new(PathOracle::build(
+                let _span = qec_obs::span_with(
+                    "decoder.build.oracle",
+                    &[("nodes", n.into()), ("lattice", li.into())],
+                );
+                let oracle = Arc::new(PathOracle::build(
                     &lattice.adjacency,
                     &weights,
                     oracle_threads(&config, n),
-                ))
+                ));
+                // Per-lattice gauges: the three restricted lattices are
+                // separate matrices with separate footprints.
+                metrics
+                    .gauge(&format!("build.oracle.l{li}.nodes"))
+                    .set(oracle.num_nodes() as u64);
+                metrics
+                    .gauge(&format!("build.oracle.l{li}.bytes"))
+                    .set(oracle.memory_bytes() as u64);
+                oracle
             })
         };
-        let oracles = [
-            build_oracle(&lattices[0]),
-            build_oracle(&lattices[1]),
-            build_oracle(&lattices[2]),
-        ];
+        let oracles = [build_oracle(0), build_oracle(1), build_oracle(2)];
         let build_sparse = |li: usize| {
             (oracles[li].is_none() && config.sparse_paths && !lattices[li].adjacency.is_empty())
                 .then(|| {
-                    Arc::new(SparsePathFinder::build(
+                    let _span = qec_obs::span_with(
+                        "decoder.build.csr",
+                        &[
+                            ("nodes", lattices[li].adjacency.len().into()),
+                            ("lattice", li.into()),
+                        ],
+                    );
+                    let sparse = Arc::new(SparsePathFinder::build(
                         &lattices[li].adjacency,
                         weights.clone(),
-                    ))
+                    ));
+                    metrics
+                        .gauge(&format!("build.sparse.l{li}.nodes"))
+                        .set(sparse.num_nodes() as u64);
+                    metrics
+                        .gauge(&format!("build.sparse.l{li}.bytes"))
+                        .set(sparse.memory_bytes() as u64);
+                    sparse
                 })
         };
         let sparses = [build_sparse(0), build_sparse(1), build_sparse(2)];
@@ -256,7 +302,8 @@ impl RestrictionDecoder {
             lattices,
             oracles,
             sparses,
-            counters: MatchingCounters::default(),
+            counters: MatchingCounters::register(&metrics),
+            metrics,
             sigma_index,
         }
     }
@@ -293,6 +340,8 @@ impl RestrictionDecoder {
         if !same_topology {
             return false;
         }
+        let _span = qec_obs::span("decoder.reprice");
+        self.metrics.counter("decoder.reprices").inc();
         self.config = config;
         self.minus_ln_pm = -config
             .measurement_error_probability
@@ -534,6 +583,10 @@ impl Decoder for RestrictionDecoder {
         self.decode_core(detectors, &mut scratch.restriction, out, None);
     }
 
+    fn metrics(&self) -> Option<&Registry> {
+        Some(&self.metrics)
+    }
+
     fn stats(&self) -> DecoderStats {
         self.counters.snapshot()
     }
@@ -574,9 +627,10 @@ impl RestrictionDecoder {
             flattened,
             at_red,
         } = sc;
-        self.counters.decodes.fetch_add(1, Ordering::Relaxed);
+        self.counters.decodes.inc();
         correction.reset_zeros(self.hypergraph.num_observables());
         self.hypergraph.split_shot_into(detectors, checks, flags);
+        self.counters.defects.record(checks.len() as u64);
         overrides.clear();
         if self.config.flag_conditioning && !flags.is_zero() {
             for f in flags.iter_ones() {
@@ -613,11 +667,11 @@ impl RestrictionDecoder {
                 || self.sparses[li].is_some()
         });
         if all_oracle {
-            self.counters.oracle_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.oracle_hits.inc();
         } else if no_dijkstra {
-            self.counters.sparse_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.sparse_hits.inc();
         } else {
-            self.counters.oracle_misses.fetch_add(1, Ordering::Relaxed);
+            self.counters.oracle_misses.inc();
         }
         em.clear();
         for (li, lattice) in self.lattices.iter().enumerate() {

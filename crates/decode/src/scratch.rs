@@ -8,16 +8,20 @@
 //! create the scratch and hand it back to the decoder.
 
 use qec_math::BitVec;
+use qec_obs::{Counter, Histogram, Registry};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// Lifetime counters a decoder exposes through
 /// [`crate::Decoder::stats`].
 ///
-/// All counts are cumulative since the decoder was built; callers that
-/// want per-run numbers (e.g. `run_ber`) snapshot before/after and
-/// subtract.
+/// All counts are cumulative over the decoder's metrics [`Registry`] —
+/// i.e. since construction, unless the decoder was built with a shared
+/// registry (`with_metrics`), in which case they span every decoder
+/// attached to it (this is how a retargeted pipeline keeps one
+/// continuous series across rebuilds). Callers that want per-run
+/// numbers (e.g. `run_ber`) snapshot before/after and take
+/// [`DecoderStats::delta`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DecoderStats {
     /// Shots decoded (via `decode` or `decode_into`).
@@ -47,28 +51,66 @@ impl DecoderStats {
     pub fn giveups(&self) -> u64 {
         self.giveups_stalled + self.giveups_round_limit
     }
+
+    /// Counts accumulated since `earlier` was snapshotted (saturating,
+    /// so a stale or crossed snapshot can never underflow). This is the
+    /// per-run / per-sweep-point attribution mechanism: snapshot before
+    /// a run, snapshot after, and `after.delta(&before)` is exactly
+    /// that run's work even though the underlying registry counters are
+    /// lifetime atomics shared across `retarget` rebuilds.
+    pub fn delta(&self, earlier: &DecoderStats) -> DecoderStats {
+        DecoderStats {
+            decodes: self.decodes.saturating_sub(earlier.decodes),
+            giveups_stalled: self.giveups_stalled.saturating_sub(earlier.giveups_stalled),
+            giveups_round_limit: self
+                .giveups_round_limit
+                .saturating_sub(earlier.giveups_round_limit),
+            oracle_hits: self.oracle_hits.saturating_sub(earlier.oracle_hits),
+            sparse_hits: self.sparse_hits.saturating_sub(earlier.sparse_hits),
+            oracle_misses: self.oracle_misses.saturating_sub(earlier.oracle_misses),
+        }
+    }
 }
 
-/// Relaxed atomic lifetime counters of the matching decoders (MWPM and
-/// Restriction): shots decoded and oracle hit/miss tallies, exposed
-/// through [`crate::Decoder::stats`]. Shots that never reach the
-/// matching stage (empty check syndrome) count as decodes but neither
-/// hit nor miss.
-#[derive(Debug, Default)]
+/// The matching decoders' (MWPM and Restriction) counter handles into
+/// their metrics [`Registry`]: shots decoded, tier hit/miss tallies and
+/// the defect-count histogram, exposed through
+/// [`crate::Decoder::stats`] and the registry snapshot. Shots that
+/// never reach the matching stage (empty check syndrome) count as
+/// decodes but neither hit nor miss.
+#[derive(Debug, Clone)]
 pub(crate) struct MatchingCounters {
-    pub(crate) decodes: AtomicU64,
-    pub(crate) oracle_hits: AtomicU64,
-    pub(crate) sparse_hits: AtomicU64,
-    pub(crate) oracle_misses: AtomicU64,
+    pub(crate) decodes: Counter,
+    pub(crate) oracle_hits: Counter,
+    pub(crate) sparse_hits: Counter,
+    pub(crate) oracle_misses: Counter,
+    /// Log₂ histogram of flipped-check counts per decoded shot (defect
+    /// density; size companion to the harness's per-batch latency
+    /// histogram).
+    pub(crate) defects: Histogram,
 }
 
 impl MatchingCounters {
+    /// Interns the matching-decoder metric names in `metrics`. Calling
+    /// this twice against the same registry yields handles to the same
+    /// cells — that is what keeps one continuous counter series across
+    /// pipeline rebuilds.
+    pub(crate) fn register(metrics: &Registry) -> Self {
+        MatchingCounters {
+            decodes: metrics.counter("decode.decodes"),
+            oracle_hits: metrics.counter("decode.tier.oracle_hits"),
+            sparse_hits: metrics.counter("decode.tier.sparse_hits"),
+            oracle_misses: metrics.counter("decode.tier.dijkstra_fallbacks"),
+            defects: metrics.histogram("decode.defects"),
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> DecoderStats {
         DecoderStats {
-            decodes: self.decodes.load(AtomicOrdering::Relaxed),
-            oracle_hits: self.oracle_hits.load(AtomicOrdering::Relaxed),
-            sparse_hits: self.sparse_hits.load(AtomicOrdering::Relaxed),
-            oracle_misses: self.oracle_misses.load(AtomicOrdering::Relaxed),
+            decodes: self.decodes.get(),
+            oracle_hits: self.oracle_hits.get(),
+            sparse_hits: self.sparse_hits.get(),
+            oracle_misses: self.oracle_misses.get(),
             ..DecoderStats::default()
         }
     }

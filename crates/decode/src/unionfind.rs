@@ -36,10 +36,10 @@ use crate::scratch::{DecodeScratch, UfScratch};
 use crate::{Decoder, DecoderStats};
 use qec_math::graph::UnionFind;
 use qec_math::BitVec;
+use qec_obs::{Counter, Registry};
 use qec_sim::DetectorErrorModel;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration of [`UnionFindDecoder`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,14 +91,31 @@ pub struct UnionFindDecoder {
     /// `adjacency[v]`: incident edge ids, ascending.
     adjacency: Vec<Vec<usize>>,
     boundary: usize,
-    decodes: AtomicU64,
-    giveups_stalled: AtomicU64,
-    giveups_round_limit: AtomicU64,
+    /// Metrics registry the counters live in; private unless the
+    /// decoder was built via [`UnionFindDecoder::with_metrics`].
+    metrics: Registry,
+    decodes: Counter,
+    giveups_stalled: Counter,
+    giveups_round_limit: Counter,
 }
 
 impl UnionFindDecoder {
-    /// Builds the decoder from a detector error model.
+    /// Builds the decoder from a detector error model, with a private
+    /// metrics registry.
     pub fn new(dem: &DetectorErrorModel, config: UnionFindConfig) -> Self {
+        Self::with_metrics(dem, config, Registry::new())
+    }
+
+    /// Builds the decoder recording into a caller-supplied metrics
+    /// registry. Metric names are interned, so rebuilding against the
+    /// same registry (the pipeline-retarget case) continues the
+    /// existing counter series.
+    pub fn with_metrics(
+        dem: &DetectorErrorModel,
+        config: UnionFindConfig,
+        metrics: Registry,
+    ) -> Self {
+        metrics.counter("decoder.constructions").inc();
         let hypergraph = DecodingHypergraph::new(dem);
         let minus_ln_pm = -config
             .measurement_error_probability
@@ -159,9 +176,10 @@ impl UnionFindDecoder {
             edge_of_class,
             adjacency,
             boundary,
-            decodes: AtomicU64::new(0),
-            giveups_stalled: AtomicU64::new(0),
-            giveups_round_limit: AtomicU64::new(0),
+            decodes: metrics.counter("decode.decodes"),
+            giveups_stalled: metrics.counter("decode.giveups.stalled"),
+            giveups_round_limit: metrics.counter("decode.giveups.round_limit"),
+            metrics,
         }
     }
 
@@ -248,7 +266,7 @@ fn union_roots(parent: &mut [u32], size: &mut [u32], mut ra: usize, mut rb: usiz
 
 impl Decoder for UnionFindDecoder {
     fn decode(&self, detectors: &BitVec) -> BitVec {
-        self.decodes.fetch_add(1, Ordering::Relaxed);
+        self.decodes.inc();
         let mut correction = BitVec::zeros(self.hypergraph.num_observables());
         let (checks, flags) = self.hypergraph.split_shot(detectors);
         if checks.is_empty() {
@@ -290,7 +308,7 @@ impl Decoder for UnionFindDecoder {
                 // Round-limit safety net (should be unreachable on
                 // connected graphs); surfaced through `stats`.
                 gave_up = true;
-                self.giveups_round_limit.fetch_add(1, Ordering::Relaxed);
+                self.giveups_round_limit.inc();
                 break;
             }
             // Grow every edge on the boundary of an odd cluster.
@@ -317,7 +335,7 @@ impl Decoder for UnionFindDecoder {
                 // Isolated odd cluster with no usable edges: the
                 // correction stays partial; surfaced through `stats`.
                 gave_up = true;
-                self.giveups_stalled.fetch_add(1, Ordering::Relaxed);
+                self.giveups_stalled.inc();
                 break;
             }
             for e in to_merge {
@@ -386,7 +404,7 @@ impl Decoder for UnionFindDecoder {
     }
 
     fn decode_into(&self, detectors: &BitVec, scratch: &mut DecodeScratch, out: &mut BitVec) {
-        self.decodes.fetch_add(1, Ordering::Relaxed);
+        self.decodes.inc();
         out.reset_zeros(self.hypergraph.num_observables());
         let n = self.boundary + 1;
         let sc: &mut UfScratch = &mut scratch.uf;
@@ -468,7 +486,7 @@ impl Decoder for UnionFindDecoder {
             rounds += 1;
             if rounds > 4 * n {
                 gave_up = true;
-                self.giveups_round_limit.fetch_add(1, Ordering::Relaxed);
+                self.giveups_round_limit.inc();
                 break;
             }
             // Grow the frontier edges with an odd endpoint. Fully grown
@@ -501,7 +519,7 @@ impl Decoder for UnionFindDecoder {
             sc.active.truncate(kept);
             if !grew {
                 gave_up = true;
-                self.giveups_stalled.fetch_add(1, Ordering::Relaxed);
+                self.giveups_stalled.inc();
                 break;
             }
             // Merge in ascending edge order — the reference path scans
@@ -595,11 +613,15 @@ impl Decoder for UnionFindDecoder {
 
     fn stats(&self) -> DecoderStats {
         DecoderStats {
-            decodes: self.decodes.load(Ordering::Relaxed),
-            giveups_stalled: self.giveups_stalled.load(Ordering::Relaxed),
-            giveups_round_limit: self.giveups_round_limit.load(Ordering::Relaxed),
+            decodes: self.decodes.get(),
+            giveups_stalled: self.giveups_stalled.get(),
+            giveups_round_limit: self.giveups_round_limit.get(),
             ..DecoderStats::default()
         }
+    }
+
+    fn metrics(&self) -> Option<&Registry> {
+        Some(&self.metrics)
     }
 
     fn num_observables(&self) -> usize {

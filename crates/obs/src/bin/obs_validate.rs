@@ -1,0 +1,37 @@
+//! Validates a qec-obs JSON-lines trace file.
+//!
+//! Usage: `obs_validate <trace.jsonl>`
+//!
+//! Exits non-zero (with a diagnostic on stderr) if the file is empty, any
+//! line fails to parse as a JSON object with a `type`, or span enter/close
+//! events are unbalanced. Used by `ci.sh` on the trace emitted by the bench
+//! smoke run.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: obs_validate <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("obs_validate: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match qec_obs::validate_trace(&text) {
+        Ok(summary) => {
+            println!(
+                "trace ok: {} events, {} spans, {} metrics snapshots ({path})",
+                summary.events, summary.spans, summary.metrics_snapshots
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("obs_validate: {path}: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,599 @@
+//! Minimal JSON support: a value tree, a compact single-line writer, and a
+//! strict recursive-descent parser.
+//!
+//! The workspace is hermetic (no external crates), so the trace emitter and
+//! its validator share this hand-rolled implementation. The writer always
+//! produces compact output (no whitespace) so each trace event is exactly one
+//! line; the parser is strict RFC-8259 minus a few exotica (it rejects
+//! trailing garbage, unbalanced structures and malformed escapes, which is
+//! precisely what the trace validator needs to catch).
+
+use std::fmt;
+
+/// A parsed or constructed JSON value.
+///
+/// Numbers keep their original flavour (`U64`/`I64`/`F64`) when constructed
+/// programmatically so counters round-trip exactly; the parser produces the
+/// narrowest variant that represents the literal losslessly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (counters, sizes, nanosecond timings).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point. Non-finite values serialise as `null`.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object, as an ordered list of `(key, value)` pairs. Insertion order is
+    /// preserved on write, which keeps emitted records stable and greppable.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up `key` in an object; `None` for other variants or missing keys.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonValue::U64(v) => Some(v),
+            JsonValue::I64(v) => u64::try_from(v).ok(),
+            JsonValue::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= 2f64.powi(53) => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen losslessly within 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            JsonValue::U64(v) => Some(v as f64),
+            JsonValue::I64(v) => Some(v as f64),
+            JsonValue::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            JsonValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's object fields, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Serialises compactly (no whitespace) into `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::U64(v) => {
+                let mut buf = [0u8; 20];
+                out.push_str(format_u64(*v, &mut buf));
+            }
+            JsonValue::I64(v) => out.push_str(&v.to_string()),
+            JsonValue::F64(v) => {
+                if v.is_finite() {
+                    // Rust's shortest-roundtrip Display is valid JSON for all
+                    // finite doubles (no exponent suffix surprises).
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document. Trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut cur = Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        cur.skip_ws();
+        let value = cur.parse_value()?;
+        cur.skip_ws();
+        if cur.pos != cur.bytes.len() {
+            return Err(format!("trailing content at byte {}", cur.pos));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn format_u64(v: u64, buf: &mut [u8; 20]) -> &str {
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).expect("digits are ASCII")
+}
+
+pub(crate) fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::U64(v)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+impl From<u128> for JsonValue {
+    /// Saturating: nanosecond totals beyond ~585 years clamp to `u64::MAX`.
+    fn from(v: u128) -> Self {
+        JsonValue::U64(u64::try_from(v).unwrap_or(u64::MAX))
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::I64(v)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::F64(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.parse_lit("null", JsonValue::Null),
+            Some(b't') => self.parse_lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_lit("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(b) => Err(format!("unexpected byte '{}' at {}", b as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: require a following \uXXXX low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err("invalid low surrogate".to_string());
+                                    }
+                                    let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(code)
+                                        .ok_or_else(|| "invalid surrogate pair".to_string())?
+                                } else {
+                                    return Err("lone high surrogate".to_string());
+                                }
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| "invalid \\u escape".to_string())?
+                            };
+                            out.push(c);
+                            // parse_hex4 already advanced past the digits; undo
+                            // the unconditional advance below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(format!("invalid escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8; find the char boundary).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
+                    let c = s.chars().next().expect("non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err(format!("raw control byte in string at {}", self.pos));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "invalid \\u escape".to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "invalid \\u escape".to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        if text.is_empty() || text == "-" {
+            return Err(format!("invalid number at byte {start}"));
+        }
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(JsonValue::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::F64)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+}
+
+/// An ordered JSON-object builder for one-line records.
+///
+/// Used for every trace event and every `qec-bench` stdout record, so field
+/// order in the output is exactly construction order (stable diffs, easy
+/// greps).
+#[derive(Debug, Clone, Default)]
+pub struct Record {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl Record {
+    /// An empty record.
+    pub fn new() -> Self {
+        Record { fields: Vec::new() }
+    }
+
+    /// Appends a field (builder style).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Appends a field in place.
+    pub fn push(&mut self, key: &str, value: impl Into<JsonValue>) {
+        self.fields.push((key.to_string(), value.into()));
+    }
+
+    /// The fields in insertion order.
+    pub fn fields(&self) -> &[(String, JsonValue)] {
+        &self.fields
+    }
+
+    /// Looks up a previously added field.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Converts into a [`JsonValue::Object`], preserving field order.
+    pub fn into_value(self) -> JsonValue {
+        JsonValue::Object(self.fields)
+    }
+
+    /// Serialises to one compact JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = String::with_capacity(64);
+        JsonValue::Object(self.fields.clone()).write(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_record() {
+        let rec = Record::new()
+            .field("component", "bench")
+            .field("iters", 42u64)
+            .field("ratio", 1.5f64)
+            .field("ok", true)
+            .field("note", JsonValue::Null);
+        let line = rec.to_line();
+        assert_eq!(
+            line,
+            r#"{"component":"bench","iters":42,"ratio":1.5,"ok":true,"note":null}"#
+        );
+        let parsed = JsonValue::parse(&line).unwrap();
+        assert_eq!(parsed.get("component").unwrap().as_str(), Some("bench"));
+        assert_eq!(parsed.get("iters").unwrap().as_u64(), Some(42));
+        assert_eq!(parsed.get("ratio").unwrap().as_f64(), Some(1.5));
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(parsed.get("note"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn parses_nested_and_escapes() {
+        let text = r#"{"a":[1,-2,3.5,{"b":"x\n\"y\"","u":"\u00e9\ud83d\ude00"}],"e":[]}"#;
+        let v = JsonValue::parse(text).unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1], JsonValue::I64(-2));
+        assert_eq!(arr[2].as_f64(), Some(3.5));
+        let obj = &arr[3];
+        assert_eq!(obj.get("b").unwrap().as_str(), Some("x\n\"y\""));
+        assert_eq!(obj.get("u").unwrap().as_str(), Some("é😀"));
+        assert_eq!(v.get("e").unwrap().as_array().unwrap().len(), 0);
+        // Writer output re-parses to the same tree.
+        let rewritten = v.to_string();
+        assert_eq!(JsonValue::parse(&rewritten).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\":}",
+            "nul",
+            "1 2",
+            "\"abc",
+            "{\"a\" 1}",
+            "[1]]",
+            "-",
+            "\"\\q\"",
+            "\"\\ud800x\"",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn large_u64_roundtrips_exactly() {
+        let v = JsonValue::U64(u64::MAX);
+        let text = v.to_string();
+        assert_eq!(text, "18446744073709551615");
+        assert_eq!(JsonValue::parse(&text).unwrap().as_u64(), Some(u64::MAX));
+    }
+}

@@ -1,0 +1,45 @@
+//! `qec-obs`: zero-dependency structured tracing and metrics for the
+//! Flag-Proxy Networks reproduction.
+//!
+//! Three pieces, all std-only (consistent with the workspace's hermetic
+//! policy):
+//!
+//! - **Spans** ([`span`], [`span_with`], [`SpanGuard`]): hierarchical,
+//!   monotonically timed (`Instant`), nested via thread-local stacks. Each
+//!   span writes a `span_enter` event on creation and a `span_close` event
+//!   (with `dur_ns` and attached fields) on drop. When tracing is disabled —
+//!   the default — a span is one relaxed atomic load, so instrumentation can
+//!   stay in per-batch hot paths unconditionally.
+//! - **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`]):
+//!   relaxed-atomic cells behind cheap cloneable handles, interned by name in
+//!   a registry. Histograms are log₂-binned with associative, commutative
+//!   snapshot merge, so per-worker views combine in any order.
+//! - **JSON-lines trace emitter** ([`init_to_path`], [`init_from_env`],
+//!   [`finish`]): one JSON object per line, validated by [`validate_trace`]
+//!   and the `obs_validate` binary.
+//!
+//! Determinism contract: nothing in this crate is ever read by decode logic.
+//! Enabling tracing changes what gets *written to the trace file*, never
+//! which corrections a decoder produces — the workspace pins this with a
+//! tracing-on/off bit-identity test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod metrics;
+mod span;
+mod trace;
+mod validate;
+
+pub use json::{JsonValue, Record};
+pub use metrics::{
+    bin_index, bin_lower_bound, Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot,
+    Registry, RegistrySnapshot, HISTOGRAM_BINS,
+};
+pub use span::{span, span_on, span_with, SpanGuard};
+pub use trace::{
+    emit_record, emit_registry, enabled, finish, global_registry, init_from_env, init_to_path,
+    tracer, TraceWriter, DEFAULT_TRACE_PATH,
+};
+pub use validate::{validate_trace, TraceSummary};

@@ -1,0 +1,256 @@
+//! The JSON-lines trace sink and the process-global tracer.
+//!
+//! Tracing is **off by default** and costs one relaxed atomic load per
+//! instrumentation site when off. It is enabled either programmatically
+//! ([`init_to_path`], used by `--trace <path>` flags and tests) or from the
+//! environment ([`init_from_env`], `QEC_OBS=1`). Every event is one JSON
+//! object per line; see DESIGN.md §"Observability" for the schema.
+//!
+//! Instrumentation must never feed back into decode logic, so every emit path
+//! here swallows I/O errors instead of propagating them.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::{JsonValue, Record};
+use crate::metrics::{Registry, RegistrySnapshot};
+
+/// Default trace path used by [`init_from_env`] when `QEC_OBS_PATH` is unset.
+pub const DEFAULT_TRACE_PATH: &str = "qec_obs_trace.jsonl";
+
+#[derive(Debug)]
+struct TraceInner {
+    path: PathBuf,
+    sink: Mutex<BufWriter<File>>,
+    epoch: Instant,
+    seq: AtomicU64,
+}
+
+/// A handle to one JSON-lines trace file.
+///
+/// Cloning shares the file. Writes are buffered and serialised under a mutex,
+/// so each event occupies exactly one line even with concurrent writers; call
+/// [`flush`](Self::flush) (or drop the last handle) before reading the file.
+#[derive(Debug, Clone)]
+pub struct TraceWriter {
+    inner: Arc<TraceInner>,
+}
+
+impl TraceWriter {
+    /// Creates (truncates) the trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<TraceWriter> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(TraceWriter {
+            inner: Arc::new(TraceInner {
+                path,
+                sink: Mutex::new(BufWriter::new(file)),
+                epoch: Instant::now(),
+                seq: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The path this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.inner.path
+    }
+
+    /// Nanoseconds since this writer was created (monotonic).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Starts an event line with the common prefix
+    /// `{"type":<event_type>,"seq":..,"t_ns":..` (no closing brace).
+    fn begin_line(&self, event_type: &str) -> String {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let mut line = String::with_capacity(192);
+        line.push_str("{\"type\":");
+        crate::json::write_escaped(event_type, &mut line);
+        line.push_str(",\"seq\":");
+        JsonValue::U64(seq).write(&mut line);
+        line.push_str(",\"t_ns\":");
+        JsonValue::U64(self.elapsed_ns()).write(&mut line);
+        line
+    }
+
+    /// Terminates and writes one event line.
+    fn end_line(&self, mut line: String) {
+        line.push_str("}\n");
+        let mut sink = self.inner.sink.lock().expect("trace sink lock");
+        // Observability must not take the pipeline down: drop on I/O error.
+        let _ = sink.write_all(line.as_bytes());
+    }
+
+    /// Writes one event line: `{"type":<event_type>,"seq":..,"t_ns":..,<body>}`.
+    pub fn emit(&self, event_type: &str, body: Record) {
+        let mut line = self.begin_line(event_type);
+        for (k, v) in body.fields() {
+            line.push(',');
+            crate::json::write_escaped(k, &mut line);
+            line.push(':');
+            v.write(&mut line);
+        }
+        self.end_line(line);
+    }
+
+    /// Writes one span event line without intermediate allocations — the
+    /// per-batch hot path, kept cheap so the `pass_obs_overhead` gate holds
+    /// on sub-microsecond decoders.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn emit_span(
+        &self,
+        event_type: &str,
+        name: &str,
+        id: u64,
+        parent: Option<u64>,
+        thread: u64,
+        depth: usize,
+        dur_ns: Option<u64>,
+        fields: &[(String, JsonValue)],
+    ) {
+        let mut line = self.begin_line(event_type);
+        line.push_str(",\"name\":");
+        crate::json::write_escaped(name, &mut line);
+        line.push_str(",\"id\":");
+        JsonValue::U64(id).write(&mut line);
+        line.push_str(",\"parent\":");
+        match parent {
+            Some(p) => JsonValue::U64(p).write(&mut line),
+            None => line.push_str("null"),
+        }
+        line.push_str(",\"thread\":");
+        JsonValue::U64(thread).write(&mut line);
+        line.push_str(",\"depth\":");
+        JsonValue::U64(depth as u64).write(&mut line);
+        if let Some(dur) = dur_ns {
+            line.push_str(",\"dur_ns\":");
+            JsonValue::U64(dur).write(&mut line);
+        }
+        if !fields.is_empty() {
+            line.push_str(",\"fields\":{");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                crate::json::write_escaped(k, &mut line);
+                line.push(':');
+                v.write(&mut line);
+            }
+            line.push('}');
+        }
+        self.end_line(line);
+    }
+
+    /// Emits a `metrics` event carrying a registry snapshot.
+    pub fn emit_registry(&self, registry_name: &str, snapshot: &RegistrySnapshot) {
+        self.emit(
+            "metrics",
+            Record::new()
+                .field("registry", registry_name)
+                .field("metrics", snapshot.to_json()),
+        );
+    }
+
+    /// Flushes buffered events to disk.
+    pub fn flush(&self) {
+        let mut sink = self.inner.sink.lock().expect("trace sink lock");
+        let _ = sink.flush();
+    }
+}
+
+impl Drop for TraceInner {
+    fn drop(&mut self) {
+        if let Ok(sink) = self.sink.get_mut() {
+            let _ = sink.flush();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<TraceWriter> = OnceLock::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL_REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// Whether global tracing is enabled. One relaxed load; instrumentation sites
+/// check this before doing any work.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The global tracer, when tracing is enabled.
+pub fn tracer() -> Option<&'static TraceWriter> {
+    if enabled() {
+        GLOBAL.get()
+    } else {
+        None
+    }
+}
+
+/// The process-global metrics registry (lazily created). Components without a
+/// pipeline-scoped registry (e.g. `qec-bench`) record here; [`finish`] emits
+/// its snapshot.
+pub fn global_registry() -> &'static Registry {
+    GLOBAL_REGISTRY.get_or_init(Registry::new)
+}
+
+/// Enables global tracing to `path`. Returns `Ok(true)` if this call
+/// initialised tracing, `Ok(false)` if it was already initialised (the
+/// original sink stays in effect).
+pub fn init_to_path(path: impl AsRef<Path>) -> std::io::Result<bool> {
+    if GLOBAL.get().is_some() {
+        return Ok(false);
+    }
+    let writer = TraceWriter::create(path)?;
+    let fresh = GLOBAL.set(writer).is_ok();
+    ENABLED.store(true, Ordering::Relaxed);
+    Ok(fresh)
+}
+
+/// Enables tracing when `QEC_OBS` is set to anything but `""`/`"0"`, writing
+/// to `QEC_OBS_PATH` (default [`DEFAULT_TRACE_PATH`]). Returns whether global
+/// tracing is enabled after the call.
+pub fn init_from_env() -> bool {
+    let on = std::env::var("QEC_OBS")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    if on {
+        let path = std::env::var("QEC_OBS_PATH").unwrap_or_else(|_| DEFAULT_TRACE_PATH.to_string());
+        if let Err(err) = init_to_path(&path) {
+            eprintln!("qec-obs: cannot open trace file {path:?}: {err}");
+        }
+    }
+    enabled()
+}
+
+/// Emits a wrapped record (`{"type":<kind>,..,"record":{..}}`) to the global
+/// trace. No-op when tracing is off.
+pub fn emit_record(kind: &str, record: &Record) {
+    if let Some(t) = tracer() {
+        t.emit(
+            kind,
+            Record::new().field("record", record.clone().into_value()),
+        );
+    }
+}
+
+/// Emits a named registry snapshot to the global trace. No-op when off.
+pub fn emit_registry(registry_name: &str, snapshot: &RegistrySnapshot) {
+    if let Some(t) = tracer() {
+        t.emit_registry(registry_name, snapshot);
+    }
+}
+
+/// Emits the final global-registry snapshot and flushes the trace file.
+/// Call once at the end of a traced program. No-op when tracing is off.
+pub fn finish() {
+    if let Some(t) = tracer() {
+        t.emit_registry("global", &global_registry().snapshot());
+        t.flush();
+    }
+}

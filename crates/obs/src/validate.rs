@@ -1,0 +1,153 @@
+//! Trace-file validation: every line parses as JSON, every event carries a
+//! `type`, and span enter/close events nest correctly per thread.
+//!
+//! Shared by the `obs_validate` binary (used by `ci.sh` on the bench trace)
+//! and the workspace property tests.
+
+use std::collections::HashMap;
+
+use crate::json::JsonValue;
+
+/// Counts reported by [`validate_trace`] on success.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total event lines.
+    pub events: usize,
+    /// Completed spans (matched enter/close pairs).
+    pub spans: usize,
+    /// `metrics` registry-snapshot events.
+    pub metrics_snapshots: usize,
+}
+
+/// Validates a JSON-lines trace: non-empty, each line a JSON object with a
+/// string `type`, `span_enter`/`span_close` balanced in LIFO order per
+/// thread, and close events matching their enter's `id` and `name`.
+pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    // Per-thread stacks of (id, name) for open spans.
+    let mut open: HashMap<u64, Vec<(u64, String)>> = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            return Err(format!("line {lineno}: empty line"));
+        }
+        let event = JsonValue::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if event.as_object().is_none() {
+            return Err(format!("line {lineno}: event is not a JSON object"));
+        }
+        let event_type = event
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing string \"type\""))?;
+        summary.events += 1;
+        match event_type {
+            "span_enter" | "span_close" => {
+                let id = field_u64(&event, "id", lineno)?;
+                let thread = field_u64(&event, "thread", lineno)?;
+                let name = event
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("line {lineno}: span missing \"name\""))?;
+                let stack = open.entry(thread).or_default();
+                if event_type == "span_enter" {
+                    stack.push((id, name.to_string()));
+                } else {
+                    let Some((open_id, open_name)) = stack.pop() else {
+                        return Err(format!(
+                            "line {lineno}: span_close {name:?} with no open span on thread {thread}"
+                        ));
+                    };
+                    if open_id != id || open_name != name {
+                        return Err(format!(
+                            "line {lineno}: span_close ({id}, {name:?}) does not match open span ({open_id}, {open_name:?})"
+                        ));
+                    }
+                    field_u64(&event, "dur_ns", lineno)?;
+                    summary.spans += 1;
+                }
+            }
+            "metrics" => {
+                if event
+                    .get("metrics")
+                    .and_then(JsonValue::as_object)
+                    .is_none()
+                {
+                    return Err(format!(
+                        "line {lineno}: metrics event missing \"metrics\" object"
+                    ));
+                }
+                summary.metrics_snapshots += 1;
+            }
+            _ => {}
+        }
+    }
+    if summary.events == 0 {
+        return Err("trace is empty".to_string());
+    }
+    for (thread, stack) in &open {
+        if let Some((id, name)) = stack.last() {
+            return Err(format!(
+                "unclosed span ({id}, {name:?}) on thread {thread} at end of trace"
+            ));
+        }
+    }
+    Ok(summary)
+}
+
+fn field_u64(event: &JsonValue, key: &str, lineno: usize) -> Result<u64, String> {
+    event
+        .get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("line {lineno}: missing u64 field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_balanced_trace() {
+        let text = concat!(
+            "{\"type\":\"span_enter\",\"id\":1,\"thread\":1,\"name\":\"a\"}\n",
+            "{\"type\":\"span_enter\",\"id\":2,\"thread\":1,\"name\":\"b\"}\n",
+            "{\"type\":\"span_close\",\"id\":2,\"thread\":1,\"name\":\"b\",\"dur_ns\":5}\n",
+            "{\"type\":\"span_close\",\"id\":1,\"thread\":1,\"name\":\"a\",\"dur_ns\":9}\n",
+            "{\"type\":\"metrics\",\"metrics\":{}}\n",
+        );
+        let s = validate_trace(text).unwrap();
+        assert_eq!(
+            s,
+            TraceSummary {
+                events: 5,
+                spans: 2,
+                metrics_snapshots: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_traces() {
+        // Empty trace.
+        assert!(validate_trace("").is_err());
+        // Not JSON.
+        assert!(validate_trace("not json\n").is_err());
+        // Close without enter.
+        assert!(validate_trace(
+            "{\"type\":\"span_close\",\"id\":1,\"thread\":1,\"name\":\"a\",\"dur_ns\":1}\n"
+        )
+        .is_err());
+        // Unclosed span at EOF.
+        assert!(
+            validate_trace("{\"type\":\"span_enter\",\"id\":1,\"thread\":1,\"name\":\"a\"}\n")
+                .is_err()
+        );
+        // Interleaved close (LIFO violation on one thread).
+        let text = concat!(
+            "{\"type\":\"span_enter\",\"id\":1,\"thread\":1,\"name\":\"a\"}\n",
+            "{\"type\":\"span_enter\",\"id\":2,\"thread\":1,\"name\":\"b\"}\n",
+            "{\"type\":\"span_close\",\"id\":1,\"thread\":1,\"name\":\"a\",\"dur_ns\":1}\n",
+            "{\"type\":\"span_close\",\"id\":2,\"thread\":1,\"name\":\"b\",\"dur_ns\":1}\n",
+        );
+        assert!(validate_trace(text).is_err());
+    }
+}

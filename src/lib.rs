@@ -14,5 +14,6 @@ pub use qec_code;
 pub use qec_decode;
 pub use qec_group;
 pub use qec_math;
+pub use qec_obs;
 pub use qec_sched;
 pub use qec_sim;

@@ -208,3 +208,72 @@ fn run_ber_is_thread_count_invariant() {
     let rerun = run_ber(&exp.circuit, pipeline.decoder(), 4_096, 99, 4);
     assert_eq!(multi.failures, rerun.failures, "reruns must be stable");
 }
+
+/// The qec-obs determinism contract: instrumentation observes the
+/// pipeline but never feeds into it, so corrections and `BerStats`
+/// must be bit-identical with tracing off and on — on both a planar
+/// surface DEM (dense-oracle tier) and the hyperbolic fixture DEM
+/// (sparse tier). Runs the untraced pass first because the global
+/// tracer, once initialised, stays on for the process; this is the
+/// only test in this binary that initialises it.
+#[test]
+fn tracing_on_and_off_decode_bit_identically() {
+    use fpn_repro::qec_obs;
+    use qec_testkit::{
+        fingerprint_decoder, hyperbolic_memory_dem, mechanism_fire_probability, surface_memory_dem,
+    };
+
+    let surface = surface_memory_dem(3);
+    let hyper = hyperbolic_memory_dem();
+    let q_s = mechanism_fire_probability(&surface, 4.0);
+    let q_h = mechanism_fire_probability(&hyper, 4.0);
+    let code = rotated_surface_code(3);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(2e-3);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+
+    let run_all = || {
+        let s_dec = MwpmDecoder::new(&surface, MwpmConfig::unflagged());
+        let h_dec = MwpmDecoder::new(&hyper, MwpmConfig::unflagged());
+        assert!(
+            h_dec.sparse_finder().is_some(),
+            "hyperbolic DEM uses the sparse tier"
+        );
+        let fp_surface = fingerprint_decoder(&surface, &s_dec, 128, 0xD5, q_s, true);
+        let fp_hyper = fingerprint_decoder(&hyper, &h_dec, 16, 0xD6, q_h, true);
+        let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedMwpm, &noise);
+        let ber = run_ber(&exp.circuit, pipeline.decoder(), 2048, 77, 2);
+        (fp_surface, fp_hyper, ber)
+    };
+
+    assert!(
+        !qec_obs::enabled(),
+        "untraced pass must run before tracing is initialised"
+    );
+    let untraced = run_all();
+
+    let path = std::env::temp_dir().join(format!("qec_obs_pipeline_{}.jsonl", std::process::id()));
+    assert!(
+        qec_obs::init_to_path(&path).expect("initialise trace file"),
+        "this test must be the one that initialises tracing"
+    );
+    let traced = run_all();
+    qec_obs::finish();
+
+    assert_eq!(
+        untraced.0, traced.0,
+        "surface-DEM corrections changed under tracing"
+    );
+    assert_eq!(
+        untraced.1, traced.1,
+        "hyperbolic-DEM corrections changed under tracing"
+    );
+    assert_eq!(untraced.2, traced.2, "BerStats changed under tracing");
+    // Other tests may still hold spans open concurrently, so full
+    // nesting validation happens on the bench trace in CI and in the
+    // isolated-writer property test; here the traced run must at least
+    // have produced events.
+    let meta = std::fs::metadata(&path).expect("trace file exists");
+    assert!(meta.len() > 0, "trace file must be non-empty");
+    let _ = std::fs::remove_file(&path);
+}

@@ -589,3 +589,151 @@ fn restriction_path_tiers_agree_on_toric_color_dem() {
     assert!(fallback.stats().oracle_misses > 0);
     assert_eq!(fallback.stats().sparse_hits, 0);
 }
+
+// ---------------------------------------------------------------------------
+// qec-obs: metrics and trace-format properties.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn obs_histogram_bins_count_every_sample_in_its_bin() {
+    use fpn_repro::qec_obs::{bin_index, bin_lower_bound, Histogram, HISTOGRAM_BINS};
+    for_all(64, 0x0b51, |g| {
+        let n = g.usize_in(0..=48);
+        // Shift random words by random amounts so samples cover every
+        // power-of-two decade, not just the top bins.
+        let values: Vec<u64> = (0..n).map(|_| g.u64() >> g.usize_in(0..=63)).collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut expect = vec![0u64; HISTOGRAM_BINS];
+        for &v in &values {
+            let b = bin_index(v);
+            expect[b] += 1;
+            assert!(
+                v >= bin_lower_bound(b),
+                "sample below its bin's lower bound"
+            );
+            if b + 1 < HISTOGRAM_BINS {
+                assert!(
+                    v < bin_lower_bound(b + 1),
+                    "sample at or above the next bin"
+                );
+            }
+        }
+        assert_eq!(snap.bins, expect, "bin counts must equal inserted samples");
+        assert_eq!(snap.count, values.len() as u64);
+        assert_eq!(
+            snap.sum,
+            values.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+        );
+    });
+}
+
+#[test]
+fn obs_histogram_merge_is_commutative_and_associative() {
+    use fpn_repro::qec_obs::{Histogram, HistogramSnapshot};
+    for_all(64, 0x0b52, |g| {
+        let sample = |g: &mut Gen| -> HistogramSnapshot {
+            let h = Histogram::new();
+            for _ in 0..g.usize_in(0..=32) {
+                h.record(g.u64() >> g.usize_in(0..=63));
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (sample(g), sample(g), sample(g));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge must be associative");
+        assert_eq!(ab_c.count, a.count + b.count + c.count);
+    });
+}
+
+/// Opens a random tree of spans on `writer` (guards close in strict
+/// LIFO order by scoping) and returns how many spans were opened.
+fn random_span_tree(g: &mut Gen, writer: &fpn_repro::qec_obs::TraceWriter, depth: usize) -> usize {
+    let mut opened = 0;
+    for i in 0..g.usize_in(0..=3) {
+        let mut span = fpn_repro::qec_obs::span_on(
+            writer,
+            &format!("prop.d{depth}.c{i}"),
+            &[("depth", depth.into())],
+        );
+        opened += 1;
+        if depth > 0 && g.bool(0.6) {
+            opened += random_span_tree(g, writer, depth - 1);
+        }
+        if g.bool(0.3) {
+            span.field("annotated", true);
+        }
+    }
+    opened
+}
+
+#[test]
+fn obs_trace_events_parse_with_balanced_span_nesting() {
+    use fpn_repro::qec_obs::{validate_trace, Registry, TraceWriter};
+    for_all(24, 0x0b53, |g| {
+        let path = std::env::temp_dir().join(format!(
+            "qec_obs_prop_{}_{}.jsonl",
+            std::process::id(),
+            g.u64(),
+        ));
+        let writer = TraceWriter::create(&path).expect("create isolated trace sink");
+        let spans = random_span_tree(g, &writer, 3);
+        // A metrics snapshot mid-stream must not upset span nesting.
+        let registry = Registry::new();
+        registry.counter("prop.count").add(g.u64() >> 32);
+        registry
+            .histogram("prop.hist")
+            .record(g.u64() >> g.usize_in(0..=63));
+        writer.emit_registry("prop", &registry.snapshot());
+        let spans = spans + random_span_tree(g, &writer, 2);
+        writer.flush();
+        let text = std::fs::read_to_string(&path).expect("read trace back");
+        let _ = std::fs::remove_file(&path);
+        let summary =
+            validate_trace(&text).expect("every emitted event must parse with balanced nesting");
+        assert_eq!(summary.spans, spans, "one span per guard");
+        assert_eq!(summary.metrics_snapshots, 1);
+        assert_eq!(
+            summary.events,
+            2 * spans + 1,
+            "enter+close per span, one snapshot"
+        );
+    });
+}
+
+#[test]
+fn obs_registry_snapshot_roundtrips_through_json() {
+    use fpn_repro::qec_obs::{JsonValue, Registry};
+    for_all(32, 0x0b54, |g| {
+        let registry = Registry::new();
+        for i in 0..g.usize_in(1..=5) {
+            registry.counter(&format!("c{i}")).add(g.u64() >> 8);
+        }
+        for i in 0..g.usize_in(0..=3) {
+            registry.gauge(&format!("g{i}")).set(g.u64() >> 8);
+        }
+        for i in 0..g.usize_in(0..=2) {
+            let h = registry.histogram(&format!("h{i}"));
+            for _ in 0..g.usize_in(0..=16) {
+                h.record(g.u64() >> g.usize_in(0..=63));
+            }
+        }
+        let snap = registry.snapshot();
+        let json = snap.to_json();
+        let reparsed = JsonValue::parse(&json.to_string()).expect("snapshot JSON must parse");
+        assert_eq!(reparsed, json, "snapshot JSON must round-trip exactly");
+    });
+}
