@@ -21,26 +21,37 @@ cargo test -q --offline --workspace
 cargo test -q --offline --test properties sparse_finder_matches_oracle_and_dijkstra_on_random_graphs
 cargo test -q --offline --test properties path_tiers_agree
 
+# Differential blossom fuzzing at the full release budget: 5k random
+# matching instances (plus a second 2.5k stream) through the pooled
+# incremental solver vs. the reference exact solver, with dual
+# certificates checked after every solve and shrunk reproducers on
+# failure (see crates/testkit/tests/blossom_fuzz.rs).
+QEC_BLOSSOM_FUZZ_CASES=5000 cargo test -q --release --offline \
+    -p qec-testkit --test blossom_fuzz
+
 # Quick benchmark smoke run with qec-obs tracing enabled: exercises
 # the batched decode hot path and the per-stage timing harness end to
 # end (1k shots keeps it a few seconds; the JSON lines double as a CI
-# artifact). The run must clear all four perf gates — pass_2x
+# artifact). The run must clear all five perf gates — pass_2x
 # (decode_into ≥2x vs decode), pass_oracle (PathOracle ≥3x vs per-shot
 # Dijkstra), pass_sparse (SparsePathFinder ≥2x vs per-shot Dijkstra on
 # a hyperbolic DEM above the dense-oracle guard) and pass_obs_overhead
 # (per-batch tracing within 10% of the untraced decode stage), each
-# with bit-identical corrections — and leave the BENCH_5.json artifact
-# behind (`--out` passed explicitly; the default stays BENCH_4.json).
+# with bit-identical corrections — and leave the BENCH_6.json artifact
+# behind. The pass_blossom gate additionally requires the pooled
+# incremental blossom tier to clear 2x over the reference exact solver
+# on the hyperbolic fixture's real matching instances.
 mkdir -p target
 trace_file=target/obs_trace.jsonl
 bench_out=$(cargo run --release --offline -p qec-bench -- \
-    --shots 1000 --out BENCH_5.json --trace "$trace_file" | tee /dev/stderr)
+    --shots 1000 --out BENCH_6.json --trace "$trace_file" | tee /dev/stderr)
 grep -q '"pass_2x":true' <<<"$bench_out"
 grep -q '"pass_oracle":true' <<<"$bench_out"
 grep -q '"pass_sparse":true' <<<"$bench_out"
+grep -q '"pass_blossom":true' <<<"$bench_out"
 grep -q '"pass_obs_overhead":true' <<<"$bench_out"
 grep -q '"identical":true' <<<"$bench_out"
-test -s BENCH_5.json
+test -s BENCH_6.json
 
 # The bench run's structured trace must be non-empty, well-formed
 # JSON lines with balanced span enter/close nesting.

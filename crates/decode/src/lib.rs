@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod blossom;
 mod hypergraph;
 mod mwpm;
 mod paths;
@@ -49,6 +50,7 @@ mod restriction;
 mod scratch;
 mod unionfind;
 
+pub use blossom::{pooled_min_weight_perfect_matching_f64, BlossomScratch, PooledMatching};
 pub use hypergraph::{ClassMember, DecodingHypergraph, EquivClass};
 pub use mwpm::{MwpmConfig, MwpmDecoder, TraceEdge};
 pub use paths::{

@@ -1,5 +1,6 @@
 //! The flagged MWPM decoder (§VI-C) and its unflagged baseline.
 
+use crate::blossom::pooled_min_weight_perfect_matching_f64;
 use crate::hypergraph::DecodingHypergraph;
 use crate::paths::{self, PathOracle, SparsePathFinder, DEFAULT_ORACLE_NODE_LIMIT};
 use crate::scratch::{DecodeScratch, MatchingCounters, MatchingScratch};
@@ -34,6 +35,22 @@ pub struct MwpmConfig {
     /// golden tests pin that), so this is a determinism-testing and
     /// resource-control knob, not a correctness one.
     pub build_threads: usize,
+    /// Solve matching instances with the pooled incremental blossom
+    /// solver ([`crate::BlossomScratch`]) instead of the allocating
+    /// reference solver. Decision-identical (bitwise-equal corrections,
+    /// pinned by golden and differential-fuzz tests), ~2x faster per
+    /// instance; `false` keeps the reference path.
+    pub incremental_blossom: bool,
+    /// On dense-oracle graphs with flag conditioning, additionally
+    /// precompute secondary [`PathOracle`] matrices for this many of
+    /// the most probable single-flag patterns (ranked by the total
+    /// mechanism probability mass raising each flag). Shots whose flag
+    /// syndrome is exactly one precomputed flag answer path queries
+    /// from the matching matrix (`decode.tier.flag_oracle_hits`)
+    /// instead of falling to per-shot Dijkstra — bit-identical, since
+    /// each matrix is built from the same single-flag-conditioned
+    /// weights the per-shot search would use. `0` disables.
+    pub flag_oracle_patterns: usize,
 }
 
 impl MwpmConfig {
@@ -45,6 +62,8 @@ impl MwpmConfig {
             oracle_node_limit: DEFAULT_ORACLE_NODE_LIMIT,
             sparse_paths: true,
             build_threads: 0,
+            incremental_blossom: true,
+            flag_oracle_patterns: 4,
         }
     }
 
@@ -56,6 +75,11 @@ impl MwpmConfig {
             oracle_node_limit: DEFAULT_ORACLE_NODE_LIMIT,
             sparse_paths: true,
             build_threads: 0,
+            incremental_blossom: true,
+            // Irrelevant without flag conditioning (no shot is ever
+            // flag-reweighted), but kept equal to `flagged` so the two
+            // configs differ only in semantics, not structure.
+            flag_oracle_patterns: 4,
         }
     }
 
@@ -76,6 +100,21 @@ impl MwpmConfig {
     /// Overrides the oracle construction thread count (`0` = auto).
     pub fn with_build_threads(mut self, threads: usize) -> Self {
         self.build_threads = threads;
+        self
+    }
+
+    /// Enables or disables the pooled incremental blossom matching
+    /// tier (`decode.tier.blossom`); disabled falls back to the
+    /// reference solver with bitwise-identical output.
+    pub fn with_incremental_blossom(mut self, on: bool) -> Self {
+        self.incremental_blossom = on;
+        self
+    }
+
+    /// Overrides the number of precomputed single-flag oracle patterns
+    /// (`0` disables the flag-oracle tier).
+    pub fn with_flag_oracle_patterns(mut self, patterns: usize) -> Self {
+        self.flag_oracle_patterns = patterns;
         self
     }
 }
@@ -106,6 +145,11 @@ pub struct MwpmDecoder {
     /// unavailable (above the node limit, or disabled); also shared
     /// read-only across workers.
     sparse: Option<Arc<SparsePathFinder>>,
+    /// Secondary dense oracles keyed by flag index, built from
+    /// single-flag-conditioned weights for the most probable flags
+    /// (see [`MwpmConfig::flag_oracle_patterns`]). Only consulted when
+    /// a shot raises exactly that one flag.
+    flag_oracles: HashMap<usize, Arc<PathOracle>>,
     /// Metrics registry the counters and build gauges live in; private
     /// unless the decoder was built via [`MwpmDecoder::with_metrics`].
     metrics: Registry,
@@ -123,6 +167,71 @@ fn oracle_threads(config: &MwpmConfig, n: usize) -> usize {
     } else {
         paths::default_build_threads(n)
     }
+}
+
+/// Builds the secondary single-flag oracles: ranks flags by the total
+/// mechanism probability mass raising them, takes the configured top
+/// patterns, and builds one [`PathOracle`] per flag from the exact
+/// weights a per-shot search would use for a shot raising only that
+/// flag (base choice plus the one-flag mismatch constant, with every
+/// class touching the flag re-represented against it). Distances and
+/// predecessors are therefore bit-identical to the per-shot path.
+fn build_flag_oracles(
+    hypergraph: &DecodingHypergraph,
+    base_choice: &[(usize, f64)],
+    adjacency: &[Vec<(usize, usize)>],
+    config: &MwpmConfig,
+    minus_ln_pm: f64,
+    metrics: &Registry,
+) -> HashMap<usize, Arc<PathOracle>> {
+    let num_flags = hypergraph.num_flag_detectors();
+    if !config.flag_conditioning
+        || config.flag_oracle_patterns == 0
+        || num_flags == 0
+        || adjacency.is_empty()
+        || adjacency.len() > config.oracle_node_limit
+    {
+        return HashMap::new();
+    }
+    // Probability mass raising each flag: the sum over members (in any
+    // class) whose flag set contains it.
+    let mut mass = vec![0.0f64; num_flags];
+    for class in hypergraph.classes() {
+        for m in &class.members {
+            for &f in &m.flags {
+                mass[f as usize] += m.probability;
+            }
+        }
+    }
+    let mut ranked: Vec<usize> = (0..num_flags).filter(|&f| mass[f] > 0.0).collect();
+    // Highest mass first; flag index breaks ties deterministically.
+    ranked.sort_by(|&a, &b| mass[b].partial_cmp(&mass[a]).unwrap().then(a.cmp(&b)));
+    ranked.truncate(config.flag_oracle_patterns);
+    let threads = oracle_threads(config, adjacency.len());
+    let mut out = HashMap::new();
+    let mut bytes = 0u64;
+    for &f in &ranked {
+        let _span = qec_obs::span_with("decoder.build.flag_oracle", &[("flag", f.into())]);
+        let mut raised = BitVec::zeros(num_flags);
+        raised.flip(f);
+        // Exactly decode_core's shot pricing for flag syndrome {f}:
+        // overridden classes get their re-chosen representative weight,
+        // everything else base + one-flag mismatch constant.
+        let mut weights: Vec<f64> = base_choice.iter().map(|&(_, w)| w + minus_ln_pm).collect();
+        for &class in hypergraph.classes_with_flag(f) {
+            weights[class] = hypergraph.classes()[class]
+                .representative(&raised, minus_ln_pm)
+                .1;
+        }
+        let oracle = Arc::new(PathOracle::build(adjacency, &weights, threads));
+        bytes += oracle.memory_bytes() as u64;
+        out.insert(f, oracle);
+    }
+    metrics
+        .gauge("build.flag_oracle.count")
+        .set(out.len() as u64);
+    metrics.gauge("build.flag_oracle.bytes").set(bytes);
+    out
 }
 
 impl MwpmDecoder {
@@ -211,6 +320,18 @@ impl MwpmDecoder {
                     .set(sparse.memory_bytes() as u64);
                 sparse
             });
+        let flag_oracles = if oracle.is_some() {
+            build_flag_oracles(
+                &hypergraph,
+                &base_choice,
+                &adjacency,
+                &config,
+                minus_ln_pm,
+                &metrics,
+            )
+        } else {
+            HashMap::new()
+        };
         let counters = MatchingCounters::register(&metrics);
         MwpmDecoder {
             hypergraph,
@@ -221,6 +342,7 @@ impl MwpmDecoder {
             has_boundary,
             oracle,
             sparse,
+            flag_oracles,
             metrics,
             counters,
         }
@@ -237,6 +359,7 @@ impl MwpmDecoder {
     pub fn reprice(&mut self, dem: &DetectorErrorModel, config: MwpmConfig) -> bool {
         if config.oracle_node_limit != self.config.oracle_node_limit
             || config.sparse_paths != self.config.sparse_paths
+            || config.flag_oracle_patterns != self.config.flag_oracle_patterns
         {
             return false;
         }
@@ -289,6 +412,21 @@ impl MwpmDecoder {
                 None => *sparse = Arc::new(SparsePathFinder::build(&self.adjacency, weights)),
             }
         }
+        // Flag-conditioned weights and even the flag ranking change
+        // with the mechanism probabilities, so the secondary oracles
+        // are rebuilt outright — bit-identical to a fresh construction.
+        self.flag_oracles = if self.oracle.is_some() {
+            build_flag_oracles(
+                &self.hypergraph,
+                &self.base_choice,
+                &self.adjacency,
+                &self.config,
+                self.minus_ln_pm,
+                &self.metrics,
+            )
+        } else {
+            HashMap::new()
+        };
         true
     }
 
@@ -307,6 +445,14 @@ impl MwpmDecoder {
     /// absent and the sparse tier is enabled.
     pub fn sparse_finder(&self) -> Option<&SparsePathFinder> {
         self.sparse.as_deref()
+    }
+
+    /// Flag indices with a precomputed single-flag path oracle, in
+    /// ascending order.
+    pub fn flag_oracle_flags(&self) -> Vec<usize> {
+        let mut flags: Vec<usize> = self.flag_oracles.keys().copied().collect();
+        flags.sort_unstable();
+        flags
     }
 
     /// Applies a harvested sparse-tier path: the `(prev, cur, class)`
@@ -452,6 +598,8 @@ impl MwpmDecoder {
             sparse,
             targets,
             weights,
+            blossom,
+            pairs,
             ..
         } = sc;
         self.counters.decodes.inc();
@@ -487,17 +635,34 @@ impl MwpmDecoder {
         // (defect-seeded truncated searches, re-priced per shot through
         // the weight closure), and only when that tier is disabled to
         // full per-shot pooled Dijkstra.
-        let oracle = self
+        let base_oracle = self
             .oracle
             .as_deref()
             .filter(|_| overrides.is_empty() && flag_constant == 0.0);
+        // Single-flag shots on dense-oracle graphs: when the raised
+        // flag has a precomputed secondary matrix, serve the shot from
+        // it — the matrix was built from exactly this shot's pricing,
+        // so every distance and predecessor is bit-identical to the
+        // per-shot search it replaces.
+        let flag_oracle = if base_oracle.is_none() && flags.weight() == 1 {
+            flags
+                .iter_ones()
+                .next()
+                .and_then(|f| self.flag_oracles.get(&f))
+                .map(Arc::as_ref)
+        } else {
+            None
+        };
+        let oracle = base_oracle.or(flag_oracle);
         let sparse_finder = if oracle.is_none() {
             self.sparse.as_deref()
         } else {
             None
         };
-        if oracle.is_some() {
+        if base_oracle.is_some() {
             self.counters.oracle_hits.inc();
+        } else if flag_oracle.is_some() {
+            self.counters.flag_oracle_hits.inc();
         } else if sparse_finder.is_some() {
             self.counters.sparse_hits.inc();
         } else {
@@ -582,10 +747,26 @@ impl MwpmDecoder {
             }
         }
         let nodes = if self.has_boundary { 2 * s } else { s };
-        let Some(matching) = min_weight_perfect_matching_f64(nodes, edges) else {
-            return; // no consistent pairing: give up
-        };
-        for (a, b) in matching.pairs() {
+        // Matching stage: the pooled incremental blossom tier when
+        // enabled (decision-identical to the reference solver — same
+        // mates, not just same cost), the allocating reference
+        // otherwise. Pairs land in a scratch buffer so both solvers
+        // feed the identical correction loop below.
+        pairs.clear();
+        if self.config.incremental_blossom {
+            self.counters.blossom_solves.inc();
+            let Some(matching) = pooled_min_weight_perfect_matching_f64(nodes, edges, blossom)
+            else {
+                return; // no consistent pairing: give up
+            };
+            pairs.extend(matching.pairs());
+        } else {
+            let Some(matching) = min_weight_perfect_matching_f64(nodes, edges) else {
+                return; // no consistent pairing: give up
+            };
+            pairs.extend(matching.pairs());
+        }
+        for &(a, b) in pairs.iter() {
             let (dst, tj) = if a < s && b < s {
                 (checks[b], b)
             } else if a < s && b == s + a {

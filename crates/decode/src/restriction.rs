@@ -53,6 +53,11 @@ pub struct RestrictionConfig {
     /// available core. The oracle is bit-identical for any value, so
     /// this is a determinism-testing and resource-control knob.
     pub build_threads: usize,
+    /// Solve each restricted lattice's matching with the pooled
+    /// incremental blossom solver ([`crate::BlossomScratch`]) instead
+    /// of the allocating reference solver; decision-identical, pinned
+    /// by golden and differential-fuzz tests.
+    pub incremental_blossom: bool,
 }
 
 impl RestrictionConfig {
@@ -65,6 +70,7 @@ impl RestrictionConfig {
             oracle_node_limit: DEFAULT_ORACLE_NODE_LIMIT,
             sparse_paths: true,
             build_threads: 0,
+            incremental_blossom: true,
         }
     }
 
@@ -77,6 +83,7 @@ impl RestrictionConfig {
             oracle_node_limit: DEFAULT_ORACLE_NODE_LIMIT,
             sparse_paths: true,
             build_threads: 0,
+            incremental_blossom: true,
         }
     }
 
@@ -97,6 +104,14 @@ impl RestrictionConfig {
     /// Overrides the oracle construction thread count (`0` = auto).
     pub fn with_build_threads(mut self, threads: usize) -> Self {
         self.build_threads = threads;
+        self
+    }
+
+    /// Enables or disables the pooled incremental blossom matching
+    /// tier (`decode.tier.blossom`); disabled falls back to the
+    /// reference solver with bitwise-identical output.
+    pub fn with_incremental_blossom(mut self, on: bool) -> Self {
+        self.incremental_blossom = on;
         self
     }
 }
@@ -424,6 +439,8 @@ impl RestrictionDecoder {
         edges: &mut Vec<(usize, usize, f64)>,
         ssc: &mut SparsePathScratch,
         weights: &mut Vec<f64>,
+        blossom: &mut crate::BlossomScratch,
+        pairs: &mut Vec<(usize, usize)>,
         em: &mut Vec<(usize, usize, usize)>,
     ) {
         sources.clear();
@@ -493,10 +510,24 @@ impl RestrictionDecoder {
                 }
             }
         }
-        let Some(matching) = min_weight_perfect_matching_f64(s, edges) else {
-            return;
-        };
-        for (a, b) in matching.pairs() {
+        // Matching stage: pooled blossom tier when enabled (decision-
+        // identical to the reference), reference solver otherwise.
+        pairs.clear();
+        if self.config.incremental_blossom {
+            self.counters.blossom_solves.inc();
+            let Some(matching) =
+                crate::blossom::pooled_min_weight_perfect_matching_f64(s, edges, blossom)
+            else {
+                return;
+            };
+            pairs.extend(matching.pairs());
+        } else {
+            let Some(matching) = min_weight_perfect_matching_f64(s, edges) else {
+                return;
+            };
+            pairs.extend(matching.pairs());
+        }
+        for &(a, b) in pairs.iter() {
             if sparse.is_some() && oracle.is_none() {
                 // Harvested hops replay the predecessor walk below,
                 // dst → src, so the emitted edges are identical.
@@ -620,6 +651,8 @@ impl RestrictionDecoder {
             sparse,
             targets: _,
             weights,
+            blossom,
+            pairs,
             sources,
             em,
             counts,
@@ -701,6 +734,8 @@ impl RestrictionDecoder {
                 edges,
                 sparse,
                 weights,
+                blossom,
+                pairs,
                 em,
             );
             if let Some(t) = trace.as_deref_mut() {

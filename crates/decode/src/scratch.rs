@@ -43,6 +43,16 @@ pub struct DecoderStats {
     /// Matching-decoder shots that ran full per-shot Dijkstra: both the
     /// dense oracle and the sparse finder were unavailable.
     pub oracle_misses: u64,
+    /// Matching instances solved by the pooled incremental blossom tier
+    /// ([`crate::BlossomScratch`]) instead of the allocating reference
+    /// solver. MWPM runs one instance per shot; the restriction decoder
+    /// one per non-empty restricted lattice.
+    pub blossom_solves: u64,
+    /// Matching-decoder shots whose path queries were answered by the
+    /// precomputed single-flag oracle (exactly one raised flag matching
+    /// a prebuilt flag-conditioned matrix) — dense-oracle speed on
+    /// flagged shots that previously fell to the sparse tier.
+    pub flag_oracle_hits: u64,
 }
 
 impl DecoderStats {
@@ -68,6 +78,10 @@ impl DecoderStats {
             oracle_hits: self.oracle_hits.saturating_sub(earlier.oracle_hits),
             sparse_hits: self.sparse_hits.saturating_sub(earlier.sparse_hits),
             oracle_misses: self.oracle_misses.saturating_sub(earlier.oracle_misses),
+            blossom_solves: self.blossom_solves.saturating_sub(earlier.blossom_solves),
+            flag_oracle_hits: self
+                .flag_oracle_hits
+                .saturating_sub(earlier.flag_oracle_hits),
         }
     }
 }
@@ -84,6 +98,8 @@ pub(crate) struct MatchingCounters {
     pub(crate) oracle_hits: Counter,
     pub(crate) sparse_hits: Counter,
     pub(crate) oracle_misses: Counter,
+    pub(crate) blossom_solves: Counter,
+    pub(crate) flag_oracle_hits: Counter,
     /// Log₂ histogram of flipped-check counts per decoded shot (defect
     /// density; size companion to the harness's per-batch latency
     /// histogram).
@@ -101,6 +117,8 @@ impl MatchingCounters {
             oracle_hits: metrics.counter("decode.tier.oracle_hits"),
             sparse_hits: metrics.counter("decode.tier.sparse_hits"),
             oracle_misses: metrics.counter("decode.tier.dijkstra_fallbacks"),
+            blossom_solves: metrics.counter("decode.tier.blossom"),
+            flag_oracle_hits: metrics.counter("decode.tier.flag_oracle_hits"),
             defects: metrics.histogram("decode.defects"),
         }
     }
@@ -111,6 +129,8 @@ impl MatchingCounters {
             oracle_hits: self.oracle_hits.get(),
             sparse_hits: self.sparse_hits.get(),
             oracle_misses: self.oracle_misses.get(),
+            blossom_solves: self.blossom_solves.get(),
+            flag_oracle_hits: self.flag_oracle_hits.get(),
             ..DecoderStats::default()
         }
     }
@@ -142,6 +162,30 @@ impl DecodeScratch {
     /// dense oracle's would-be O(V²) matrix.
     pub fn sparse_memo_bytes(&self) -> usize {
         self.mwpm.sparse.memo_bytes() + self.restriction.sparse.memo_bytes()
+    }
+
+    /// The MWPM decoder's pooled blossom solver state (read-only; pool
+    /// growth and dual-certificate inspection for tests and benches).
+    pub fn mwpm_blossom(&self) -> &crate::BlossomScratch {
+        &self.mwpm.blossom
+    }
+
+    /// The restriction decoder's pooled blossom solver state.
+    pub fn restriction_blossom(&self) -> &crate::BlossomScratch {
+        &self.restriction.blossom
+    }
+
+    /// Verifies the dual certificates left by the most recent blossom
+    /// solves in both matching scratches (see
+    /// [`crate::BlossomScratch::verify_certificate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated feasibility or complementary-
+    /// slackness condition.
+    pub fn verify_blossom_certificates(&self) -> Result<(), String> {
+        self.mwpm.blossom.verify_certificate()?;
+        self.restriction.blossom.verify_certificate()
     }
 }
 
@@ -189,6 +233,12 @@ pub(crate) struct MatchingScratch {
     /// Sparse-tier per-shot path memo (epoch-stamped Dijkstra arrays +
     /// harvested pair distances and path hops).
     pub(crate) sparse: crate::paths::SparsePathScratch,
+    /// Pooled incremental blossom solver state (the preferred matching
+    /// stage); reset in O(touched) between shots.
+    pub(crate) blossom: crate::blossom::BlossomScratch,
+    /// Matched pairs of the current instance, in the reference
+    /// `Matching::pairs` enumeration order (u < v, ascending u).
+    pub(crate) pairs: Vec<(usize, usize)>,
     /// Sparse-tier target list of the current shot/lattice.
     pub(crate) targets: Vec<usize>,
     /// Sparse-tier per-shot effective class weights (base + flag

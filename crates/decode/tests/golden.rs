@@ -207,3 +207,103 @@ fn hyperbolic_three_tier_golden_fingerprint() {
         "hyperbolic Dijkstra fallback diverged; got {fpf:#018x}",
     );
 }
+
+// ---------------------------------------------------------------------------
+// Incremental-blossom tier goldens.
+// ---------------------------------------------------------------------------
+
+/// Goldens for the pooled incremental blossom matching tier on the
+/// realistic fixture DEMs. Each constant pins the blossom tier **on**
+/// (the default) at both dense-oracle construction thread counts *and*
+/// the tier **off** (reference exact solver): one constant per DEM
+/// covering all of them is the bitwise-equivalence claim of
+/// `DESIGN.md` made executable. The repetition/color goldens above
+/// already run with the tier on, so together the two layers pin the
+/// pooled solver on every fixture family.
+const SURFACE_D3_BLOSSOM_GOLDEN: u64 = 0xd026_cc2a_bcd5_40fb;
+const SURFACE_D5_BLOSSOM_GOLDEN: u64 = 0xf094_ed3a_ddc3_2ca7;
+const TORIC_COLOR_BLOSSOM_GOLDEN: u64 = 0x10ed_472c_f88f_9a54;
+
+#[test]
+fn blossom_tier_golden_fingerprints_surface() {
+    use qec_testkit::surface_memory_dem;
+    for (d, shots, golden) in [
+        (3usize, 64usize, SURFACE_D3_BLOSSOM_GOLDEN),
+        (5, 16, SURFACE_D5_BLOSSOM_GOLDEN),
+    ] {
+        let dem = surface_memory_dem(d);
+        let q = qec_testkit::mechanism_fire_probability(&dem, 8.0);
+        let seed = 0x601d_000b ^ d as u64;
+        for threads in [1usize, 3] {
+            let on = MwpmDecoder::new(&dem, MwpmConfig::unflagged().with_build_threads(threads));
+            let fp = qec_testkit::fingerprint_decoder(&dem, &on, shots, seed, q, true);
+            assert_eq!(
+                fp, golden,
+                "d={d} surface blossom-tier corrections changed ({threads} build threads); \
+                 got {fp:#018x} — re-pin only if intentional",
+            );
+            assert!(on.stats().blossom_solves > 0, "pooled tier engaged");
+        }
+        let off = MwpmDecoder::new(
+            &dem,
+            MwpmConfig::unflagged().with_incremental_blossom(false),
+        );
+        let fp = qec_testkit::fingerprint_decoder(&dem, &off, shots, seed, q, true);
+        assert_eq!(
+            fp, golden,
+            "d={d} surface reference solver diverged from the blossom golden; got {fp:#018x}",
+        );
+        assert_eq!(off.stats().blossom_solves, 0, "tier disabled");
+    }
+}
+
+#[test]
+fn blossom_tier_golden_fingerprint_toric_color() {
+    let (dem, ctx, pm) = qec_testkit::toric_color_dem();
+    let q = qec_testkit::mechanism_fire_probability(&dem, 8.0);
+    let seed = 0x601d_000c;
+    for threads in [1usize, 3] {
+        let on = RestrictionDecoder::new(
+            &dem,
+            ctx.clone(),
+            RestrictionConfig::flagged(pm).with_build_threads(threads),
+        );
+        let fp = qec_testkit::fingerprint_decoder(&dem, &on, 64, seed, q, true);
+        assert_eq!(
+            fp, TORIC_COLOR_BLOSSOM_GOLDEN,
+            "toric color blossom-tier corrections changed ({threads} build threads); \
+             got {fp:#018x} — re-pin only if intentional",
+        );
+        assert!(on.stats().blossom_solves > 0, "pooled tier engaged");
+    }
+    let off = RestrictionDecoder::new(
+        &dem,
+        ctx,
+        RestrictionConfig::flagged(pm).with_incremental_blossom(false),
+    );
+    let fp = qec_testkit::fingerprint_decoder(&dem, &off, 64, seed, q, true);
+    assert_eq!(
+        fp, TORIC_COLOR_BLOSSOM_GOLDEN,
+        "toric color reference solver diverged from the blossom golden; got {fp:#018x}",
+    );
+    assert_eq!(off.stats().blossom_solves, 0, "tier disabled");
+}
+
+/// On the 1224-detector {4,5} hyperbolic DEM the blossom-off run must
+/// land on the *same* constant the three-tier test above pins with the
+/// tier on — the pooled solver changes nothing but time.
+#[test]
+fn blossom_tier_matches_hyperbolic_golden_when_disabled() {
+    let dem = hyperbolic_memory_dem();
+    let q = mechanism_fire_probability(&dem, 8.0);
+    let off = MwpmDecoder::new(
+        &dem,
+        MwpmConfig::unflagged().with_incremental_blossom(false),
+    );
+    let fp = fingerprint_decoder(&dem, &off, 24, 0x601d_0004, q, true);
+    assert_eq!(
+        fp, HYPERBOLIC_MWPM_GOLDEN,
+        "hyperbolic reference solver diverged from the blossom-on golden; got {fp:#018x}",
+    );
+    assert_eq!(off.stats().blossom_solves, 0, "tier disabled");
+}

@@ -247,3 +247,206 @@ pub fn assert_single_faults_corrected(dem: &DetectorErrorModel, decoder: &dyn De
         assert_eq!(predicted, actual, "mechanism {mech:?}");
     }
 }
+
+/// One differential-fuzz matching instance: `n` nodes and an edge list
+/// in the decoders' matching format (the defect-pair graph a shot
+/// hands to the solver).
+#[derive(Debug, Clone)]
+pub struct BlossomFuzzInstance {
+    /// Node count (may be odd — the no-perfect-matching case).
+    pub n: usize,
+    /// `(u, v, weight)` edges, possibly with duplicates and exact ties.
+    pub edges: Vec<(usize, usize, f64)>,
+}
+
+impl BlossomFuzzInstance {
+    fn render(&self) -> String {
+        let mut s = format!("BlossomFuzzInstance {{ n: {}, edges: vec![", self.n);
+        for &(u, v, w) in &self.edges {
+            s.push_str(&format!("({u}, {v}, {w:?}), "));
+        }
+        s.push_str("] }");
+        s
+    }
+}
+
+/// Draws one fuzz instance. Three shapes, weighted toward the ones
+/// that stress the solver differently:
+///
+/// * **path-derived** (the decoders' real shape): a random sparse
+///   graph, a random defect subset (odd counts included), pair
+///   distances from [`qec_decode::shortest_paths_from`] — unreachable
+///   pairs are dropped, so disconnected components yield partial or
+///   infeasible instances;
+/// * **boundary-augmented**: the same, plus per-defect boundary copies
+///   and the zero-weight boundary clique, mirroring
+///   `MwpmDecoder`'s virtual-boundary construction;
+/// * **degenerate**: a dense instance whose weights are drawn from a
+///   tiny value set, so nearly every matching ties and only the shared
+///   deterministic tie-break keeps the solvers aligned.
+pub fn random_blossom_instance(rng: &mut Xoshiro256StarStar) -> BlossomFuzzInstance {
+    let (adjacency, class_weights) = random_sparse_graph(rng);
+    let nv = adjacency.len();
+    if rng.gen_bool(0.25) {
+        // Degenerate: complete graph over a few nodes, tiny weight set.
+        let n = rng.gen_range(2..=10usize);
+        let vals = [0.5, 1.0, 1.0, 2.0];
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(0.9) {
+                    edges.push((u, v, vals[rng.gen_range(0..vals.len())]));
+                }
+            }
+        }
+        return BlossomFuzzInstance { n, edges };
+    }
+    let k = rng.gen_range(0..=nv.min(12));
+    let mut defects: Vec<usize> = (0..nv).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..nv);
+        defects.swap(i, j);
+    }
+    defects.truncate(k);
+    let boundary = rng.gen_bool(0.3);
+    let mut edges = Vec::new();
+    for (i, &src) in defects.iter().enumerate() {
+        let (dist, _) = qec_decode::shortest_paths_from(&adjacency, &class_weights, src);
+        for (j, &dst) in defects.iter().enumerate().skip(i + 1) {
+            if dist[dst] < 1.0e8 {
+                edges.push((i, j, dist[dst]));
+            }
+        }
+        if boundary {
+            // A random finite boundary cost (sometimes unreachable).
+            if rng.gen_bool(0.85) {
+                edges.push((i, k + i, 0.05 + rng.gen_f64() * 12.0));
+            }
+        }
+    }
+    if boundary {
+        for i in 0..k {
+            for j in (i + 1)..k {
+                edges.push((k + i, k + j, 0.0));
+            }
+        }
+    }
+    let n = if boundary { 2 * k } else { k };
+    BlossomFuzzInstance { n, edges }
+}
+
+/// `Some((scaled_weight, mates))` when a perfect matching exists.
+type SolveSummary = Option<(i64, Vec<usize>)>;
+
+fn solve_reference(inst: &BlossomFuzzInstance) -> SolveSummary {
+    qec_math::graph::matching::min_weight_perfect_matching_f64(inst.n, &inst.edges)
+        .map(|m| (m.weight, m.mate.iter().map(|o| o.unwrap()).collect()))
+}
+
+fn solve_pooled(inst: &BlossomFuzzInstance, sc: &mut qec_decode::BlossomScratch) -> SolveSummary {
+    qec_decode::pooled_min_weight_perfect_matching_f64(inst.n, &inst.edges, sc).map(|m| {
+        let mates = (0..inst.n).map(|u| m.mate(u).unwrap()).collect();
+        (m.weight(), mates)
+    })
+}
+
+/// `true` when the pooled solver disagrees with the reference on this
+/// instance against a fresh scratch.
+fn diverges_fresh(inst: &BlossomFuzzInstance) -> bool {
+    let mut sc = qec_decode::BlossomScratch::new();
+    solve_reference(inst) != solve_pooled(inst, &mut sc)
+}
+
+/// Greedy shrink: repeatedly drop one edge, then compact away isolated
+/// nodes, keeping each step only if the divergence (against a fresh
+/// scratch) persists.
+fn shrink_instance(mut inst: BlossomFuzzInstance) -> BlossomFuzzInstance {
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < inst.edges.len() {
+            let mut cand = inst.clone();
+            cand.edges.remove(i);
+            if diverges_fresh(&cand) {
+                inst = cand;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        // Compact node ids so untouched trailing nodes disappear.
+        let mut used: Vec<bool> = vec![false; inst.n];
+        for &(u, v, _) in &inst.edges {
+            used[u] = true;
+            used[v] = true;
+        }
+        if used.iter().any(|&u| !u) {
+            let mut map = vec![usize::MAX; inst.n];
+            let mut next = 0;
+            for (old, &keep) in used.iter().enumerate() {
+                if keep {
+                    map[old] = next;
+                    next += 1;
+                }
+            }
+            let cand = BlossomFuzzInstance {
+                n: next,
+                edges: inst
+                    .edges
+                    .iter()
+                    .map(|&(u, v, w)| (map[u], map[v], w))
+                    .collect(),
+            };
+            if diverges_fresh(&cand) {
+                inst = cand;
+                reduced = true;
+            }
+        }
+        if !reduced {
+            return inst;
+        }
+    }
+}
+
+/// Differential fuzz: `cases` random matching instances through one
+/// shared [`qec_decode::BlossomScratch`] (so cross-shot stale state is
+/// exercised), each checked against the reference exact-blossom solver
+/// for identical `Option`-ness, total scaled weight, and bitwise mate
+/// arrays.
+///
+/// # Errors
+///
+/// On the first mismatch, returns a report carrying the seed, the case
+/// index, and a greedily shrunk minimal reproducer (shrunk against a
+/// fresh scratch; if the divergence needs the shared-scratch history,
+/// the unshrunk instance is reported instead). Re-running with the
+/// same `seed` replays the identical case sequence.
+pub fn differential_blossom_fuzz(cases: u64, seed: u64) -> Result<(), String> {
+    let mut sc = qec_decode::BlossomScratch::new();
+    for case in 0..cases {
+        let mut rng = Xoshiro256StarStar::from_seed_stream(seed, case);
+        let inst = random_blossom_instance(&mut rng);
+        let reference = solve_reference(&inst);
+        let pooled = solve_pooled(&inst, &mut sc);
+        if reference != pooled {
+            let minimal = if diverges_fresh(&inst) {
+                shrink_instance(inst.clone())
+            } else {
+                inst.clone()
+            };
+            return Err(format!(
+                "blossom differential mismatch: seed={seed:#x} case={case}\n\
+                 reference: {reference:?}\npooled:    {pooled:?}\n\
+                 minimal reproducer: {}\n\
+                 (rerun: differential_blossom_fuzz({}, {seed:#x}))",
+                minimal.render(),
+                case + 1,
+            ));
+        }
+        if pooled.is_some() {
+            sc.verify_certificate()
+                .map_err(|e| format!("certificate violation: seed={seed:#x} case={case}: {e}"))?;
+        }
+    }
+    Ok(())
+}

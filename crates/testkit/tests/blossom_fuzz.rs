@@ -1,0 +1,24 @@
+//! Differential fuzzing of the pooled blossom solver against the
+//! reference exact solver (see `qec_testkit::differential_blossom_fuzz`
+//! for the instance shapes and the shrinking report).
+
+/// Case budget: `QEC_BLOSSOM_FUZZ_CASES` when set (how `ci.sh` runs the
+/// 5k-case release budget), otherwise a debug-friendly default.
+fn budget() -> u64 {
+    std::env::var("QEC_BLOSSOM_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) { 600 } else { 5000 })
+}
+
+#[test]
+fn pooled_blossom_matches_reference_on_random_instances() {
+    qec_testkit::differential_blossom_fuzz(budget(), 0xb10550).unwrap();
+}
+
+/// A second seed with a shared scratch of its own, so two independent
+/// case streams cover different stale-state interleavings.
+#[test]
+fn pooled_blossom_matches_reference_second_stream() {
+    qec_testkit::differential_blossom_fuzz(budget() / 2, 0xdecade).unwrap();
+}

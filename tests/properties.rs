@@ -737,3 +737,201 @@ fn obs_registry_snapshot_roundtrips_through_json() {
         assert_eq!(reparsed, json, "snapshot JSON must round-trip exactly");
     });
 }
+
+// ---------------------------------------------------------------------------
+// Incremental blossom tier: pool hygiene and the flag-conditioned
+// secondary oracles.
+// ---------------------------------------------------------------------------
+
+/// One `DecodeScratch` shared between an MWPM decoder (d=3 surface)
+/// and a restriction decoder (toric color) across many shots: every
+/// reused-pool decode must match a fresh-scratch decode bit for bit,
+/// the dual certificate must hold after every solve, and once the
+/// pools are warm a replay of the same shots must not grow them.
+#[test]
+fn blossom_pool_reuse_is_clean_and_certified() {
+    let dem = surface_memory_dem(3);
+    let decoder = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
+    let (cdem, ctx, cpm) = toric_color_dem();
+    let rdecoder = RestrictionDecoder::new(&cdem, ctx, RestrictionConfig::flagged(cpm));
+    let q = mechanism_fire_probability(&dem, 8.0);
+    let cq = mechanism_fire_probability(&cdem, 8.0);
+    let mut scratch = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
+    let mut shots: Vec<(BitVec, BitVec)> = Vec::new();
+    for_all(32, 0xb0551, |g| {
+        let s = random_syndrome(g.rng(), &dem, q);
+        let fresh = decoder.decode(&s);
+        decoder.decode_into(&s, &mut scratch, &mut out);
+        assert_eq!(
+            out, fresh,
+            "reused blossom pool diverged from a fresh decode"
+        );
+        scratch
+            .verify_blossom_certificates()
+            .expect("dual feasibility after an MWPM decode");
+        let cs = random_syndrome(g.rng(), &cdem, cq);
+        let cfresh = rdecoder.decode(&cs);
+        rdecoder.decode_into(&cs, &mut scratch, &mut out);
+        assert_eq!(
+            out, cfresh,
+            "reused restriction pool diverged from a fresh decode"
+        );
+        scratch
+            .verify_blossom_certificates()
+            .expect("dual feasibility after a restriction decode");
+        shots.push((s, cs));
+    });
+    // Both decoders actually routed their matchings through the pooled
+    // tier, and the shared scratch saw both sides.
+    assert!(decoder.stats().blossom_solves > 0);
+    assert!(rdecoder.stats().blossom_solves > 0);
+    assert!(scratch.mwpm_blossom().epochs() > 0);
+    assert!(scratch.restriction_blossom().epochs() > 0);
+    // Capacity growth is doubling, so a few generations cover every
+    // instance these fixtures can produce.
+    let gen_mwpm = scratch.mwpm_blossom().generations();
+    let gen_restriction = scratch.restriction_blossom().generations();
+    assert!(gen_mwpm <= 8, "mwpm pool regrew too often: {gen_mwpm}");
+    assert!(
+        gen_restriction <= 8,
+        "restriction pool regrew too often: {gen_restriction}"
+    );
+    let bytes_mwpm = scratch.mwpm_blossom().memory_bytes();
+    let bytes_restriction = scratch.restriction_blossom().memory_bytes();
+    // Replaying the exact same shots through the warmed pools must not
+    // allocate: no instance can exceed its own earlier high-water mark.
+    for (s, cs) in &shots {
+        decoder.decode_into(s, &mut scratch, &mut out);
+        rdecoder.decode_into(cs, &mut scratch, &mut out);
+    }
+    assert_eq!(
+        scratch.mwpm_blossom().generations(),
+        gen_mwpm,
+        "replay regrew the warmed mwpm pool"
+    );
+    assert_eq!(
+        scratch.restriction_blossom().generations(),
+        gen_restriction,
+        "replay regrew the warmed restriction pool"
+    );
+    assert_eq!(scratch.mwpm_blossom().memory_bytes(), bytes_mwpm);
+    assert_eq!(
+        scratch.restriction_blossom().memory_bytes(),
+        bytes_restriction
+    );
+}
+
+/// The flag-conditioned secondary oracles must (a) cover exactly the
+/// highest-probability-mass flags, (b) answer single-flag shots from
+/// the O(1) table (counted as `decode.tier.flag_oracle_hits`) where a
+/// patterns=0 decoder drops to per-shot Dijkstra, and (c) produce
+/// bitwise-identical corrections either way.
+#[test]
+fn flag_oracle_tier_answers_precomputed_single_flag_shots() {
+    // A shared-flag FPN actually places flag qubits, so its DEM carries
+    // flag detectors (the direct FPN fixtures do not).
+    let code = rotated_surface_code(3);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+    let noise = NoiseModel::new(1e-3);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+    let dem = DetectorErrorModel::from_circuit(&exp.circuit);
+    let pm = noise.measurement_flip();
+    let with_fo = MwpmDecoder::new(&dem, MwpmConfig::flagged(pm));
+    let without = MwpmDecoder::new(&dem, MwpmConfig::flagged(pm).with_flag_oracle_patterns(0));
+    assert!(with_fo.path_oracle().is_some(), "dense base tier expected");
+    assert!(without.flag_oracle_flags().is_empty());
+
+    // Replicate the decoder's ranking from public hypergraph data: the
+    // precomputed flags are the top-4 by total member probability.
+    let hg = with_fo.hypergraph();
+    let num_flags = hg.num_flag_detectors();
+    assert!(
+        num_flags > 0,
+        "flagged surface DEM must carry flag detectors"
+    );
+    let mut mass = vec![0.0f64; num_flags];
+    for class in hg.classes() {
+        for m in &class.members {
+            for &f in &m.flags {
+                mass[f as usize] += m.probability;
+            }
+        }
+    }
+    let mut ranked: Vec<usize> = (0..num_flags).filter(|&f| mass[f] > 0.0).collect();
+    ranked.sort_by(|&a, &b| mass[b].partial_cmp(&mass[a]).unwrap().then(a.cmp(&b)));
+    ranked.truncate(4);
+    let mut expected = ranked.clone();
+    expected.sort_unstable();
+    assert_eq!(
+        with_fo.flag_oracle_flags(),
+        expected,
+        "precomputed flags must be the heaviest by mechanism mass"
+    );
+
+    // Detector-space positions of each flag / check, in the same order
+    // the hypergraph assigns space indices (detector order).
+    let mut flag_det = Vec::new();
+    let mut check_det = Vec::new();
+    for (d, meta) in dem.detector_meta().iter().enumerate() {
+        if meta.is_flag {
+            flag_det.push(d);
+        } else {
+            check_det.push(d);
+        }
+    }
+
+    // Synthesized shots raising exactly one flag plus two checks: the
+    // flag-oracle tier serves precomputed flags, everything else falls
+    // through to per-shot Dijkstra; corrections agree bit for bit.
+    let mut scratch_a = DecodeScratch::new();
+    let mut scratch_b = DecodeScratch::new();
+    let mut out_a = BitVec::zeros(0);
+    let mut out_b = BitVec::zeros(0);
+    let mut precomputed_shots = 0u64;
+    let mut fallthrough_shots = 0u64;
+    for_all(48, 0xf1a6, |g| {
+        let f = g.usize_in(0..=num_flags - 1);
+        let a = g.usize_in(0..=check_det.len() - 1);
+        let b = g.usize_in(0..=check_det.len() - 1);
+        if a == b {
+            return;
+        }
+        let mut shot = BitVec::zeros(dem.num_detectors());
+        shot.flip(flag_det[f]);
+        shot.flip(check_det[a]);
+        shot.flip(check_det[b]);
+        with_fo.decode_into(&shot, &mut scratch_a, &mut out_a);
+        without.decode_into(&shot, &mut scratch_b, &mut out_b);
+        assert_eq!(
+            out_a, out_b,
+            "flag-oracle correction diverged from per-shot Dijkstra (flag {f})"
+        );
+        if expected.contains(&f) {
+            precomputed_shots += 1;
+        } else {
+            fallthrough_shots += 1;
+        }
+    });
+    assert!(
+        precomputed_shots > 0,
+        "seed must exercise precomputed flags"
+    );
+    let stats = with_fo.stats();
+    assert_eq!(
+        stats.flag_oracle_hits, precomputed_shots,
+        "every precomputed single-flag shot must be served by its oracle"
+    );
+    assert_eq!(
+        stats.oracle_misses, fallthrough_shots,
+        "non-precomputed flag shots fall through to per-shot Dijkstra"
+    );
+    assert_eq!(stats.oracle_hits, 0, "no shot here is flag-free");
+    let stats0 = without.stats();
+    assert_eq!(stats0.flag_oracle_hits, 0);
+    assert_eq!(
+        stats0.oracle_misses,
+        precomputed_shots + fallthrough_shots,
+        "with patterns=0 every single-flag shot pays full Dijkstra"
+    );
+}
