@@ -21,6 +21,13 @@ cargo test -q --offline --workspace
 cargo test -q --offline --test properties sparse_finder_matches_oracle_and_dijkstra_on_random_graphs
 cargo test -q --offline --test properties path_tiers_agree
 
+# Differential streaming-service tests: qec-serve corrections must be
+# bit-identical to offline decode_into and reproduce run_ber's failure
+# counts on the d=5 surface and hyperbolic fixtures across 1/2/4
+# shards, and the bounded queue must reject (WouldBlock) rather than
+# grow under backpressure.
+cargo test -q --offline --test serve
+
 # Differential blossom fuzzing at the full release budget: 5k random
 # matching instances (plus a second 2.5k stream) through the pooled
 # incremental solver vs. the reference exact solver, with dual
@@ -37,23 +44,29 @@ QEC_BLOSSOM_FUZZ_CASES=5000 cargo test -q --release --offline \
 # Dijkstra), pass_sparse (SparsePathFinder ≥2x vs per-shot Dijkstra on
 # a hyperbolic DEM above the dense-oracle guard) and pass_obs_overhead
 # (per-batch tracing within 10% of the untraced decode stage), each
-# with bit-identical corrections — and leave the BENCH_6.json artifact
+# with bit-identical corrections — and leave the BENCH_7.json artifact
 # behind. The pass_blossom gate additionally requires the pooled
 # incremental blossom tier to clear 2x over the reference exact solver
-# on the hyperbolic fixture's real matching instances.
+# on the hyperbolic fixture's real matching instances, and the
+# pass_serve gate requires the streaming service to sustain the
+# throughput floor on the hyperbolic fixture with corrections
+# bit-identical to offline decode_into.
 mkdir -p target
 trace_file=target/obs_trace.jsonl
 bench_out=$(cargo run --release --offline -p qec-bench -- \
-    --shots 1000 --out BENCH_6.json --trace "$trace_file" | tee /dev/stderr)
+    --shots 1000 --out BENCH_7.json --trace "$trace_file" | tee /dev/stderr)
 grep -q '"pass_2x":true' <<<"$bench_out"
 grep -q '"pass_oracle":true' <<<"$bench_out"
 grep -q '"pass_sparse":true' <<<"$bench_out"
 grep -q '"pass_blossom":true' <<<"$bench_out"
 grep -q '"pass_obs_overhead":true' <<<"$bench_out"
+grep -q '"pass_serve":true' <<<"$bench_out"
 grep -q '"identical":true' <<<"$bench_out"
-test -s BENCH_6.json
+test -s BENCH_7.json
 
 # The bench run's structured trace must be non-empty, well-formed
-# JSON lines with balanced span enter/close nesting.
+# JSON lines with balanced span enter/close nesting, and must contain
+# the service's per-request spans from the serve throughput bench.
 test -s "$trace_file"
+grep -q '"name":"serve.request"' "$trace_file"
 cargo run --release --offline -p qec-obs --bin obs_validate -- "$trace_file"

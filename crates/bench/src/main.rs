@@ -32,7 +32,12 @@
 //!   bit-identical corrections end to end);
 //! * the qec-obs instrumentation overhead on the fastest decode hot
 //!   path (per-batch spans + histogram vs. nothing, 10% ceiling,
-//!   bit-identical output).
+//!   bit-identical output);
+//! * the qec-serve streaming service on the hyperbolic fixture:
+//!   sustained shots/sec through a 4-shard bounded-queue service with
+//!   p50/p99/p999 end-to-end request latency read from the
+//!   `serve.e2e_ns` qec-obs histogram, bit-identical to offline
+//!   `decode_into` (`pass_serve`).
 //!
 //! Run with `cargo run --release -p qec-bench`; pass `--shots 1000`
 //! for the quick CI configuration (default 10 000), `--out <path>` to
@@ -46,9 +51,11 @@ use qec_group::{enumerate_cosets, von_dyck};
 use qec_math::graph::matching::min_weight_perfect_matching;
 use qec_math::rng::{Rng, Xoshiro256StarStar};
 use qec_math::BitVec;
-use qec_obs::Record;
+use qec_obs::{Record, Registry};
+use qec_serve::{DecodeService, PendingResponse, ServeConfig, SubmitError};
 use qec_sim::FrameBatch;
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Every record emitted so far, replayed into the JSON artifact at the
@@ -76,7 +83,7 @@ fn round1(x: f64) -> f64 {
 /// the repo root, resolved from the crate manifest so the artifact
 /// lands in the same place regardless of the invocation directory).
 fn write_bench_json(out: Option<&str>, shots: usize) {
-    const PR: u32 = 6;
+    const PR: u32 = 7;
     let records = RECORDS.lock().unwrap();
     let body = records
         .iter()
@@ -85,7 +92,7 @@ fn write_bench_json(out: Option<&str>, shots: usize) {
         .join(",\n");
     let json =
         format!("{{\n  \"pr\": {PR},\n  \"shots\": {shots},\n  \"records\": [\n{body}\n  ]\n}}\n");
-    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_", "6", ".json");
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_", "7", ".json");
     let path = out.unwrap_or(default_path);
     std::fs::write(path, json).expect("write BENCH json artifact");
     eprintln!("wrote {path}");
@@ -807,6 +814,96 @@ fn bench_obs_overhead(shots: usize) {
     );
 }
 
+/// Sustained throughput of the qec-serve streaming service on the
+/// {4,5} hyperbolic fixture at its `p = 3e-4` operating point: a
+/// 4-shard service behind a bounded 32-request queue, fed 16-shot
+/// requests by a closed-loop client that reacts to `WouldBlock` by
+/// draining its oldest in-flight response before retrying (the
+/// intended backpressure discipline). Reports sustained shots/sec over
+/// the submit-to-drain wall clock and the p50/p99/p999 end-to-end
+/// request latency read from the service's `serve.e2e_ns` qec-obs
+/// histogram. `pass_serve` requires corrections bit-identical to
+/// offline `decode_into` on the same syndromes plus a conservative
+/// throughput floor.
+fn bench_serve_throughput(shots: usize) {
+    let _span = qec_obs::span("bench.serve_throughput");
+    let (_, exp, _) = qec_testkit::hyperbolic_memory_experiment_at(3e-4);
+    let dem = DetectorErrorModel::from_circuit(&exp.circuit);
+    let decoder: Arc<dyn Decoder + Send + Sync> =
+        Arc::new(MwpmDecoder::new(&dem, MwpmConfig::unflagged()));
+    let syndromes = collect_nonzero_syndromes(&exp.circuit, shots, 321);
+
+    // Offline reference corrections first (untimed): the service must
+    // reproduce these bit-for-bit.
+    let mut ds = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
+    let mut reference = Vec::with_capacity(syndromes.len());
+    for d in &syndromes {
+        decoder.decode_into(d, &mut ds, &mut out);
+        reference.push(out.clone());
+    }
+
+    const SHARDS: usize = 4;
+    const REQUEST_SHOTS: usize = 16;
+    let service = DecodeService::new(
+        Arc::clone(&decoder),
+        ServeConfig::new()
+            .with_shards(SHARDS)
+            .with_queue_capacity(32)
+            .with_metrics(Registry::new()),
+    );
+    let mut pending: VecDeque<PendingResponse> = VecDeque::new();
+    let mut served: Vec<BitVec> = Vec::with_capacity(reference.len());
+    let t = Instant::now();
+    for request in syndromes.chunks(REQUEST_SHOTS) {
+        loop {
+            match service.try_submit(request.to_vec()) {
+                Ok(p) => {
+                    pending.push_back(p);
+                    break;
+                }
+                Err(SubmitError::WouldBlock) => {
+                    // Queue full: drain the oldest in-flight response,
+                    // then retry the same request.
+                    let resp = pending
+                        .pop_front()
+                        .expect("a full queue implies in-flight work")
+                        .wait()
+                        .expect("no deadline set");
+                    served.extend(resp.corrections);
+                }
+                Err(e) => panic!("serve submit failed: {e}"),
+            }
+        }
+    }
+    for p in pending {
+        served.extend(p.wait().expect("no deadline set").corrections);
+    }
+    let total_ns = t.elapsed().as_nanos();
+
+    let snap = service.metrics().snapshot();
+    let e2e = snap
+        .histogram("serve.e2e_ns")
+        .expect("service records e2e latency");
+    let q = |p: f64| e2e.quantile(p).unwrap_or(0);
+    let shots_per_sec = served.len() as f64 / (total_ns.max(1) as f64 / 1e9);
+    let identical = served == reference;
+    emit(
+        Record::new()
+            .field("component", "serve_throughput_hyperbolic")
+            .field("shots", served.len())
+            .field("shards", SHARDS)
+            .field("requests", e2e.count)
+            .field("shots_per_sec", shots_per_sec.round())
+            .field("e2e_p50_ns", q(0.5))
+            .field("e2e_p99_ns", q(0.99))
+            .field("e2e_p999_ns", q(0.999))
+            .field("rejected", snap.counter("serve.rejected"))
+            .field("identical", identical)
+            .field("pass_serve", identical && shots_per_sec >= 500.0),
+    );
+}
+
 fn bench_scheduling() {
     let code = small_hyperbolic_code();
     bench("greedy_schedule_30_8", 10, || {
@@ -880,6 +977,7 @@ fn main() {
         bench_mwpm_sparse_speedup(opts.shots);
         bench_mwpm_blossom_speedup(opts.shots);
         bench_obs_overhead(opts.shots);
+        bench_serve_throughput(opts.shots);
         bench_scheduling();
         bench_construction();
     }

@@ -228,6 +228,18 @@ impl DecodingPipeline {
     pub fn metrics(&self) -> &Registry {
         &self.metrics
     }
+
+    /// Consumes the pipeline and returns its constructed decoder as a
+    /// shareable trait object — the form a streaming decode service
+    /// (`qec-serve`'s `DecodeService`) takes. The decoder keeps its
+    /// metrics registry, so `decode.*` counters keep accumulating in
+    /// the same series the pipeline exposed.
+    pub fn into_shared_decoder(self) -> std::sync::Arc<dyn Decoder + Send + Sync> {
+        match self.decoder {
+            PipelineDecoder::Mwpm(d) => std::sync::Arc::new(d),
+            PipelineDecoder::Restriction(d) => std::sync::Arc::new(d),
+        }
+    }
 }
 
 /// Extracts the color structure a restriction decoder needs from a
@@ -274,8 +286,15 @@ pub fn color_context(code: &CssCode, basis: Basis) -> ColorCodeContext {
 /// Result of a block-error-rate estimation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BerStats {
-    /// Shots executed.
+    /// Shots executed — `requested_shots` rounded **up** to whole
+    /// 64-shot sampler batches (the bit-packed engine always runs full
+    /// batches). Every executed shot is a real, decoded trial, so this
+    /// is the denominator of [`Self::ber`].
     pub shots: usize,
+    /// Shots the caller asked for. A 100-shot request executes (and
+    /// reports) 128 shots; this field keeps the original request
+    /// visible instead of silently substituting the padded count.
+    pub requested_shots: usize,
     /// Shots where at least one logical observable stayed flipped
     /// after correction.
     pub failures: usize,
@@ -299,12 +318,19 @@ pub struct BerStats {
 }
 
 impl BerStats {
-    /// The block error rate (Eq. 5).
+    /// The block error rate (Eq. 5). An empty run (`shots == 0`, e.g.
+    /// `run_ber` with `shots = 0`) reports 0.0 rather than the NaN of
+    /// `0/0`, so downstream comparisons and formatting stay sane.
     pub fn ber(&self) -> f64 {
-        self.failures as f64 / self.shots as f64
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.shots as f64
+        }
     }
 
-    /// The normalized block error rate `BER / k` (§III-C).
+    /// The normalized block error rate `BER / k` (§III-C). 0.0 on an
+    /// empty run, like [`Self::ber`].
     pub fn ber_norm(&self) -> f64 {
         self.ber() / self.k.max(1) as f64
     }
@@ -321,8 +347,29 @@ impl BerStats {
 /// thread count**. Each worker owns one [`FrameBatch`] scratch, so
 /// steady-state sampling does not reallocate frame storage.
 ///
+/// The bit-packed sampler always executes whole 64-shot batches, so a
+/// 100-shot request runs 128 trials; [`BerStats::shots`] reports the
+/// executed count (the real BER denominator) and
+/// [`BerStats::requested_shots`] preserves what was asked for, so the
+/// padding is visible instead of silently inflating the reported shot
+/// count.
+///
 /// A trial fails when the decoder's predicted observable flips differ
 /// from the actual flips in any logical qubit.
+///
+/// # Single-run attribution
+///
+/// The per-run tier/give-up counts in [`BerStats`] are computed as the
+/// delta between two snapshots of the decoder's **lifetime** counters
+/// (`decoder.stats()` before and after). That attribution is only
+/// correct when this run is the decoder's sole client for its
+/// duration: two concurrent `run_ber` calls sharing one decoder leak
+/// each other's tier hits into both deltas (failure counts stay
+/// correct — they are accumulated locally). Callers that need
+/// concurrent decoding over one decoder should go through
+/// `qec-serve`'s `DecodeService`, which attributes work per request
+/// from the request's own clock and span fields instead of
+/// lifetime-counter deltas.
 ///
 /// # Panics
 ///
@@ -412,6 +459,7 @@ pub fn run_ber(
     run_span.field("giveups", delta.giveups());
     BerStats {
         shots: batches * 64,
+        requested_shots: shots,
         failures,
         k,
         decode_giveups: delta.giveups() as usize,
@@ -582,6 +630,7 @@ mod tests {
     fn ber_stats_normalization() {
         let stats = BerStats {
             shots: 1000,
+            requested_shots: 1000,
             failures: 40,
             k: 8,
             decode_giveups: 0,
@@ -591,5 +640,41 @@ mod tests {
         };
         assert!((stats.ber() - 0.04).abs() < 1e-12);
         assert!((stats.ber_norm() - 0.005).abs() < 1e-12);
+    }
+
+    /// Regression: a zero-shot run used to report `0/0 = NaN`; it must
+    /// report a BER of exactly 0.0 (and execute zero batches).
+    #[test]
+    fn zero_shot_run_reports_zero_ber_not_nan() {
+        let code = rotated_surface_code(3);
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+        let noise = NoiseModel::new(1e-3);
+        let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+        let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::PlainMwpm, &noise);
+        let stats = run_ber(&exp.circuit, pipeline.decoder(), 0, 11, 2);
+        assert_eq!(stats.shots, 0);
+        assert_eq!(stats.requested_shots, 0);
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.ber(), 0.0, "empty run must not be NaN");
+        assert_eq!(stats.ber_norm(), 0.0);
+    }
+
+    /// Regression: `run_ber` rounds shot counts up to 64-shot batches;
+    /// the padded count is the executed denominator, but the original
+    /// request must stay visible in `requested_shots`.
+    #[test]
+    fn batch_padding_is_recorded_not_silent() {
+        let code = rotated_surface_code(3);
+        let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+        let noise = NoiseModel::new(1e-3);
+        let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+        let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::PlainMwpm, &noise);
+        let stats = run_ber(&exp.circuit, pipeline.decoder(), 100, 11, 2);
+        assert_eq!(stats.shots, 128, "execution still pads to whole batches");
+        assert_eq!(stats.requested_shots, 100);
+        // An exact multiple of 64 needs no padding.
+        let stats = run_ber(&exp.circuit, pipeline.decoder(), 128, 11, 2);
+        assert_eq!(stats.shots, 128);
+        assert_eq!(stats.requested_shots, 128);
     }
 }

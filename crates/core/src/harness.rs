@@ -63,6 +63,7 @@ fn run_point(
 ) -> BerPoint {
     let mut total = BerStats {
         shots: 0,
+        requested_shots: 0,
         failures: 0,
         k,
         decode_giveups: 0,
@@ -90,6 +91,7 @@ fn run_point(
             threads,
         );
         total.shots += stats.shots;
+        total.requested_shots += stats.requested_shots;
         total.failures += stats.failures;
         total.decode_giveups += stats.decode_giveups;
         total.oracle_hits += stats.oracle_hits;
@@ -221,11 +223,14 @@ pub fn print_ber_row(label: &str, point: &BerPoint) {
 }
 
 /// Prints a sweep's one-line summary from its registry snapshot:
-/// total decodes, decoder give-ups (silent partial corrections, now
-/// visible), the three path-tier shares, and how many times the
-/// decoder was actually constructed vs repriced.
+/// executed vs requested shot totals (the 64-shot batch padding made
+/// visible), total decodes, decoder give-ups (silent partial
+/// corrections, now visible), the three path-tier shares, and how many
+/// times the decoder was actually constructed vs repriced.
 pub fn print_sweep_summary(label: &str, sweep: &BerSweep) {
     let m = &sweep.metrics;
+    let executed: usize = sweep.points.iter().map(|pt| pt.stats.shots).sum();
+    let requested: usize = sweep.points.iter().map(|pt| pt.stats.requested_shots).sum();
     let decodes = m.counter("decode.decodes");
     let giveups = m.counter("decode.giveups.stalled") + m.counter("decode.giveups.round_limit");
     let oracle = m.counter("decode.tier.oracle_hits");
@@ -234,7 +239,7 @@ pub fn print_sweep_summary(label: &str, sweep: &BerSweep) {
     let tier_total = (oracle + sparse + dijkstra).max(1) as f64;
     let pct = |n: u64| 100.0 * n as f64 / tier_total;
     println!(
-        "{label:<42} summary: decodes={decodes} giveups={giveups} tiers: oracle={:.1}% sparse={:.1}% dijkstra={:.1}% constructions={}",
+        "{label:<42} summary: shots={executed} (requested {requested}) decodes={decodes} giveups={giveups} tiers: oracle={:.1}% sparse={:.1}% dijkstra={:.1}% constructions={}",
         pct(oracle),
         pct(sparse),
         pct(dijkstra),

@@ -187,6 +187,33 @@ impl HistogramSnapshot {
         self.sum = self.sum.wrapping_add(other.sum);
     }
 
+    /// The `q`-quantile of the recorded samples, as the **inclusive
+    /// upper bound** of the log₂ bin holding the ⌈q·count⌉-th smallest
+    /// sample — a conservative (never underestimating) SLO read, exact
+    /// to within the bin's factor-of-two resolution. `q` is clamped to
+    /// `[0, 1]`; returns `None` when the histogram is empty.
+    ///
+    /// This is how the serve/bench harnesses turn the `serve.e2e_ns`
+    /// histogram into p50/p99/p999 latency numbers.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(if b + 1 < HISTOGRAM_BINS {
+                    bin_lower_bound(b + 1) - 1
+                } else {
+                    u64::MAX
+                });
+            }
+        }
+        Some(u64::MAX)
+    }
+
     /// JSON form: `{"count":..,"sum":..,"bins":{"<bin>":<n>,..}}` with only
     /// non-empty bins listed (keys are bin indices).
     pub fn to_json(&self) -> JsonValue {
@@ -418,6 +445,35 @@ mod tests {
         let reg = Registry::new();
         let _ = reg.counter("x");
         let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn quantiles_report_bin_upper_bounds() {
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), None);
+        let mut h = HistogramSnapshot::empty();
+        // 99 fast samples in bin [64,128), one slow one in [4096,8192).
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(5000);
+        assert_eq!(h.quantile(0.0), Some(127));
+        assert_eq!(h.quantile(0.5), Some(127));
+        // Nearest-rank p99 of 100 samples is the 99th smallest — still fast.
+        assert_eq!(h.quantile(0.99), Some(127));
+        // Only the maximum lands in the slow bin.
+        assert_eq!(h.quantile(0.995), Some(8191));
+        assert_eq!(h.quantile(1.0), Some(8191));
+        // Quantiles are monotone in q.
+        let mut last = 0;
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+        // The top bin saturates rather than overflowing.
+        let mut top = HistogramSnapshot::empty();
+        top.record(u64::MAX);
+        assert_eq!(top.quantile(0.5), Some(u64::MAX));
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Differential tests: the streaming decode service (`qec-serve`)
+//! against the offline batch path (`run_ber` / `decode_into`).
+//!
+//! The service's contract is that putting a queue, worker shards and
+//! deadlines between a syndrome and its decoder changes *when* a
+//! correction is produced, never *what* it is: corrections must be
+//! bit-identical to offline `decode_into` on the same syndromes, and
+//! replaying `run_ber`'s exact batch schedule through the service must
+//! reproduce its failure count — for any shard count.
+
+use fpn_repro::prelude::*;
+use qec_math::rng::Xoshiro256StarStar;
+use qec_math::BitVec;
+use qec_obs::Registry;
+use qec_serve::{DecodeService, PendingResponse, ServeConfig, SubmitError};
+use qec_sim::FrameBatch;
+use std::sync::Arc;
+
+/// Replays `run_ber`'s exact batch schedule: batch `b` draws from the
+/// forked RNG stream `(seed, b)`, shots are extracted in batch order.
+/// Returns every executed shot's (detectors, actual observables).
+fn sample_shots(circuit: &Circuit, shots: usize, seed: u64) -> Vec<(BitVec, BitVec)> {
+    let sampler = FrameSampler::new(circuit);
+    let mut scratch = FrameBatch::new();
+    let mut dets = BitVec::zeros(0);
+    let mut actual = BitVec::zeros(0);
+    let mut out = Vec::new();
+    for b in 0..shots.div_ceil(64) {
+        let mut rng = Xoshiro256StarStar::from_seed_stream(seed, b as u64);
+        let batch = sampler.sample_batch_with(&mut scratch, &mut rng);
+        for shot in 0..64 {
+            batch.detector_bits_into(shot, &mut dets);
+            batch.observable_bits_into(shot, &mut actual);
+            out.push((dets.clone(), actual.clone()));
+        }
+    }
+    out
+}
+
+/// The shared differential: `run_ber` offline vs the service replaying
+/// the identical shots, across 1/2/4 shards.
+fn assert_service_matches_offline(
+    label: &str,
+    circuit: &Circuit,
+    decoder: Arc<dyn Decoder + Send + Sync>,
+    shots: usize,
+    seed: u64,
+) {
+    let offline = run_ber(circuit, decoder.as_ref(), shots, seed, 2);
+    let per_shot = sample_shots(circuit, shots, seed);
+    assert_eq!(per_shot.len(), offline.shots, "{label}: shot schedules");
+
+    // Offline reference corrections for every decoded (nonzero) shot,
+    // through the same decode_into hot path run_ber uses.
+    let mut scratch = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
+    let mut reference = Vec::new();
+    for (dets, _) in per_shot.iter().filter(|(d, _)| !d.is_zero()) {
+        decoder.decode_into(dets, &mut scratch, &mut out);
+        reference.push(out.clone());
+    }
+    assert!(
+        !reference.is_empty(),
+        "{label}: workload must decode something"
+    );
+
+    for shards in [1usize, 2, 4] {
+        // A fresh registry per service so the serve.* assertions below
+        // are per-configuration, not accumulated across shard counts.
+        let service = DecodeService::new(
+            Arc::clone(&decoder),
+            ServeConfig::new()
+                .with_shards(shards)
+                .with_queue_capacity(64)
+                .with_metrics(Registry::new()),
+        );
+        let mut pending: Vec<PendingResponse> = Vec::new();
+        for request in per_shot
+            .iter()
+            .filter(|(d, _)| !d.is_zero())
+            .map(|(d, _)| d.clone())
+            .collect::<Vec<_>>()
+            .chunks(16)
+        {
+            pending.push(
+                service
+                    .try_submit(request.to_vec())
+                    .expect("queue sized for the whole replay"),
+            );
+        }
+        let requests = pending.len();
+        let mut served = Vec::new();
+        for p in pending {
+            let resp = p.wait().expect("no deadlines: every request completes");
+            assert!(resp.shard < shards, "{label}: shard id in range");
+            assert!(resp.timings.total_ns >= resp.timings.decode_ns);
+            served.extend(resp.corrections);
+        }
+        assert_eq!(
+            served, reference,
+            "{label}: service corrections must be bit-identical to offline decode_into ({shards} shards)"
+        );
+
+        // Failure accounting under run_ber's rule (zero-syndrome shots
+        // are never decoded; they fail iff an observable flipped).
+        let mut failures = 0usize;
+        let mut next = 0usize;
+        for (dets, actual) in &per_shot {
+            if dets.is_zero() {
+                if !actual.is_zero() {
+                    failures += 1;
+                }
+            } else {
+                if &served[next] != actual {
+                    failures += 1;
+                }
+                next += 1;
+            }
+        }
+        assert_eq!(
+            failures, offline.failures,
+            "{label}: service replay must reproduce run_ber's failure count ({shards} shards)"
+        );
+
+        // Per-request SLO accounting: every completed request recorded
+        // one sample in each latency histogram, and shot/request
+        // counters reconcile exactly.
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.counter("serve.completed"), requests as u64);
+        assert_eq!(snap.counter("serve.shots"), reference.len() as u64);
+        assert_eq!(snap.counter("serve.rejected"), 0);
+        assert_eq!(snap.counter("serve.deadline_misses"), 0);
+        for hist in ["serve.queue_ns", "serve.decode_ns", "serve.e2e_ns"] {
+            let h = snap.histogram(hist).expect("latency histogram exists");
+            assert_eq!(h.count, requests as u64, "{label}: {hist} sample count");
+            assert!(h.quantile(0.999) >= h.quantile(0.5), "{label}: {hist}");
+        }
+    }
+}
+
+#[test]
+fn service_matches_run_ber_on_d5_surface() {
+    let code = rotated_surface_code(5);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(1e-3);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+    let decoder =
+        DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedMwpm, &noise).into_shared_decoder();
+    assert_service_matches_offline("d5_surface", &exp.circuit, decoder, 256, 2027);
+}
+
+#[test]
+fn service_matches_run_ber_on_hyperbolic_fixture() {
+    // The 1224-detector {4,5} hyperbolic DEM — above the dense-oracle
+    // guard, so the service exercises the sparse path tier. p = 3e-4
+    // keeps defect density (and debug-mode runtime) moderate.
+    let (code, exp, noise) = qec_testkit::hyperbolic_memory_experiment_at(3e-4);
+    let decoder =
+        DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedMwpm, &noise).into_shared_decoder();
+    assert_service_matches_offline("hyperbolic", &exp.circuit, decoder, 64, 4099);
+}
+
+#[test]
+fn service_backpressure_rejects_on_a_real_decoder() {
+    // One shard, capacity 2: while a bulky request occupies the shard,
+    // the queue can absorb exactly two more; further submissions must
+    // be rejected with WouldBlock rather than buffered.
+    let code = rotated_surface_code(5);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(1e-3);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+    let decoder =
+        DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedMwpm, &noise).into_shared_decoder();
+    let busy: Vec<BitVec> = sample_shots(&exp.circuit, 512, 7)
+        .into_iter()
+        .filter(|(d, _)| !d.is_zero())
+        .map(|(d, _)| d)
+        .collect();
+    assert!(busy.len() > 64);
+
+    let service = DecodeService::new(
+        Arc::clone(&decoder),
+        ServeConfig::new()
+            .with_shards(1)
+            .with_queue_capacity(2)
+            .with_metrics(Registry::new()),
+    );
+    let mut pending = vec![service.try_submit(busy.clone()).expect("bulky request")];
+    let mut rejected = false;
+    for _ in 0..8 {
+        match service.try_submit(vec![busy[0].clone()]) {
+            Ok(p) => pending.push(p),
+            Err(e) => {
+                assert_eq!(e, SubmitError::WouldBlock);
+                rejected = true;
+                break;
+            }
+        }
+    }
+    assert!(rejected, "bounded queue must reject, not grow");
+    // Everything accepted still completes, and the rejection is
+    // visible in the serve.rejected counter.
+    for p in pending {
+        p.wait().expect("accepted requests complete");
+    }
+    assert!(service.metrics().snapshot().counter("serve.rejected") >= 1);
+}
