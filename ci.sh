@@ -36,33 +36,59 @@ cargo test -q --offline --test serve
 QEC_BLOSSOM_FUZZ_CASES=5000 cargo test -q --release --offline \
     -p qec-testkit --test blossom_fuzz
 
+# Differential sparse-blossom fuzzing at the full release budget: 5k
+# random CSR decoding graphs (path-derived, boundary-heavy and
+# degenerate-tie shapes, plus a second 2.5k stream) through the
+# graph-native sparse solver vs. the dense complete-pricing baseline,
+# comparing total matching weight under the fixed-point quantization,
+# with shrunk reproducers on failure (see
+# crates/testkit/tests/sparse_blossom_fuzz.rs).
+QEC_SPARSE_BLOSSOM_FUZZ_CASES=5000 cargo test -q --release --offline \
+    -p qec-testkit --test sparse_blossom_fuzz
+
 # Quick benchmark smoke run with qec-obs tracing enabled: exercises
 # the batched decode hot path and the per-stage timing harness end to
 # end (1k shots keeps it a few seconds; the JSON lines double as a CI
-# artifact). The run must clear all five perf gates — pass_2x
+# artifact). The run must clear every perf gate — pass_2x
 # (decode_into ≥2x vs decode), pass_oracle (PathOracle ≥3x vs per-shot
 # Dijkstra), pass_sparse (SparsePathFinder ≥2x vs per-shot Dijkstra on
 # a hyperbolic DEM above the dense-oracle guard) and pass_obs_overhead
 # (per-batch tracing within 10% of the untraced decode stage), each
-# with bit-identical corrections — and leave the BENCH_7.json artifact
+# with bit-identical corrections — and leave the BENCH_8.json artifact
 # behind. The pass_blossom gate additionally requires the pooled
 # incremental blossom tier to clear 2x over the reference exact solver
-# on the hyperbolic fixture's real matching instances, and the
-# pass_serve gate requires the streaming service to sustain the
-# throughput floor on the hyperbolic fixture with corrections
-# bit-identical to offline decode_into.
+# on the hyperbolic fixture's real matching instances, the
+# pass_sparse_blossom gate requires the graph-native SparseGraph
+# matching strategy to clear 2x over the dense complete-pricing
+# pipeline end to end on the same fixture, and the pass_serve gate
+# requires the streaming service to sustain the throughput floor on
+# the hyperbolic fixture with corrections bit-identical to offline
+# decode_into.
 mkdir -p target
 trace_file=target/obs_trace.jsonl
 bench_out=$(cargo run --release --offline -p qec-bench -- \
-    --shots 1000 --out BENCH_7.json --trace "$trace_file" | tee /dev/stderr)
+    --shots 1000 --out BENCH_8.json --trace "$trace_file" | tee /dev/stderr)
 grep -q '"pass_2x":true' <<<"$bench_out"
 grep -q '"pass_oracle":true' <<<"$bench_out"
 grep -q '"pass_sparse":true' <<<"$bench_out"
 grep -q '"pass_blossom":true' <<<"$bench_out"
+grep -q '"pass_sparse_blossom":true' <<<"$bench_out"
 grep -q '"pass_obs_overhead":true' <<<"$bench_out"
 grep -q '"pass_serve":true' <<<"$bench_out"
 grep -q '"identical":true' <<<"$bench_out"
-test -s BENCH_7.json
+# Every gate must hold, including any added later: a record carrying
+# any "pass_*":false fails CI outright (greps above pin the gates we
+# know by name; this catches the ones we forgot to list).
+if grep -E '"pass_[a-z0-9_]+":false' <<<"$bench_out"; then
+    echo "ci.sh: benchmark gate failed (pass_* flag is false)" >&2
+    exit 1
+fi
+# Records must carry the shared schema header.
+if grep -vq '"bench_schema":' <<<"$bench_out"; then
+    echo "ci.sh: bench record missing bench_schema header" >&2
+    exit 1
+fi
+test -s BENCH_8.json
 
 # The bench run's structured trace must be non-empty, well-formed
 # JSON lines with balanced span enter/close nesting, and must contain

@@ -168,6 +168,22 @@ impl BlossomScratch {
         self.high_water
     }
 
+    /// Dual "radius" of 0-based real vertex `u0` after a successful
+    /// solve, in internal (doubled, transformed) units: `2c - lab[u0]`.
+    ///
+    /// An edge `(u, v)` that was *omitted* from the loaded instance
+    /// cannot improve the matching unless its scaled weight `s_uv`
+    /// satisfies `4·s_uv < radius(u) + radius(v)`: the certificate
+    /// slack of a hypothetical edge is `lab_u + lab_v - 4·(c - s_uv)`
+    /// (any shared-blossom dual only adds a non-negative term), which
+    /// is non-negative exactly when `4·s_uv ≥ radius(u) + radius(v)`.
+    /// The sparse-graph matching tier uses this to bound how far each
+    /// defect's dual ball must be searched when certifying that every
+    /// unpriced defect pair is irrelevant.
+    pub(crate) fn dual_radius(&self, u0: usize) -> i64 {
+        2 * self.c - self.lab[u0 + 1]
+    }
+
     /// Current pool footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.ws.len() * 8

@@ -35,6 +35,14 @@
 //!   O(V+E) CSR index, memoized per shot in [`DecodeScratch`], serving
 //!   graphs above the oracle node limit (the paper's hyperbolic DEMs)
 //!   and flag-reweighted shots — bit-identical to both neighbors.
+//! * [`sparse_graph_match`] — the graph-native sparse blossom matching
+//!   tier ([`MatchingStrategy::SparseGraph`]): instead of pricing every
+//!   defect pair, it grows a candidate instance outward from each
+//!   defect on the `SparsePathFinder` CSR, solves it with the pooled
+//!   blossom scratch, and *certifies* the result against all omitted
+//!   pairs with dual-ball searches — total matching weight identical to
+//!   the dense baseline, per-shot cost scaling with the touched graph
+//!   region instead of defects².
 //!
 //! All decoders implement [`Decoder`], mapping a shot's detector bits
 //! to predicted logical-observable flips.
@@ -48,6 +56,7 @@ mod mwpm;
 mod paths;
 mod restriction;
 mod scratch;
+mod sparse_blossom;
 mod unionfind;
 
 pub use blossom::{pooled_min_weight_perfect_matching_f64, BlossomScratch, PooledMatching};
@@ -58,6 +67,9 @@ pub use paths::{
 };
 pub use restriction::{ColorCodeContext, RestrictionConfig, RestrictionDecoder, RestrictionEvent};
 pub use scratch::{DecodeScratch, DecoderStats};
+pub use sparse_blossom::{
+    sparse_graph_match, MatchingStrategy, SparseBlossomScratch, SparseSolveOutcome,
+};
 pub use unionfind::{UnionFindConfig, UnionFindDecoder};
 
 use qec_math::BitVec;

@@ -4,6 +4,7 @@ use crate::blossom::pooled_min_weight_perfect_matching_f64;
 use crate::hypergraph::DecodingHypergraph;
 use crate::paths::{self, PathOracle, SparsePathFinder, DEFAULT_ORACLE_NODE_LIMIT};
 use crate::scratch::{DecodeScratch, MatchingCounters, MatchingScratch};
+use crate::sparse_blossom::{sparse_graph_match, MatchingStrategy};
 use crate::{Decoder, DecoderStats};
 use qec_math::graph::matching::min_weight_perfect_matching_f64;
 use qec_math::BitVec;
@@ -51,6 +52,14 @@ pub struct MwpmConfig {
     /// each matrix is built from the same single-flag-conditioned
     /// weights the per-shot search would use. `0` disables.
     pub flag_oracle_patterns: usize,
+    /// How the matching instance is built:
+    /// [`MatchingStrategy::Dense`] prices every defect pair through the
+    /// path tiers (decision-identical default, all goldens pinned
+    /// here); [`MatchingStrategy::SparseGraph`] grows the instance
+    /// lazily on the CSR decoding graph with dual-ball certification
+    /// (`decode.tier.sparse_blossom`) — identical total matching
+    /// weight, mates may differ on tie-degenerate shots.
+    pub matching_strategy: MatchingStrategy,
 }
 
 impl MwpmConfig {
@@ -64,6 +73,7 @@ impl MwpmConfig {
             build_threads: 0,
             incremental_blossom: true,
             flag_oracle_patterns: 4,
+            matching_strategy: MatchingStrategy::Dense,
         }
     }
 
@@ -80,6 +90,7 @@ impl MwpmConfig {
             // flag-reweighted), but kept equal to `flagged` so the two
             // configs differ only in semantics, not structure.
             flag_oracle_patterns: 4,
+            matching_strategy: MatchingStrategy::Dense,
         }
     }
 
@@ -115,6 +126,15 @@ impl MwpmConfig {
     /// (`0` disables the flag-oracle tier).
     pub fn with_flag_oracle_patterns(mut self, patterns: usize) -> Self {
         self.flag_oracle_patterns = patterns;
+        self
+    }
+
+    /// Selects the matching strategy (see
+    /// [`MwpmConfig::matching_strategy`]). Choosing
+    /// [`MatchingStrategy::SparseGraph`] builds the
+    /// [`SparsePathFinder`] CSR index even when a dense oracle exists.
+    pub fn with_matching_strategy(mut self, strategy: MatchingStrategy) -> Self {
+        self.matching_strategy = strategy;
         self
     }
 }
@@ -307,19 +327,38 @@ impl MwpmDecoder {
                     .set(oracle.memory_bytes() as u64);
                 oracle
             });
-        let sparse =
-            (oracle.is_none() && config.sparse_paths && !adjacency.is_empty()).then(|| {
-                let _span =
-                    qec_obs::span_with("decoder.build.csr", &[("nodes", adjacency.len().into())]);
-                let sparse = Arc::new(SparsePathFinder::build(&adjacency, weights));
+        // The CSR index serves two tiers: the sparse path supply (when
+        // the dense oracle is absent) and the graph-native sparse
+        // blossom matching stage, which searches it directly and so
+        // needs it regardless of the oracle.
+        let want_csr = (oracle.is_none() && config.sparse_paths)
+            || config.matching_strategy == MatchingStrategy::SparseGraph;
+        let sparse = (want_csr && !adjacency.is_empty()).then(|| {
+            let _span =
+                qec_obs::span_with("decoder.build.csr", &[("nodes", adjacency.len().into())]);
+            let sparse = Arc::new(SparsePathFinder::build(&adjacency, weights));
+            metrics
+                .gauge("build.sparse.nodes")
+                .set(sparse.num_nodes() as u64);
+            metrics
+                .gauge("build.sparse.bytes")
+                .set(sparse.memory_bytes() as u64);
+            sparse
+        });
+        if config.matching_strategy == MatchingStrategy::SparseGraph {
+            if let Some(sp) = &sparse {
+                let _span = qec_obs::span_with(
+                    "decoder.build.sparse_blossom",
+                    &[("nodes", sp.num_nodes().into())],
+                );
                 metrics
-                    .gauge("build.sparse.nodes")
-                    .set(sparse.num_nodes() as u64);
+                    .gauge("build.sparse_blossom.nodes")
+                    .set(sp.num_nodes() as u64);
                 metrics
-                    .gauge("build.sparse.bytes")
-                    .set(sparse.memory_bytes() as u64);
-                sparse
-            });
+                    .gauge("build.sparse_blossom.bytes")
+                    .set(sp.memory_bytes() as u64);
+            }
+        }
         let flag_oracles = if oracle.is_some() {
             build_flag_oracles(
                 &hypergraph,
@@ -360,6 +399,7 @@ impl MwpmDecoder {
         if config.oracle_node_limit != self.config.oracle_node_limit
             || config.sparse_paths != self.config.sparse_paths
             || config.flag_oracle_patterns != self.config.flag_oracle_patterns
+            || config.matching_strategy != self.config.matching_strategy
         {
             return false;
         }
@@ -599,6 +639,7 @@ impl MwpmDecoder {
             targets,
             weights,
             blossom,
+            sparse_blossom,
             pairs,
             ..
         } = sc;
@@ -627,6 +668,69 @@ impl MwpmDecoder {
             0.0
         };
         let s = checks.len();
+        // Graph-native sparse blossom tier: matching is solved directly
+        // on the CSR decoding graph (discovery → solve → dual-ball
+        // certify → repair), skipping the complete defect-pair pricing
+        // below entirely. Total matching weight is identical to the
+        // dense strategy; flagged shots are served through the same
+        // per-shot effective-weights slice the sparse path tier uses.
+        if self.config.matching_strategy == MatchingStrategy::SparseGraph {
+            if let Some(sp) = self.sparse.as_deref() {
+                self.counters.sparse_blossom.inc();
+                let boundary_vertex = self.has_boundary.then_some(boundary);
+                let outcome = if overrides.is_empty() && flag_constant == 0.0 {
+                    sparse_graph_match(
+                        sp,
+                        checks,
+                        boundary_vertex,
+                        &|c| sp.class_weights()[c],
+                        sparse_blossom,
+                        blossom,
+                        pairs,
+                    )
+                } else {
+                    weights.clear();
+                    weights.extend(self.base_choice.iter().map(|&(_, w)| w + flag_constant));
+                    for (&class, &(_, w)) in overrides.iter() {
+                        weights[class] = w;
+                    }
+                    sparse_graph_match(
+                        sp,
+                        checks,
+                        boundary_vertex,
+                        &|c| weights[c],
+                        sparse_blossom,
+                        blossom,
+                        pairs,
+                    )
+                };
+                let Some(outcome) = outcome else {
+                    return; // no consistent pairing: give up, like dense
+                };
+                self.counters
+                    .sparse_blossom_rounds
+                    .record(outcome.rounds as u64);
+                self.counters
+                    .sparse_blossom_edges
+                    .record(outcome.candidate_edges as u64);
+                for &(a, b) in pairs.iter() {
+                    let tj = if a < s && b < s {
+                        b
+                    } else if a < s && b == s + a {
+                        s
+                    } else {
+                        continue;
+                    };
+                    self.apply_hops(
+                        sparse_blossom.pair_hops(a, tj),
+                        overrides,
+                        correction,
+                        &mut trace,
+                    );
+                }
+                return;
+            }
+        }
         // Three-tier path strategy. With no flag reweighting in effect
         // the precomputed dense oracle answers every query; raised
         // flags (overrides or the global constant) reweight the graph
@@ -695,6 +799,12 @@ impl MwpmDecoder {
                 }
                 sp.matching_paths_into(checks, targets, |c| weights[c], sparse);
             }
+            self.counters
+                .sparse_memo_bytes
+                .set(sparse.memo_bytes() as u64);
+            self.counters
+                .sparse_memo_high_water
+                .set(sparse.memo_high_water_bytes() as u64);
         } else if oracle.is_none() {
             while dist.len() < s {
                 dist.push(Vec::new());
@@ -929,6 +1039,70 @@ mod tests {
         let stats = sparse.stats();
         assert!(stats.sparse_hits > 0);
         assert!(stats.oracle_hits == 0 && stats.oracle_misses == 0);
+    }
+
+    /// The graph-native matching strategy: every syndrome decodes to
+    /// the same correction as the dense strategy on this fixture, the
+    /// sparse-blossom tier counter advances, and `decode_into` stays
+    /// bit-identical to `decode`.
+    #[test]
+    fn sparse_graph_strategy_agrees_with_dense_exhaustively() {
+        let dem = repetition_dem(0.01);
+        let dense = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
+        let graph = MwpmDecoder::new(
+            &dem,
+            MwpmConfig::unflagged().with_matching_strategy(MatchingStrategy::SparseGraph),
+        );
+        assert!(graph.sparse_finder().is_some());
+        let nd = dem.num_detectors();
+        let mut scratch = DecodeScratch::new();
+        let mut out = BitVec::zeros(0);
+        for pattern in 0..(1u32 << nd) {
+            let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
+            graph.decode_into(&dets, &mut scratch, &mut out);
+            assert_eq!(out, dense.decode(&dets), "vs dense, syndrome {pattern:#b}");
+            assert_eq!(out, graph.decode(&dets), "vs decode, syndrome {pattern:#b}");
+        }
+        let stats = graph.stats();
+        assert!(stats.sparse_blossom > 0);
+        assert_eq!(dense.stats().sparse_blossom, 0);
+        // Flagged preset too: flag reweighting flows through the
+        // per-shot effective-weights slice.
+        let flagged_dense = MwpmDecoder::new(&dem, MwpmConfig::flagged(0.01));
+        let flagged_graph = MwpmDecoder::new(
+            &dem,
+            MwpmConfig::flagged(0.01).with_matching_strategy(MatchingStrategy::SparseGraph),
+        );
+        for pattern in 0..(1u32 << nd) {
+            let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
+            assert_eq!(
+                flagged_graph.decode(&dets),
+                flagged_dense.decode(&dets),
+                "flagged, syndrome {pattern:#b}"
+            );
+        }
+    }
+
+    /// Switching the matching strategy is a structural change: reprice
+    /// must refuse it in both directions.
+    #[test]
+    fn reprice_refuses_matching_strategy_change() {
+        let dem = repetition_dem(0.01);
+        let mut dense = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
+        assert!(!dense.reprice(
+            &dem,
+            MwpmConfig::unflagged().with_matching_strategy(MatchingStrategy::SparseGraph)
+        ));
+        let mut graph = MwpmDecoder::new(
+            &dem,
+            MwpmConfig::unflagged().with_matching_strategy(MatchingStrategy::SparseGraph),
+        );
+        assert!(!graph.reprice(&dem, MwpmConfig::unflagged()));
+        let repriced = graph.reprice(
+            &dem,
+            MwpmConfig::unflagged().with_matching_strategy(MatchingStrategy::SparseGraph),
+        );
+        assert!(repriced);
     }
 
     /// Sweep reuse: re-pricing a decoder at a new error rate must be

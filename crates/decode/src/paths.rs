@@ -31,7 +31,7 @@ pub const DEFAULT_ORACLE_NODE_LIMIT: usize = 1024;
 /// accumulation order) in one place is what makes the dense oracle, the
 /// sparse finder and the per-shot fallback **bitwise** interchangeable.
 #[inline]
-fn relaxed_dist(d: f64, w: f64, class: usize) -> f64 {
+pub(crate) fn relaxed_dist(d: f64, w: f64, class: usize) -> f64 {
     d + w + 1e-6 + (class % 1024) as f64 * 1e-9
 }
 
@@ -354,6 +354,19 @@ impl SparsePathFinder {
         &self.class_weights
     }
 
+    /// The frozen CSR offsets (crate-internal: the sparse-graph blossom
+    /// solver walks the same index the path searches use).
+    pub(crate) fn csr_offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The frozen CSR `(neighbor, class)` cells, in adjacency
+    /// enumeration order (relaxation order is part of the bitwise
+    /// contract every consumer of this index shares).
+    pub(crate) fn csr_edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
     /// Replaces the stored flag-free class weights — the sweep-reuse
     /// path, mirroring [`PathOracle::reprice`]. The CSR structure is
     /// untouched.
@@ -494,6 +507,10 @@ impl SparsePathFinder {
                 sc.path_span[idx] = (start, sc.hops.len() as u32 - start);
             }
         }
+        let bytes = sc.memo_bytes();
+        if bytes > sc.memo_high_water_bytes {
+            sc.memo_high_water_bytes = bytes;
+        }
     }
 }
 
@@ -524,6 +541,9 @@ pub struct SparsePathScratch {
     path_span: Vec<(u32, u32)>,
     /// Unrolled `(prev, cur, class)` path hops in dst→src walk order.
     hops: Vec<(u32, u32, u32)>,
+    /// Largest `memo_bytes()` any single search has reached — the
+    /// steady-state capacity the pool converges to after warmup.
+    memo_high_water_bytes: usize,
 }
 
 impl SparsePathScratch {
@@ -580,6 +600,14 @@ impl SparsePathScratch {
         self.pair_dist.len() * std::mem::size_of::<f64>()
             + self.path_span.len() * std::mem::size_of::<(u32, u32)>()
             + self.hops.len() * std::mem::size_of::<(u32, u32, u32)>()
+    }
+
+    /// High-water mark of [`Self::memo_bytes`] across every search this
+    /// scratch has served. Flat after warmup: repeated decodes of the
+    /// same workload must not regrow the memo (pinned by a regression
+    /// test), so this is a true steady-state footprint gauge.
+    pub fn memo_high_water_bytes(&self) -> usize {
+        self.memo_high_water_bytes
     }
 }
 

@@ -6,6 +6,7 @@ use crate::paths::{
     self, PathOracle, SparsePathFinder, SparsePathScratch, DEFAULT_ORACLE_NODE_LIMIT,
 };
 use crate::scratch::{DecodeScratch, HeapItem, MatchingCounters, MatchingScratch};
+use crate::sparse_blossom::{sparse_graph_match, MatchingStrategy, SparseBlossomScratch};
 use crate::{Decoder, DecoderStats};
 use qec_math::graph::matching::min_weight_perfect_matching_f64;
 use qec_math::{gf2, BitMatrix, BitVec};
@@ -58,6 +59,13 @@ pub struct RestrictionConfig {
     /// of the allocating reference solver; decision-identical, pinned
     /// by golden and differential-fuzz tests.
     pub incremental_blossom: bool,
+    /// How each restricted lattice's matching instance is built.
+    /// [`MatchingStrategy::Dense`] prices every defect pair up front;
+    /// [`MatchingStrategy::SparseGraph`] solves directly on the
+    /// lattice's CSR with [`sparse_graph_match`] — identical total
+    /// matching weight, per-shot cost scaling with the touched graph
+    /// region.
+    pub matching_strategy: MatchingStrategy,
 }
 
 impl RestrictionConfig {
@@ -71,6 +79,7 @@ impl RestrictionConfig {
             sparse_paths: true,
             build_threads: 0,
             incremental_blossom: true,
+            matching_strategy: MatchingStrategy::Dense,
         }
     }
 
@@ -84,6 +93,7 @@ impl RestrictionConfig {
             sparse_paths: true,
             build_threads: 0,
             incremental_blossom: true,
+            matching_strategy: MatchingStrategy::Dense,
         }
     }
 
@@ -112,6 +122,13 @@ impl RestrictionConfig {
     /// reference solver with bitwise-identical output.
     pub fn with_incremental_blossom(mut self, on: bool) -> Self {
         self.incremental_blossom = on;
+        self
+    }
+
+    /// Selects the matching-instance strategy (`decode.tier.sparse_blossom`
+    /// counts lattices solved graph-natively).
+    pub fn with_matching_strategy(mut self, strategy: MatchingStrategy) -> Self {
+        self.matching_strategy = strategy;
         self
     }
 }
@@ -279,29 +296,49 @@ impl RestrictionDecoder {
         };
         let oracles = [build_oracle(0), build_oracle(1), build_oracle(2)];
         let build_sparse = |li: usize| {
-            (oracles[li].is_none() && config.sparse_paths && !lattices[li].adjacency.is_empty())
-                .then(|| {
-                    let _span = qec_obs::span_with(
-                        "decoder.build.csr",
-                        &[
-                            ("nodes", lattices[li].adjacency.len().into()),
-                            ("lattice", li.into()),
-                        ],
-                    );
-                    let sparse = Arc::new(SparsePathFinder::build(
-                        &lattices[li].adjacency,
-                        weights.clone(),
-                    ));
-                    metrics
-                        .gauge(&format!("build.sparse.l{li}.nodes"))
-                        .set(sparse.num_nodes() as u64);
-                    metrics
-                        .gauge(&format!("build.sparse.l{li}.bytes"))
-                        .set(sparse.memory_bytes() as u64);
-                    sparse
-                })
+            // The sparse-blossom matching strategy solves on the CSR
+            // even for lattices whose dense oracle exists, so it forces
+            // the index to be built.
+            let want_csr = (oracles[li].is_none() && config.sparse_paths)
+                || config.matching_strategy == MatchingStrategy::SparseGraph;
+            (want_csr && !lattices[li].adjacency.is_empty()).then(|| {
+                let _span = qec_obs::span_with(
+                    "decoder.build.csr",
+                    &[
+                        ("nodes", lattices[li].adjacency.len().into()),
+                        ("lattice", li.into()),
+                    ],
+                );
+                let sparse = Arc::new(SparsePathFinder::build(
+                    &lattices[li].adjacency,
+                    weights.clone(),
+                ));
+                metrics
+                    .gauge(&format!("build.sparse.l{li}.nodes"))
+                    .set(sparse.num_nodes() as u64);
+                metrics
+                    .gauge(&format!("build.sparse.l{li}.bytes"))
+                    .set(sparse.memory_bytes() as u64);
+                sparse
+            })
         };
         let sparses = [build_sparse(0), build_sparse(1), build_sparse(2)];
+        if config.matching_strategy == MatchingStrategy::SparseGraph {
+            for (li, sp) in sparses.iter().enumerate() {
+                if let Some(sp) = sp {
+                    let _span = qec_obs::span_with(
+                        "decoder.build.sparse_blossom",
+                        &[("nodes", sp.num_nodes().into()), ("lattice", li.into())],
+                    );
+                    metrics
+                        .gauge(&format!("build.sparse_blossom.l{li}.nodes"))
+                        .set(sp.num_nodes() as u64);
+                    metrics
+                        .gauge(&format!("build.sparse_blossom.l{li}.bytes"))
+                        .set(sp.memory_bytes() as u64);
+                }
+            }
+        }
         let sigma_index = hypergraph
             .classes()
             .iter()
@@ -334,6 +371,7 @@ impl RestrictionDecoder {
     pub fn reprice(&mut self, dem: &DetectorErrorModel, config: RestrictionConfig) -> bool {
         if config.oracle_node_limit != self.config.oracle_node_limit
             || config.sparse_paths != self.config.sparse_paths
+            || config.matching_strategy != self.config.matching_strategy
         {
             return false;
         }
@@ -438,6 +476,7 @@ impl RestrictionDecoder {
         heap: &mut BinaryHeap<HeapItem>,
         edges: &mut Vec<(usize, usize, f64)>,
         ssc: &mut SparsePathScratch,
+        sbsc: &mut SparseBlossomScratch,
         weights: &mut Vec<f64>,
         blossom: &mut crate::BlossomScratch,
         pairs: &mut Vec<(usize, usize)>,
@@ -452,6 +491,51 @@ impl RestrictionDecoder {
             // Closed codes always flip an even number per lattice; an
             // odd count means an unusable shot — decode conservatively.
             return;
+        }
+        // Graph-native sparse blossom tier: restricted lattices have no
+        // boundary vertex, so the instance is the defects alone. Total
+        // matching weight is identical to the dense instance below.
+        if self.config.matching_strategy == MatchingStrategy::SparseGraph {
+            if let Some(sp) = sparse {
+                self.counters.sparse_blossom.inc();
+                let outcome = if overrides.is_empty() && flag_constant == 0.0 {
+                    sparse_graph_match(
+                        sp,
+                        sources,
+                        None,
+                        &|c| sp.class_weights()[c],
+                        sbsc,
+                        blossom,
+                        pairs,
+                    )
+                } else {
+                    weights.clear();
+                    weights.extend(self.base_choice.iter().map(|&(_, w)| w + flag_constant));
+                    for (&class, &(_, w)) in overrides.iter() {
+                        weights[class] = w;
+                    }
+                    sparse_graph_match(sp, sources, None, &|c| weights[c], sbsc, blossom, pairs)
+                };
+                let Some(outcome) = outcome else {
+                    return; // no consistent pairing: give up, like dense
+                };
+                self.counters
+                    .sparse_blossom_rounds
+                    .record(outcome.rounds as u64);
+                self.counters
+                    .sparse_blossom_edges
+                    .record(outcome.candidate_edges as u64);
+                for &(a, b) in pairs.iter() {
+                    for &(prev, cur, class) in sbsc.pair_hops(a, b) {
+                        em.push((
+                            class as usize,
+                            lattice.check_of[prev as usize],
+                            lattice.check_of[cur as usize],
+                        ));
+                    }
+                }
+                return;
+            }
         }
         let s = sources.len();
         // Non-overridden classes keep their F = ∅ member but still pay
@@ -478,6 +562,10 @@ impl RestrictionDecoder {
                 }
                 sp.matching_paths_into(sources, sources, |c| weights[c], ssc);
             }
+            self.counters.sparse_memo_bytes.set(ssc.memo_bytes() as u64);
+            self.counters
+                .sparse_memo_high_water
+                .set(ssc.memo_high_water_bytes() as u64);
         } else if oracle.is_none() {
             while dist.len() < s {
                 dist.push(Vec::new());
@@ -652,6 +740,7 @@ impl RestrictionDecoder {
             targets: _,
             weights,
             blossom,
+            sparse_blossom,
             pairs,
             sources,
             em,
@@ -693,10 +782,11 @@ impl RestrictionDecoder {
         // non-empty lattice avoided full Dijkstra with at least one
         // served by the sparse finder, and as a miss otherwise.
         let flag_free = overrides.is_empty() && flag_constant == 0.0;
-        let all_oracle = flag_free && self.oracles.iter().all(Option::is_some);
+        let sparse_graph = self.config.matching_strategy == MatchingStrategy::SparseGraph;
+        let all_oracle = !sparse_graph && flag_free && self.oracles.iter().all(Option::is_some);
         let no_dijkstra = (0..3).all(|li| {
             self.lattices[li].adjacency.is_empty()
-                || (flag_free && self.oracles[li].is_some())
+                || (!sparse_graph && flag_free && self.oracles[li].is_some())
                 || self.sparses[li].is_some()
         });
         if all_oracle {
@@ -709,7 +799,7 @@ impl RestrictionDecoder {
         em.clear();
         for (li, lattice) in self.lattices.iter().enumerate() {
             let start = em.len();
-            let oracle = if flag_free {
+            let oracle = if flag_free && !sparse_graph {
                 self.oracles[li].as_deref()
             } else {
                 None
@@ -733,6 +823,7 @@ impl RestrictionDecoder {
                 heap,
                 edges,
                 sparse,
+                sparse_blossom,
                 weights,
                 blossom,
                 pairs,
@@ -1078,6 +1169,33 @@ mod tests {
         let stats = sparse.stats();
         assert!(stats.sparse_hits > 0);
         assert!(stats.oracle_hits == 0 && stats.oracle_misses == 0);
+    }
+
+    /// The graph-native matching strategy on restricted lattices:
+    /// every syndrome decodes to the same correction as the dense
+    /// strategy, the sparse-blossom tier counter advances, and
+    /// strategy changes refuse to reprice.
+    #[test]
+    fn sparse_graph_strategy_agrees_with_dense_exhaustively() {
+        let (dem, ctx) = tiny_color_dem();
+        let dense = RestrictionDecoder::new(&dem, ctx.clone(), RestrictionConfig::flagged(0.01));
+        let mut graph = RestrictionDecoder::new(
+            &dem,
+            ctx,
+            RestrictionConfig::flagged(0.01).with_matching_strategy(MatchingStrategy::SparseGraph),
+        );
+        assert!((0..3).all(|l| graph.sparse_finder(l).is_some()));
+        let nd = dem.num_detectors();
+        let mut scratch = DecodeScratch::new();
+        let mut out = BitVec::zeros(0);
+        for pattern in 0..(1u32 << nd) {
+            let dets = BitVec::from_ones(nd, (0..nd).filter(|&d| pattern >> d & 1 == 1));
+            graph.decode_into(&dets, &mut scratch, &mut out);
+            assert_eq!(out, dense.decode(&dets), "vs dense, syndrome {pattern:#b}");
+        }
+        assert!(graph.stats().sparse_blossom > 0);
+        assert_eq!(dense.stats().sparse_blossom, 0);
+        assert!(!graph.reprice(&dem, RestrictionConfig::flagged(0.01)));
     }
 
     /// Sweep reuse: re-pricing at a new error rate must decode every

@@ -53,6 +53,13 @@ pub struct DecoderStats {
     /// a prebuilt flag-conditioned matrix) — dense-oracle speed on
     /// flagged shots that previously fell to the sparse tier.
     pub flag_oracle_hits: u64,
+    /// Matching instances solved by the graph-native sparse blossom
+    /// tier ([`crate::MatchingStrategy::SparseGraph`]): candidate
+    /// pricing on the CSR decoding graph plus dual-ball certification,
+    /// instead of pricing the complete defect graph. MWPM runs one
+    /// instance per shot; the restriction decoder one per non-empty
+    /// restricted lattice.
+    pub sparse_blossom: u64,
 }
 
 impl DecoderStats {
@@ -82,6 +89,7 @@ impl DecoderStats {
             flag_oracle_hits: self
                 .flag_oracle_hits
                 .saturating_sub(earlier.flag_oracle_hits),
+            sparse_blossom: self.sparse_blossom.saturating_sub(earlier.sparse_blossom),
         }
     }
 }
@@ -100,10 +108,23 @@ pub(crate) struct MatchingCounters {
     pub(crate) oracle_misses: Counter,
     pub(crate) blossom_solves: Counter,
     pub(crate) flag_oracle_hits: Counter,
+    /// Instances solved by the graph-native sparse blossom tier.
+    pub(crate) sparse_blossom: Counter,
     /// Log₂ histogram of flipped-check counts per decoded shot (defect
     /// density; size companion to the harness's per-batch latency
     /// histogram).
     pub(crate) defects: Histogram,
+    /// Log₂ histogram of certify/repair rounds per sparse-blossom solve.
+    pub(crate) sparse_blossom_rounds: Histogram,
+    /// Log₂ histogram of priced candidate pairs per sparse-blossom
+    /// solve (what the dense tier would have priced as defects²/2).
+    pub(crate) sparse_blossom_edges: Histogram,
+    /// Steady-state sparse-tier memo footprint of the *most recent*
+    /// worker scratch to finish a shot (bytes).
+    pub(crate) sparse_memo_bytes: qec_obs::Gauge,
+    /// High-water sparse-tier memo footprint of that scratch (bytes);
+    /// flat after warmup — repeated decodes must not regrow it.
+    pub(crate) sparse_memo_high_water: qec_obs::Gauge,
 }
 
 impl MatchingCounters {
@@ -119,7 +140,12 @@ impl MatchingCounters {
             oracle_misses: metrics.counter("decode.tier.dijkstra_fallbacks"),
             blossom_solves: metrics.counter("decode.tier.blossom"),
             flag_oracle_hits: metrics.counter("decode.tier.flag_oracle_hits"),
+            sparse_blossom: metrics.counter("decode.tier.sparse_blossom"),
             defects: metrics.histogram("decode.defects"),
+            sparse_blossom_rounds: metrics.histogram("decode.sparse_blossom.rounds"),
+            sparse_blossom_edges: metrics.histogram("decode.sparse_blossom.edges"),
+            sparse_memo_bytes: metrics.gauge("build.sparse.memo_bytes"),
+            sparse_memo_high_water: metrics.gauge("build.sparse.memo_high_water_bytes"),
         }
     }
 
@@ -131,6 +157,7 @@ impl MatchingCounters {
             oracle_misses: self.oracle_misses.get(),
             blossom_solves: self.blossom_solves.get(),
             flag_oracle_hits: self.flag_oracle_hits.get(),
+            sparse_blossom: self.sparse_blossom.get(),
             ..DecoderStats::default()
         }
     }
@@ -173,6 +200,25 @@ impl DecodeScratch {
     /// The restriction decoder's pooled blossom solver state.
     pub fn restriction_blossom(&self) -> &crate::BlossomScratch {
         &self.restriction.blossom
+    }
+
+    /// The MWPM decoder's graph-native sparse blossom tier state
+    /// (read-only; pool growth and solve statistics for tests and
+    /// benches).
+    pub fn mwpm_sparse_blossom(&self) -> &crate::SparseBlossomScratch {
+        &self.mwpm.sparse_blossom
+    }
+
+    /// The restriction decoder's graph-native sparse blossom tier state.
+    pub fn restriction_sparse_blossom(&self) -> &crate::SparseBlossomScratch {
+        &self.restriction.sparse_blossom
+    }
+
+    /// High-water mark in bytes of the sparse-tier per-shot path memos
+    /// across both matching scratches (see
+    /// [`crate::SparsePathScratch::memo_high_water_bytes`]).
+    pub fn sparse_memo_high_water_bytes(&self) -> usize {
+        self.mwpm.sparse.memo_high_water_bytes() + self.restriction.sparse.memo_high_water_bytes()
     }
 
     /// Verifies the dual certificates left by the most recent blossom
@@ -236,6 +282,10 @@ pub(crate) struct MatchingScratch {
     /// Pooled incremental blossom solver state (the preferred matching
     /// stage); reset in O(touched) between shots.
     pub(crate) blossom: crate::blossom::BlossomScratch,
+    /// Graph-native sparse blossom tier state (candidate pricing, dual
+    /// balls, pair memo); used when the decoder's `matching_strategy`
+    /// is [`crate::MatchingStrategy::SparseGraph`].
+    pub(crate) sparse_blossom: crate::sparse_blossom::SparseBlossomScratch,
     /// Matched pairs of the current instance, in the reference
     /// `Matching::pairs` enumeration order (u < v, ascending u).
     pub(crate) pairs: Vec<(usize, usize)>,

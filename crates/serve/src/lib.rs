@@ -24,7 +24,10 @@
 //!   `serve.request` span with the same fields. The service never uses
 //!   lifetime-counter deltas for attribution (those are racy when two
 //!   callers share one decoder — see `fpn_core::run_ber`).
-//! * **SLO metrics.** Completed requests feed the `serve.queue_ns` /
+//! * **SLO metrics.** The `serve.queue_depth` gauge tracks requests
+//!   waiting in the queue (written under the queue lock at submit and
+//!   shard pickup, reconciling to zero after a drain), and completed
+//!   requests feed the `serve.queue_ns` /
 //!   `serve.decode_ns` / `serve.e2e_ns` histograms in the service's
 //!   [`Registry`] (shared with the decoder's registry when it has one),
 //!   so p50/p99/p999 fall out of a registry snapshot via
@@ -40,7 +43,7 @@
 
 use qec_decode::{DecodeScratch, Decoder};
 use qec_math::BitVec;
-use qec_obs::{Counter, Histogram, Registry};
+use qec_obs::{Counter, Gauge, Histogram, Registry};
 use std::collections::VecDeque;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -219,6 +222,10 @@ struct ServeCounters {
     queue_ns: Histogram,
     decode_ns: Histogram,
     e2e_ns: Histogram,
+    /// Requests currently waiting in the bounded queue; written under
+    /// the queue lock at submit and at shard pickup, so it reconciles
+    /// to zero once the queue drains.
+    queue_depth: Gauge,
 }
 
 impl ServeCounters {
@@ -232,6 +239,7 @@ impl ServeCounters {
             queue_ns: metrics.histogram("serve.queue_ns"),
             decode_ns: metrics.histogram("serve.decode_ns"),
             e2e_ns: metrics.histogram("serve.e2e_ns"),
+            queue_depth: metrics.gauge("serve.queue_depth"),
         }
     }
 }
@@ -366,6 +374,7 @@ impl DecodeService {
                 submitted,
                 reply: tx,
             });
+            self.counters.queue_depth.set(state.jobs.len() as u64);
         }
         self.shared.available.notify_one();
         Ok(PendingResponse { rx })
@@ -410,6 +419,7 @@ fn worker_loop(shard: usize, shared: &Shared, decoder: &dyn Decoder, counters: &
             let mut state = shared.queue.lock().expect("serve queue lock");
             loop {
                 if let Some(job) = state.jobs.pop_front() {
+                    counters.queue_depth.set(state.jobs.len() as u64);
                     break job;
                 }
                 if state.shutdown {

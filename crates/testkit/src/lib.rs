@@ -450,3 +450,238 @@ pub fn differential_blossom_fuzz(cases: u64, seed: u64) -> Result<(), String> {
     }
     Ok(())
 }
+
+/// One graph-native sparse-blossom differential case: a CSR decoding
+/// graph, the shot's defect set, and an optional boundary vertex —
+/// the inputs [`qec_decode::sparse_graph_match`] takes directly.
+#[derive(Debug, Clone)]
+pub struct SparseBlossomFuzzCase {
+    /// `adjacency[v]` lists `(neighbor, class)`.
+    pub adjacency: Vec<Vec<(usize, usize)>>,
+    /// Per-class weights.
+    pub class_weights: Vec<f64>,
+    /// Defect nodes, ascending (odd counts included — without a
+    /// boundary both solvers must give up).
+    pub defects: Vec<usize>,
+    /// Boundary vertex (never a defect), when present.
+    pub boundary: Option<usize>,
+}
+
+impl SparseBlossomFuzzCase {
+    fn render(&self) -> String {
+        let mut s = String::from("SparseBlossomFuzzCase { adjacency: vec![");
+        for nbrs in &self.adjacency {
+            s.push_str(&format!("vec!{nbrs:?}, "));
+        }
+        s.push_str(&format!(
+            "], class_weights: vec!{:?}, defects: vec!{:?}, boundary: {:?} }}",
+            self.class_weights, self.defects, self.boundary
+        ));
+        s
+    }
+}
+
+/// Draws one sparse-blossom fuzz case. Three shapes:
+///
+/// * **path-derived**: a [`random_sparse_graph`] draw with a random
+///   defect subset — disconnected components keep infeasible and
+///   escalation paths well represented;
+/// * **boundary-heavy**: the same plus a boundary vertex wired to
+///   about half the graph with cheap spokes, so boundary matches
+///   dominate the optimum;
+/// * **degenerate-tie**: class weights redrawn from a tiny value set,
+///   so matchings tie heavily and only weight equality (not mate
+///   identity) can be asserted.
+pub fn random_sparse_blossom_case(rng: &mut Xoshiro256StarStar) -> SparseBlossomFuzzCase {
+    let (mut adjacency, mut class_weights) = random_sparse_graph(rng);
+    if rng.gen_bool(0.3) {
+        // Degenerate ties: tiny weight set, maximal tie pressure.
+        let vals = [0.5, 1.0, 1.0, 2.0];
+        for w in class_weights.iter_mut() {
+            *w = vals[rng.gen_range(0..vals.len())];
+        }
+    }
+    let nv = adjacency.len();
+    let mut nodes: Vec<usize> = (0..nv).collect();
+    for i in 0..nv {
+        let j = rng.gen_range(i..nv);
+        nodes.swap(i, j);
+    }
+    let boundary = rng.gen_bool(0.45).then(|| nodes[nv - 1]);
+    let kmax = nv - usize::from(boundary.is_some());
+    let k = rng.gen_range(0..=kmax.min(10));
+    let mut defects: Vec<usize> = nodes[..k].to_vec();
+    defects.sort_unstable();
+    if let Some(b) = boundary {
+        if rng.gen_bool(0.5) {
+            // Boundary-heavy: cheap spokes from ~half the nodes.
+            for u in 0..nv / 2 {
+                if u == b {
+                    continue;
+                }
+                let class = class_weights.len();
+                class_weights.push(0.05 + rng.gen_f64() * 2.0);
+                adjacency[u].push((b, class));
+                adjacency[b].push((u, class));
+            }
+        }
+    }
+    SparseBlossomFuzzCase {
+        adjacency,
+        class_weights,
+        defects,
+        boundary,
+    }
+}
+
+/// The dense baseline for one case: complete per-defect shortest-path
+/// pricing, the virtual-boundary construction, and the reference exact
+/// solver — `Some(total scaled weight)` when a perfect matching exists.
+fn sparse_case_dense_weight(case: &SparseBlossomFuzzCase) -> Option<i64> {
+    let s = case.defects.len();
+    let mut edges = Vec::new();
+    for (i, &src) in case.defects.iter().enumerate() {
+        let (dist, _) = qec_decode::shortest_paths_from(&case.adjacency, &case.class_weights, src);
+        for (j, &dst) in case.defects.iter().enumerate().skip(i + 1) {
+            if dist[dst] < 1.0e8 {
+                edges.push((i, j, dist[dst]));
+            }
+        }
+        if let Some(b) = case.boundary {
+            if dist[b] < 1.0e8 {
+                edges.push((i, s + i, dist[b]));
+            }
+        }
+    }
+    let n = if case.boundary.is_some() {
+        for i in 0..s {
+            for j in (i + 1)..s {
+                edges.push((s + i, s + j, 0.0));
+            }
+        }
+        2 * s
+    } else {
+        s
+    };
+    qec_math::graph::matching::min_weight_perfect_matching_f64(n, &edges).map(|m| m.weight)
+}
+
+/// The graph-native side of the differential: builds the CSR finder
+/// and runs [`qec_decode::sparse_graph_match`] against the provided
+/// (possibly shared) scratches.
+fn sparse_case_sparse_weight(
+    case: &SparseBlossomFuzzCase,
+    sc: &mut qec_decode::SparseBlossomScratch,
+    blossom: &mut qec_decode::BlossomScratch,
+) -> Option<i64> {
+    let finder = qec_decode::SparsePathFinder::build(&case.adjacency, case.class_weights.clone());
+    let mut pairs = Vec::new();
+    let cw = |c: usize| case.class_weights[c];
+    qec_decode::sparse_graph_match(
+        &finder,
+        &case.defects,
+        case.boundary,
+        &cw,
+        sc,
+        blossom,
+        &mut pairs,
+    )
+    .map(|o| o.weight)
+}
+
+/// `true` when the sparse-graph solver disagrees with the dense
+/// baseline on Option-ness or total weight, against fresh scratches.
+fn sparse_case_diverges_fresh(case: &SparseBlossomFuzzCase) -> bool {
+    let mut sc = qec_decode::SparseBlossomScratch::new();
+    let mut blossom = qec_decode::BlossomScratch::new();
+    sparse_case_dense_weight(case) != sparse_case_sparse_weight(case, &mut sc, &mut blossom)
+}
+
+/// Greedy shrink for a diverging case: drop the boundary, drop
+/// defects, and delete graph edges, keeping each step only if the
+/// divergence (against fresh scratches) persists.
+fn shrink_sparse_case(mut case: SparseBlossomFuzzCase) -> SparseBlossomFuzzCase {
+    loop {
+        let mut reduced = false;
+        if case.boundary.is_some() {
+            let mut cand = case.clone();
+            cand.boundary = None;
+            if sparse_case_diverges_fresh(&cand) {
+                case = cand;
+                reduced = true;
+            }
+        }
+        let mut i = 0;
+        while i < case.defects.len() {
+            let mut cand = case.clone();
+            cand.defects.remove(i);
+            if sparse_case_diverges_fresh(&cand) {
+                case = cand;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        // Undirected edge deletions (mirror both adjacency rows).
+        let mut undirected: Vec<(usize, usize, usize)> = Vec::new();
+        for (u, nbrs) in case.adjacency.iter().enumerate() {
+            for &(v, class) in nbrs {
+                if u < v {
+                    undirected.push((u, v, class));
+                }
+            }
+        }
+        for &(u, v, class) in &undirected {
+            let mut cand = case.clone();
+            cand.adjacency[u].retain(|&(x, c)| (x, c) != (v, class));
+            cand.adjacency[v].retain(|&(x, c)| (x, c) != (u, class));
+            if sparse_case_diverges_fresh(&cand) {
+                case = cand;
+                reduced = true;
+            }
+        }
+        if !reduced {
+            return case;
+        }
+    }
+}
+
+/// Differential fuzz of the graph-native sparse blossom against the
+/// dense complete-pricing baseline: `cases` random CSR cases through
+/// one shared [`qec_decode::SparseBlossomScratch`] (cross-shot stale
+/// state exercised), each checked for identical `Option`-ness and
+/// identical total scaled matching weight — the strategy's contract
+/// (mate identity is *not* asserted: tie-degenerate instances may
+/// match differently at equal weight).
+///
+/// # Errors
+///
+/// On the first mismatch, returns a report carrying the seed, the case
+/// index, and a greedily shrunk minimal reproducer. Re-running with
+/// the same `seed` replays the identical case sequence.
+pub fn differential_sparse_blossom_fuzz(cases: u64, seed: u64) -> Result<(), String> {
+    let mut sc = qec_decode::SparseBlossomScratch::new();
+    let mut blossom = qec_decode::BlossomScratch::new();
+    for case in 0..cases {
+        let mut rng = Xoshiro256StarStar::from_seed_stream(seed, case);
+        let inst = random_sparse_blossom_case(&mut rng);
+        let dense = sparse_case_dense_weight(&inst);
+        let sparse = sparse_case_sparse_weight(&inst, &mut sc, &mut blossom);
+        if dense != sparse {
+            let minimal = if sparse_case_diverges_fresh(&inst) {
+                shrink_sparse_case(inst.clone())
+            } else {
+                inst.clone()
+            };
+            return Err(format!(
+                "sparse-blossom differential mismatch: seed={seed:#x} case={case}\n\
+                 dense:  {dense:?}\nsparse: {sparse:?}\n\
+                 minimal reproducer: {}\n\
+                 (rerun: differential_sparse_blossom_fuzz({}, {seed:#x}))",
+                minimal.render(),
+                case + 1,
+            ));
+        }
+    }
+    Ok(())
+}

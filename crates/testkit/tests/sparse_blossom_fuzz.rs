@@ -1,0 +1,25 @@
+//! Differential fuzzing of the graph-native sparse blossom solver
+//! against the dense complete-pricing baseline (see
+//! `qec_testkit::differential_sparse_blossom_fuzz` for the case shapes
+//! and the weight-equality contract).
+
+/// Case budget: `QEC_SPARSE_BLOSSOM_FUZZ_CASES` when set (how `ci.sh`
+/// runs the release budget), otherwise a debug-friendly default.
+fn budget() -> u64 {
+    std::env::var("QEC_SPARSE_BLOSSOM_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) { 400 } else { 3000 })
+}
+
+#[test]
+fn sparse_blossom_matches_dense_weight_on_random_graphs() {
+    qec_testkit::differential_sparse_blossom_fuzz(budget(), 0x5b10550).unwrap();
+}
+
+/// A second seed with its own shared scratch, covering different
+/// stale-state interleavings across the case stream.
+#[test]
+fn sparse_blossom_matches_dense_weight_second_stream() {
+    qec_testkit::differential_sparse_blossom_fuzz(budget() / 2, 0x9ec0de).unwrap();
+}

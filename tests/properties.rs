@@ -822,6 +822,83 @@ fn blossom_pool_reuse_is_clean_and_certified() {
     );
 }
 
+/// The graph-native sparse-blossom matching strategy must decode
+/// realistic multi-error syndromes to the same corrections as the
+/// dense complete-pricing strategy — on surface DEMs (boundary
+/// matches), flagged configs (per-shot reweighting), and the
+/// hyperbolic fixture (the no-boundary regime it was built for) —
+/// while routing every nonzero shot through the sparse-blossom tier.
+#[test]
+fn sparse_graph_strategy_agrees_with_dense_on_realistic_dems() {
+    use fpn_repro::qec_decode::MatchingStrategy;
+    let pm = NoiseModel::new(1e-3).measurement_flip();
+    let mut scratch = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
+    for (dem, cases, seed) in [
+        (surface_memory_dem(3), 32u64, 0x5b9d3u64),
+        (hyperbolic_memory_dem(), 10, 0x5b94),
+    ] {
+        for config in [MwpmConfig::unflagged(), MwpmConfig::flagged(pm)] {
+            let dense = MwpmDecoder::new(&dem, config);
+            let graph = MwpmDecoder::new(
+                &dem,
+                config.with_matching_strategy(MatchingStrategy::SparseGraph),
+            );
+            assert!(graph.sparse_finder().is_some(), "strategy forces the CSR");
+            let q = mechanism_fire_probability(&dem, 6.0);
+            for_all(cases, seed, |g| {
+                let syndrome = random_syndrome(g.rng(), &dem, q);
+                let reference = dense.decode(&syndrome);
+                graph.decode_into(&syndrome, &mut scratch, &mut out);
+                assert_eq!(
+                    out, reference,
+                    "sparse-graph strategy diverged from dense matching"
+                );
+            });
+            assert!(graph.stats().sparse_blossom > 0);
+            assert_eq!(dense.stats().sparse_blossom, 0);
+        }
+    }
+}
+
+/// The sparse-tier memo's high-water gauge must stop growing once the
+/// scratch is warm: replaying the same shots through a warmed
+/// `DecodeScratch` may not regrow the memo pools.
+#[test]
+fn sparse_memo_high_water_is_stable_after_warmup() {
+    let dem = surface_memory_dem(3);
+    // Limit 0 drops the dense oracle, so every shot exercises the
+    // sparse path tier and its per-shot memo.
+    let decoder = MwpmDecoder::new(&dem, MwpmConfig::unflagged().with_oracle_node_limit(0));
+    assert!(decoder.sparse_finder().is_some());
+    let q = mechanism_fire_probability(&dem, 8.0);
+    let mut scratch = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
+    let mut shots: Vec<BitVec> = Vec::new();
+    for_all(32, 0x3e30, |g| {
+        let syndrome = random_syndrome(g.rng(), &dem, q);
+        decoder.decode_into(&syndrome, &mut scratch, &mut out);
+        shots.push(syndrome);
+    });
+    let warm = scratch.sparse_memo_high_water_bytes();
+    assert!(warm > 0, "sparse-tier decodes must touch the memo");
+    for syndrome in &shots {
+        decoder.decode_into(syndrome, &mut scratch, &mut out);
+    }
+    assert_eq!(
+        scratch.sparse_memo_high_water_bytes(),
+        warm,
+        "replaying warmed shots regrew the sparse memo"
+    );
+    // The decoder's registry exports the same figure as gauges.
+    let snap = decoder.metrics().expect("mwpm keeps a registry").snapshot();
+    assert!(snap.gauge("build.sparse.memo_bytes") > 0);
+    assert_eq!(
+        snap.gauge("build.sparse.memo_high_water_bytes") as usize,
+        warm
+    );
+}
+
 /// The flag-conditioned secondary oracles must (a) cover exactly the
 /// highest-probability-mass flags, (b) answer single-flag shots from
 /// the O(1) table (counted as `decode.tier.flag_oracle_hits`) where a

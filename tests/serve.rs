@@ -135,6 +135,13 @@ fn assert_service_matches_offline(
             assert_eq!(h.count, requests as u64, "{label}: {hist} sample count");
             assert!(h.quantile(0.999) >= h.quantile(0.5), "{label}: {hist}");
         }
+        // Every submitted request was picked up, so the depth gauge
+        // must have reconciled back to zero after the drain.
+        assert_eq!(
+            snap.gauge("serve.queue_depth"),
+            0,
+            "{label}: queue depth must reconcile to zero after drain ({shards} shards)"
+        );
     }
 }
 
