@@ -46,6 +46,15 @@ QEC_BLOSSOM_FUZZ_CASES=5000 cargo test -q --release --offline \
 QEC_SPARSE_BLOSSOM_FUZZ_CASES=5000 cargo test -q --release --offline \
     -p qec-testkit --test sparse_blossom_fuzz
 
+# Differential BP+OSD fuzzing at the full release budget: 2k random
+# sparse hypergraphs (degenerate, disconnected and overcomplete shapes
+# included, plus a second 1k stream) asserting that every correction
+# exactly reproduces its syndrome and that the OSD solution's weight
+# never exceeds the BP hard decision's, with shrunk reproducers on
+# failure (see crates/testkit/tests/bp_osd_fuzz.rs).
+QEC_BP_OSD_FUZZ_CASES=2000 cargo test -q --release --offline \
+    -p qec-testkit --test bp_osd_fuzz
+
 # Quick benchmark smoke run with qec-obs tracing enabled: exercises
 # the batched decode hot path and the per-stage timing harness end to
 # end (1k shots keeps it a few seconds; the JSON lines double as a CI
@@ -54,7 +63,7 @@ QEC_SPARSE_BLOSSOM_FUZZ_CASES=5000 cargo test -q --release --offline \
 # Dijkstra), pass_sparse (SparsePathFinder ≥2x vs per-shot Dijkstra on
 # a hyperbolic DEM above the dense-oracle guard) and pass_obs_overhead
 # (per-batch tracing within 10% of the untraced decode stage), each
-# with bit-identical corrections — and leave the BENCH_8.json artifact
+# with bit-identical corrections — and leave the BENCH_9.json artifact
 # behind. The pass_blossom gate additionally requires the pooled
 # incremental blossom tier to clear 2x over the reference exact solver
 # on the hyperbolic fixture's real matching instances, the
@@ -63,11 +72,13 @@ QEC_SPARSE_BLOSSOM_FUZZ_CASES=5000 cargo test -q --release --offline \
 # pipeline end to end on the same fixture, and the pass_serve gate
 # requires the streaming service to sustain the throughput floor on
 # the hyperbolic fixture with corrections bit-identical to offline
-# decode_into.
+# decode_into. The pass_bp_osd gate requires the BP+OSD hypergraph
+# tier to return a syndrome-exact correction for 100% of the
+# hyperbolic ground-truth shots with zero give-ups.
 mkdir -p target
 trace_file=target/obs_trace.jsonl
 bench_out=$(cargo run --release --offline -p qec-bench -- \
-    --shots 1000 --out BENCH_8.json --trace "$trace_file" | tee /dev/stderr)
+    --shots 1000 --out BENCH_9.json --trace "$trace_file" | tee /dev/stderr)
 grep -q '"pass_2x":true' <<<"$bench_out"
 grep -q '"pass_oracle":true' <<<"$bench_out"
 grep -q '"pass_sparse":true' <<<"$bench_out"
@@ -75,6 +86,7 @@ grep -q '"pass_blossom":true' <<<"$bench_out"
 grep -q '"pass_sparse_blossom":true' <<<"$bench_out"
 grep -q '"pass_obs_overhead":true' <<<"$bench_out"
 grep -q '"pass_serve":true' <<<"$bench_out"
+grep -q '"pass_bp_osd":true' <<<"$bench_out"
 grep -q '"identical":true' <<<"$bench_out"
 # Every gate must hold, including any added later: a record carrying
 # any "pass_*":false fails CI outright (greps above pin the gates we
@@ -88,7 +100,7 @@ if grep -vq '"bench_schema":' <<<"$bench_out"; then
     echo "ci.sh: bench record missing bench_schema header" >&2
     exit 1
 fi
-test -s BENCH_8.json
+test -s BENCH_9.json
 
 # The bench run's structured trace must be non-empty, well-formed
 # JSON lines with balanced span enter/close nesting, and must contain

@@ -48,7 +48,12 @@
 //!   sustained shots/sec through a 4-shard bounded-queue service with
 //!   p50/p99/p999 end-to-end request latency read from the
 //!   `serve.e2e_ns` qec-obs histogram, bit-identical to offline
-//!   `decode_into` (`pass_serve`).
+//!   `decode_into` (`pass_serve`);
+//! * the BP+OSD hypergraph tier against MWPM on the identical
+//!   hyperbolic DEM: logical failures on ground-truth shots plus
+//!   per-shot `decode_into` latency for both decoders, gated
+//!   (`pass_bp_osd`) on the hard invariant that **every** BP+OSD
+//!   correction exactly reproduces its syndrome.
 //!
 //! Run with `cargo run --release -p qec-bench`; pass `--shots 1000`
 //! for the quick CI configuration (default 10 000), `--out <path>` to
@@ -115,7 +120,7 @@ fn round1(x: f64) -> f64 {
 /// the repo root, resolved from the crate manifest so the artifact
 /// lands in the same place regardless of the invocation directory).
 fn write_bench_json(out: Option<&str>, shots: usize) {
-    const PR: u32 = 8;
+    const PR: u32 = 9;
     let records = RECORDS.lock().unwrap();
     let body = records
         .iter()
@@ -125,7 +130,7 @@ fn write_bench_json(out: Option<&str>, shots: usize) {
     let json = format!(
         "{{\n  \"pr\": {PR},\n  \"bench_schema\": {BENCH_SCHEMA},\n  \"shots\": {shots},\n  \"records\": [\n{body}\n  ]\n}}\n"
     );
-    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_", "8", ".json");
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_", "9", ".json");
     let path = out.unwrap_or(default_path);
     std::fs::write(path, json).expect("write BENCH json artifact");
     eprintln!("wrote {path}");
@@ -1009,6 +1014,111 @@ fn bench_serve_throughput(shots: usize) {
     );
 }
 
+/// The BP+OSD hypergraph tier against MWPM on the identical hyperbolic
+/// DEM: logical failure counts on ground-truth circuit shots and
+/// per-shot `decode_into` latency for both decoders. The gate
+/// (`pass_bp_osd`) is the decoder's hard invariant — every correction
+/// must exactly reproduce its syndrome (checked per shot via
+/// `decode_detail`, not statistically) with zero give-ups; the
+/// accuracy and latency fields are published for trend-watching, not
+/// gated, because on a *matchable* DEM MWPM is the specialist and
+/// BP+OSD the generalist.
+fn bench_bp_osd_hyperbolic(shots: usize) {
+    let _span = qec_obs::span("bench.bp_osd_hyperbolic");
+    // OSD eliminations on the 1224-check matrix dominate worst-case
+    // shots; cap the workload so the bench stays bounded at the
+    // 10k-shot default configuration.
+    let shots = shots.min(2_000);
+    let (_, exp, _) = qec_testkit::hyperbolic_memory_experiment_at(1e-3);
+    let dem = DetectorErrorModel::from_circuit(&exp.circuit);
+    let bp = BpOsdDecoder::new(&dem, BpOsdConfig::unflagged());
+    let mwpm = MwpmDecoder::new(&dem, MwpmConfig::unflagged());
+
+    // Ground-truth workload: real sampled shots with their actual
+    // observable flips, so both decoders' failures are counted against
+    // the same truth (zero-syndrome shots included — they are free for
+    // both decoders and keep the failure denominators honest).
+    let sampler = FrameSampler::new(&exp.circuit);
+    let mut frame_scratch = FrameBatch::new();
+    let mut workload = Vec::with_capacity(shots);
+    for b in 0..shots.div_ceil(64) as u64 {
+        let mut rng = Xoshiro256StarStar::from_seed_stream(923, b);
+        let batch = sampler.sample_batch_with(&mut frame_scratch, &mut rng);
+        let mut dets = BitVec::zeros(0);
+        let mut actual = BitVec::zeros(0);
+        for s in 0..64 {
+            if workload.len() == shots {
+                break;
+            }
+            batch.detector_bits_into(s, &mut dets);
+            batch.observable_bits_into(s, &mut actual);
+            workload.push((dets.clone(), actual.clone()));
+        }
+    }
+
+    // Correctness pass (untimed): the 100% validity invariant plus
+    // both failure counts.
+    let mut ds = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
+    let mut valid_shots = 0usize;
+    let mut bp_failures = 0usize;
+    let mut mwpm_failures = 0usize;
+    for (dets, actual) in &workload {
+        let outcome = bp.decode_detail(dets, &mut ds, &mut out);
+        valid_shots += usize::from(outcome.valid);
+        bp_failures += usize::from(out != *actual);
+        mwpm.decode_into(dets, &mut ds, &mut out);
+        mwpm_failures += usize::from(out != *actual);
+    }
+    let stats = bp.stats();
+    let all_valid = valid_shots == workload.len() && stats.bp_giveups == 0;
+
+    // Min-of-interleaved-reps latency on the nonzero shots (the work).
+    let timed: Vec<&BitVec> = workload
+        .iter()
+        .map(|(d, _)| d)
+        .filter(|d| !d.is_zero())
+        .collect();
+    const REPS: usize = 3;
+    let (mut bp_ns, mut mwpm_ns) = (u128::MAX, u128::MAX);
+    let mut checksum = 0usize;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let mut sum = 0usize;
+        for d in &timed {
+            bp.decode_into(d, &mut ds, &mut out);
+            sum = sum.wrapping_add(out.weight());
+        }
+        bp_ns = bp_ns.min(t.elapsed().as_nanos());
+        checksum = sum;
+        let t = Instant::now();
+        for d in &timed {
+            mwpm.decode_into(d, &mut ds, &mut out);
+            sum = sum.wrapping_add(out.weight());
+        }
+        mwpm_ns = mwpm_ns.min(t.elapsed().as_nanos());
+        checksum = checksum.wrapping_add(sum);
+    }
+    let n = timed.len().max(1) as u128;
+    emit(
+        header("bp_osd_hyperbolic", workload.len(), REPS)
+            .field("bp_osd_decode_ns", bp_ns / n)
+            .field("mwpm_decode_ns", mwpm_ns / n)
+            .field(
+                "latency_ratio",
+                round1(bp_ns as f64 / mwpm_ns.max(1) as f64),
+            )
+            .field("valid_shots", valid_shots)
+            .field("bp_failures", bp_failures)
+            .field("mwpm_failures", mwpm_failures)
+            .field("bp_converged", stats.bp_converged)
+            .field("bp_osd_solves", stats.bp_osd_solves)
+            .field("bp_giveups", stats.bp_giveups)
+            .field("pass_bp_osd", all_valid)
+            .field("checksum", checksum),
+    );
+}
+
 fn bench_scheduling() {
     let code = small_hyperbolic_code();
     bench("greedy_schedule_30_8", 10, || {
@@ -1084,6 +1194,7 @@ fn main() {
         bench_mwpm_sparse_blossom_speedup(opts.shots);
         bench_obs_overhead(opts.shots);
         bench_serve_throughput(opts.shots);
+        bench_bp_osd_hyperbolic(opts.shots);
         bench_scheduling();
         bench_construction();
     }

@@ -3,8 +3,8 @@
 
 use qec_code::{CssCode, PlaqColor};
 use qec_decode::{
-    ColorCodeContext, DecodeScratch, Decoder, MwpmConfig, MwpmDecoder, RestrictionConfig,
-    RestrictionDecoder,
+    BpOsdConfig, BpOsdDecoder, ColorCodeContext, DecodeScratch, Decoder, MwpmConfig, MwpmDecoder,
+    RestrictionConfig, RestrictionDecoder,
 };
 use qec_math::rng::Xoshiro256StarStar;
 use qec_math::BitVec;
@@ -25,6 +25,11 @@ pub enum DecoderKind {
     FlaggedRestriction,
     /// Chamberland-style restriction: flags only in the MWPM stage.
     ChamberlandRestriction,
+    /// Flag-conditioned BP+OSD over the undecomposed hypergraph — the
+    /// general-QLDPC tier (works on any code, matchable or not).
+    FlaggedBpOsd,
+    /// Plain BP+OSD ignoring flag information.
+    PlainBpOsd,
 }
 
 /// The pipeline's concrete decoder: kept as an enum (not a boxed
@@ -36,6 +41,7 @@ pub enum DecoderKind {
 enum PipelineDecoder {
     Mwpm(MwpmDecoder),
     Restriction(RestrictionDecoder),
+    BpOsd(BpOsdDecoder),
 }
 
 impl PipelineDecoder {
@@ -43,6 +49,7 @@ impl PipelineDecoder {
         match self {
             PipelineDecoder::Mwpm(d) => d,
             PipelineDecoder::Restriction(d) => d,
+            PipelineDecoder::BpOsd(d) => d,
         }
     }
 }
@@ -138,6 +145,16 @@ impl DecodingPipeline {
                     metrics.clone(),
                 ))
             }
+            DecoderKind::FlaggedBpOsd => PipelineDecoder::BpOsd(BpOsdDecoder::with_metrics(
+                &dem,
+                BpOsdConfig::flagged(pm),
+                metrics.clone(),
+            )),
+            DecoderKind::PlainBpOsd => PipelineDecoder::BpOsd(BpOsdDecoder::with_metrics(
+                &dem,
+                BpOsdConfig::unflagged(),
+                metrics.clone(),
+            )),
         };
         DecodingPipeline {
             dem,
@@ -180,6 +197,12 @@ impl DecodingPipeline {
                 }
                 (PipelineDecoder::Restriction(d), DecoderKind::ChamberlandRestriction) => {
                     d.reprice(&dem, RestrictionConfig::chamberland(pm))
+                }
+                (PipelineDecoder::BpOsd(d), DecoderKind::FlaggedBpOsd) => {
+                    d.reprice(&dem, BpOsdConfig::flagged(pm))
+                }
+                (PipelineDecoder::BpOsd(d), DecoderKind::PlainBpOsd) => {
+                    d.reprice(&dem, BpOsdConfig::unflagged())
                 }
                 _ => false,
             };
@@ -238,6 +261,7 @@ impl DecodingPipeline {
         match self.decoder {
             PipelineDecoder::Mwpm(d) => std::sync::Arc::new(d),
             PipelineDecoder::Restriction(d) => std::sync::Arc::new(d),
+            PipelineDecoder::BpOsd(d) => std::sync::Arc::new(d),
         }
     }
 }

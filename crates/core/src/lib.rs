@@ -47,8 +47,9 @@ pub mod prelude {
     pub use qec_code::planar::rotated_surface_code;
     pub use qec_code::{CodeError, CodeFamily, CssCode, PlaqColor};
     pub use qec_decode::{
-        DecodeScratch, Decoder, DecoderStats, MwpmConfig, MwpmDecoder, PathOracle,
-        RestrictionConfig, RestrictionDecoder, UnionFindConfig, UnionFindDecoder,
+        BpOsdConfig, BpOsdDecoder, BpOsdOutcome, DecodeScratch, Decoder, DecoderStats, MwpmConfig,
+        MwpmDecoder, PathOracle, RestrictionConfig, RestrictionDecoder, UnionFindConfig,
+        UnionFindDecoder,
     };
     pub use qec_sched::{
         build_code_capacity_circuit, build_memory_circuit, greedy_schedule, Basis, MemoryExperiment,

@@ -44,6 +44,14 @@
 //!   the dense baseline, per-shot cost scaling with the touched graph
 //!   region instead of defects².
 //!
+//! * [`BpOsdDecoder`] — min-sum belief propagation with serial
+//!   scheduling over the *undecomposed* hypergraph plus
+//!   ordered-statistics (OSD-0/OSD-E) post-processing on a pooled GF(2)
+//!   elimination scratch: the baseline for general quantum LDPC
+//!   hypergraphs the matching decoders cannot represent, returning a
+//!   syndrome-valid correction for every syndrome in the check matrix's
+//!   column space.
+//!
 //! All decoders implement [`Decoder`], mapping a shot's detector bits
 //! to predicted logical-observable flips.
 
@@ -51,8 +59,10 @@
 #![warn(missing_docs)]
 
 mod blossom;
+mod bp;
 mod hypergraph;
 mod mwpm;
+mod osd;
 mod paths;
 mod restriction;
 mod scratch;
@@ -60,6 +70,7 @@ mod sparse_blossom;
 mod unionfind;
 
 pub use blossom::{pooled_min_weight_perfect_matching_f64, BlossomScratch, PooledMatching};
+pub use bp::{BpOsdConfig, BpOsdDecoder, BpOsdOutcome};
 pub use hypergraph::{ClassMember, DecodingHypergraph, EquivClass};
 pub use mwpm::{MwpmConfig, MwpmDecoder, TraceEdge};
 pub use paths::{

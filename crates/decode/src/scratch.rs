@@ -60,13 +60,23 @@ pub struct DecoderStats {
     /// instance per shot; the restriction decoder one per non-empty
     /// restricted lattice.
     pub sparse_blossom: u64,
+    /// BP+OSD shots whose belief-propagation stage converged (the hard
+    /// decision reproduced the syndrome), skipping OSD unless the
+    /// decoder is configured to always post-process.
+    pub bp_converged: u64,
+    /// BP+OSD shots that ran ordered-statistics post-processing.
+    pub bp_osd_solves: u64,
+    /// BP+OSD shots abandoned because the syndrome was outside the
+    /// check-matrix column space (no correction can reproduce it); the
+    /// BP hard decision was returned as a best effort.
+    pub bp_giveups: u64,
 }
 
 impl DecoderStats {
     /// Total shots where the decoder gave up and returned a partial
     /// correction.
     pub fn giveups(&self) -> u64 {
-        self.giveups_stalled + self.giveups_round_limit
+        self.giveups_stalled + self.giveups_round_limit + self.bp_giveups
     }
 
     /// Counts accumulated since `earlier` was snapshotted (saturating,
@@ -90,6 +100,9 @@ impl DecoderStats {
                 .flag_oracle_hits
                 .saturating_sub(earlier.flag_oracle_hits),
             sparse_blossom: self.sparse_blossom.saturating_sub(earlier.sparse_blossom),
+            bp_converged: self.bp_converged.saturating_sub(earlier.bp_converged),
+            bp_osd_solves: self.bp_osd_solves.saturating_sub(earlier.bp_osd_solves),
+            bp_giveups: self.bp_giveups.saturating_sub(earlier.bp_giveups),
         }
     }
 }
@@ -163,6 +176,91 @@ impl MatchingCounters {
     }
 }
 
+/// The BP+OSD decoder's counter handles into its metrics [`Registry`]:
+/// shots decoded, convergence/OSD/giveup tier tallies, the BP
+/// iteration and OSD rank histograms and the shared defect-count
+/// histogram. Shots with an empty check syndrome count as decodes but
+/// advance no tier counter, matching [`MatchingCounters`].
+#[derive(Debug, Clone)]
+pub(crate) struct BpCounters {
+    pub(crate) decodes: Counter,
+    /// Shots where BP converged (hard decision reproduced the
+    /// syndrome).
+    pub(crate) converged: Counter,
+    /// Shots that ran OSD post-processing.
+    pub(crate) osd_solves: Counter,
+    /// Shots with a syndrome outside the column space (gave up).
+    pub(crate) giveups: Counter,
+    /// Log₂ histogram of flipped-check counts per decoded shot.
+    pub(crate) defects: Histogram,
+    /// Log₂ histogram of BP sweeps executed per non-empty shot.
+    pub(crate) iterations: Histogram,
+    /// Log₂ histogram of the check-matrix rank per OSD solve.
+    pub(crate) osd_rank: Histogram,
+}
+
+impl BpCounters {
+    /// Interns the BP+OSD metric names in `metrics`; like
+    /// [`MatchingCounters::register`], re-registering against the same
+    /// registry continues the existing series.
+    pub(crate) fn register(metrics: &Registry) -> Self {
+        BpCounters {
+            decodes: metrics.counter("decode.decodes"),
+            converged: metrics.counter("decode.tier.bp_converged"),
+            osd_solves: metrics.counter("decode.tier.bp_osd"),
+            giveups: metrics.counter("decode.tier.bp_giveups"),
+            defects: metrics.histogram("decode.defects"),
+            iterations: metrics.histogram("decode.bp.iterations"),
+            osd_rank: metrics.histogram("decode.bp.osd_rank"),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> DecoderStats {
+        DecoderStats {
+            decodes: self.decodes.get(),
+            bp_converged: self.converged.get(),
+            bp_osd_solves: self.osd_solves.get(),
+            bp_giveups: self.giveups.get(),
+            ..DecoderStats::default()
+        }
+    }
+}
+
+/// Work arrays of the BP+OSD decoder: shot splitting and flag
+/// overrides (shared idiom with [`MatchingScratch`]), the per-edge
+/// min-sum message state, posterior marginals, syndrome/residual bit
+/// vectors and the pooled OSD elimination buffers. Buffers size
+/// themselves on first use against a given decoder and are reused
+/// allocation-free afterwards.
+#[derive(Debug, Default)]
+pub(crate) struct BpOsdScratch {
+    pub(crate) checks: Vec<usize>,
+    pub(crate) flags: BitVec,
+    pub(crate) overrides: HashMap<usize, (usize, f64)>,
+    /// Flag-reweighted per-variable prior log-likelihood ratios
+    /// (flagged shots only; unflagged shots use the decoder's slice).
+    pub(crate) llr: Vec<f64>,
+    /// Flag-reweighted per-variable effective `-ln p` weights.
+    pub(crate) weight: Vec<f64>,
+    /// Per-variable posterior LLR, maintained incrementally across the
+    /// serial sweep.
+    pub(crate) posterior: Vec<f64>,
+    /// Per-edge check→variable message, in check-CSR edge order.
+    pub(crate) r_msg: Vec<f64>,
+    /// Per-check local variable→check message buffer.
+    pub(crate) q: Vec<f64>,
+    /// Shot syndrome over the original checks.
+    pub(crate) syndrome: BitVec,
+    /// Shot syndrome over the redundant (overcomplete) checks.
+    pub(crate) red_syndrome: BitVec,
+    /// Residual buffer for hard-decision validity checks.
+    pub(crate) residual: BitVec,
+    /// Variables set in the current BP hard decision.
+    pub(crate) hard: Vec<u32>,
+    /// OSD reliability order, elimination state and candidate buffers.
+    pub(crate) osd: crate::osd::OsdBuffers,
+}
+
 /// Reusable scratch for [`crate::Decoder::decode_into`].
 ///
 /// Holds the work arrays of every decoder kind (Union-Find cluster
@@ -175,6 +273,7 @@ pub struct DecodeScratch {
     pub(crate) uf: UfScratch,
     pub(crate) mwpm: MatchingScratch,
     pub(crate) restriction: MatchingScratch,
+    pub(crate) bp: BpOsdScratch,
 }
 
 impl DecodeScratch {
@@ -219,6 +318,24 @@ impl DecodeScratch {
     /// [`crate::SparsePathScratch::memo_high_water_bytes`]).
     pub fn sparse_memo_high_water_bytes(&self) -> usize {
         self.mwpm.sparse.memo_high_water_bytes() + self.restriction.sparse.memo_high_water_bytes()
+    }
+
+    /// Current footprint in bytes of the BP+OSD pooled elimination and
+    /// candidate buffers (capacities, so flat after warmup).
+    pub fn bp_osd_bytes(&self) -> usize {
+        self.bp.osd.memory_bytes()
+    }
+
+    /// High-water footprint in bytes of the BP+OSD elimination pool —
+    /// repeated decodes against one decoder must not regrow it.
+    pub fn bp_osd_high_water_bytes(&self) -> usize {
+        self.bp.osd.elim.high_water_bytes()
+    }
+
+    /// Times the BP+OSD elimination pool grew — flat after warmup;
+    /// repeated same-shape OSD solves must not regrow it.
+    pub fn bp_osd_generations(&self) -> u64 {
+        self.bp.osd.elim.generations()
     }
 
     /// Verifies the dual certificates left by the most recent blossom

@@ -307,3 +307,102 @@ fn blossom_tier_matches_hyperbolic_golden_when_disabled() {
     );
     assert_eq!(off.stats().blossom_solves, 0, "tier disabled");
 }
+
+// ---------------------------------------------------------------------------
+// BP+OSD tier goldens.
+// ---------------------------------------------------------------------------
+
+/// Goldens for the BP+OSD decoder on the fixture DEMs. Each constant
+/// pins both build thread counts (the per-class prior computation is
+/// chunk-parallel and must merge bit-identically) and the batched
+/// (`decode_into`, shared scratch) against unbatched (`decode`, fresh
+/// scratch) paths — the scratch-reuse and thread-count determinism
+/// claims of the BP+OSD contract made executable. `osd_always` is
+/// pinned too, so the OSD enumeration itself (not just converged BP
+/// shots) is under golden coverage on the small fixtures.
+const BP_OSD_REPETITION_GOLDEN: u64 = 0xae7f_c9ed_68a8_0ffc;
+const BP_OSD_REPETITION_ALWAYS_GOLDEN: u64 = 0xae7f_c9ed_68a8_0ffc;
+const BP_OSD_SURFACE_D3_GOLDEN: u64 = 0x3b7a_60f3_085a_e211;
+const BP_OSD_TORIC_COLOR_GOLDEN: u64 = 0x02e7_defd_78ad_f1b6;
+const BP_OSD_HYPERBOLIC_GOLDEN: u64 = 0x2558_3493_149c_8ee1;
+
+#[test]
+fn bp_osd_golden_fingerprint_repetition() {
+    use qec_decode::{BpOsdConfig, BpOsdDecoder};
+    let dem = repetition_dem(0.01, 1e-3);
+    for threads in [1usize, 3] {
+        let decoder = BpOsdDecoder::new(&dem, BpOsdConfig::unflagged().with_build_threads(threads));
+        assert_single_faults_corrected(&dem, &decoder);
+        let fp = fingerprint(&dem, &decoder, 200, 0x601d_000d);
+        assert_eq!(
+            fp, BP_OSD_REPETITION_GOLDEN,
+            "BP+OSD repetition corrections changed ({threads} build threads); \
+             got {fp:#018x} — re-pin only if intentional",
+        );
+        let fpb = fingerprint_batched(&dem, &decoder, 200, 0x601d_000d);
+        assert_eq!(
+            fpb, BP_OSD_REPETITION_GOLDEN,
+            "BP+OSD decode_into diverged from decode; got {fpb:#018x}",
+        );
+    }
+    // The always-OSD path exercises the enumeration on every shot.
+    let always = BpOsdDecoder::new(&dem, BpOsdConfig::unflagged().with_osd_always(true));
+    let fpa = fingerprint_batched(&dem, &always, 200, 0x601d_000d);
+    assert_eq!(
+        fpa, BP_OSD_REPETITION_ALWAYS_GOLDEN,
+        "BP+OSD osd_always corrections changed; got {fpa:#018x} — re-pin only if intentional",
+    );
+}
+
+#[test]
+fn bp_osd_golden_fingerprint_surface_d3() {
+    use qec_decode::{BpOsdConfig, BpOsdDecoder};
+    let dem = qec_testkit::surface_memory_dem(3);
+    let q = mechanism_fire_probability(&dem, 8.0);
+    for threads in [1usize, 3] {
+        let decoder = BpOsdDecoder::new(&dem, BpOsdConfig::unflagged().with_build_threads(threads));
+        let fp = fingerprint_decoder(&dem, &decoder, 64, 0x601d_000e, q, true);
+        assert_eq!(
+            fp, BP_OSD_SURFACE_D3_GOLDEN,
+            "BP+OSD d=3 surface corrections changed ({threads} build threads); \
+             got {fp:#018x} — re-pin only if intentional",
+        );
+    }
+}
+
+#[test]
+fn bp_osd_golden_fingerprint_toric_color() {
+    use qec_decode::{BpOsdConfig, BpOsdDecoder};
+    let (dem, _ctx, pm) = qec_testkit::toric_color_dem();
+    let q = mechanism_fire_probability(&dem, 8.0);
+    for threads in [1usize, 3] {
+        let decoder = BpOsdDecoder::new(&dem, BpOsdConfig::flagged(pm).with_build_threads(threads));
+        let fp = fingerprint_decoder(&dem, &decoder, 32, 0x601d_000f, q, true);
+        assert_eq!(
+            fp, BP_OSD_TORIC_COLOR_GOLDEN,
+            "BP+OSD toric color corrections changed ({threads} build threads); \
+             got {fp:#018x} — re-pin only if intentional",
+        );
+    }
+}
+
+/// The 1224-check hyperbolic DEM: the regime BP+OSD exists for (the
+/// matching decoders need hyperedge decomposition here; BP works on
+/// the native hypergraph). Few shots — OSD eliminations on a
+/// 1224-row matrix are the expensive path — but enough to cover both
+/// converged and post-processed shots.
+#[test]
+fn bp_osd_golden_fingerprint_hyperbolic() {
+    use qec_decode::{BpOsdConfig, BpOsdDecoder};
+    let dem = hyperbolic_memory_dem();
+    let q = mechanism_fire_probability(&dem, 8.0);
+    for threads in [1usize, 3] {
+        let decoder = BpOsdDecoder::new(&dem, BpOsdConfig::unflagged().with_build_threads(threads));
+        let fp = fingerprint_decoder(&dem, &decoder, 8, 0x601d_0010, q, true);
+        assert_eq!(
+            fp, BP_OSD_HYPERBOLIC_GOLDEN,
+            "BP+OSD hyperbolic corrections changed ({threads} build threads); \
+             got {fp:#018x} — re-pin only if intentional",
+        );
+    }
+}

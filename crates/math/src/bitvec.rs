@@ -1,4 +1,5 @@
-//! Bit-packed GF(2) vectors.
+//! Bit-packed GF(2) vectors and the pooled elimination scratch built
+//! on them.
 
 use std::fmt;
 use std::ops::{BitXor, BitXorAssign};
@@ -164,6 +165,16 @@ impl BitVec {
         self.words.resize(len.div_ceil(64), 0);
     }
 
+    /// Makes `self` a copy of `other`, reusing the existing word
+    /// storage (no allocation once capacity has been reached). The
+    /// derived `Clone` cannot do this — `clone_from` falls back to a
+    /// fresh allocation — so hot loops copy through this instead.
+    pub fn copy_from(&mut self, other: &BitVec) {
+        self.len = other.len;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
     /// XORs `other` into `self` (GF(2) addition).
     ///
     /// # Panics
@@ -216,6 +227,262 @@ impl FromIterator<bool> for BitVec {
     fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
         let bits: Vec<bool> = iter.into_iter().collect();
         BitVec::from_bools(&bits)
+    }
+}
+
+/// Pooled Gauss–Jordan elimination over GF(2) with a caller-chosen
+/// column order and an augmented right-hand side.
+///
+/// This is the scratch-reusing counterpart of [`crate::gf2::rref`] /
+/// [`crate::gf2::solve`] for decode hot loops (the OSD post-processing
+/// stage of BP+OSD): all row storage, the rhs column and the pivot
+/// bookkeeping live in the scratch and are reused across calls, so
+/// steady-state elimination performs **no allocation** once the pool
+/// has warmed up to the largest system seen. The reset discipline
+/// follows the epoch-stamped idiom of the decode-side pools: per-column
+/// pivot marks carry a monotonic epoch stamp instead of being cleared
+/// (*O(touched)* = *O(rank)* marking per call, never an *O(cols)*
+/// wipe), row storage is reset only over the rows the next system
+/// actually uses, and capacity grows geometrically so the pool
+/// generation count is log-bounded.
+///
+/// With the identity column order the reduced rows and pivot columns
+/// are exactly [`crate::gf2::rref`]'s (a property test pins this); a
+/// permuted order reduces the same matrix but picks pivots in that
+/// order — how OSD chooses its most-likely information set.
+///
+/// # Example
+///
+/// ```
+/// use qec_math::EliminationScratch;
+///
+/// // x0 + x1 = 1, x1 + x2 = 0 over GF(2).
+/// let mut el = EliminationScratch::new();
+/// el.begin(2, 3);
+/// el.set(0, 0); el.set(0, 1); el.set_rhs(0);
+/// el.set(1, 1); el.set(1, 2);
+/// let order: Vec<u32> = vec![0, 1, 2];
+/// assert_eq!(el.eliminate(&order), 2);
+/// assert!(el.consistent());
+/// let mut x = qec_math::BitVec::zeros(0);
+/// el.solution_into(&mut x);
+/// assert_eq!(x.iter_ones().collect::<Vec<_>>(), vec![0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EliminationScratch {
+    /// Pooled row storage; rows `0..m` are live for the current system.
+    rows: Vec<BitVec>,
+    /// Augmented right-hand-side column (`m` bits), transformed
+    /// alongside the rows.
+    rhs: BitVec,
+    /// Pivot column of each pivot row, in elimination order.
+    pivot_cols: Vec<u32>,
+    /// Per-column epoch stamp: a column is a pivot of the *current*
+    /// system iff its stamp equals `epoch`. Never cleared — stamps are
+    /// monotonic, so reset is O(rank), not O(cols).
+    pivot_stamp: Vec<u64>,
+    /// Monotonic call stamp backing `pivot_stamp`.
+    epoch: u64,
+    /// Live row count of the current system.
+    m: usize,
+    /// Live column count of the current system.
+    n: usize,
+    /// Times any pool array had to grow (log-bounded after warmup; a
+    /// property test asserts no growth once warmed).
+    generations: u64,
+    /// High-water pool footprint in bytes.
+    high_water: usize,
+}
+
+impl EliminationScratch {
+    /// Creates an empty scratch; storage sizes itself on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a fresh `rows × cols` all-zero system (rhs included),
+    /// reusing pooled storage. Call before [`EliminationScratch::set`].
+    pub fn begin(&mut self, rows: usize, cols: usize) {
+        let mut grew = false;
+        if self.rows.len() < rows {
+            grew = true;
+            let want = rows.max(self.rows.len() * 2);
+            self.rows.resize_with(want, BitVec::default);
+        }
+        for row in &mut self.rows[..rows] {
+            if row.words.capacity() < cols.div_ceil(64) {
+                grew = true;
+            }
+            row.reset_zeros(cols);
+        }
+        self.rhs.reset_zeros(rows);
+        if self.pivot_stamp.len() < cols {
+            grew = true;
+            self.pivot_stamp.resize(cols, 0);
+        }
+        self.pivot_cols.clear();
+        self.epoch += 1;
+        self.m = rows;
+        self.n = cols;
+        if grew {
+            self.generations += 1;
+        }
+        self.high_water = self.high_water.max(self.memory_bytes());
+    }
+
+    /// Sets coefficient `(r, c)` of the current system to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is outside the current system.
+    pub fn set(&mut self, r: usize, c: usize) {
+        assert!(r < self.m, "row {r} out of range {}", self.m);
+        self.rows[r].set(c, true);
+    }
+
+    /// Sets right-hand-side bit `r` of the current system to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside the current system.
+    pub fn set_rhs(&mut self, r: usize) {
+        self.rhs.set(r, true);
+    }
+
+    /// Row `r` of the (possibly reduced) current system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside the current system.
+    pub fn row(&self, r: usize) -> &BitVec {
+        assert!(r < self.m, "row {r} out of range {}", self.m);
+        &self.rows[r]
+    }
+
+    /// Right-hand-side bit `r` of the (possibly reduced) system.
+    pub fn rhs_bit(&self, r: usize) -> bool {
+        self.rhs.get(r)
+    }
+
+    /// Gauss–Jordan-reduces the current system, scanning candidate
+    /// pivot columns in the caller's `order`, and returns the rank.
+    /// After the call, pivot rows `0..rank` are in reduced form (each
+    /// pivot column has a single 1, in its pivot row) and rows
+    /// `rank..m` are zero over every column in `order`.
+    ///
+    /// Fully deterministic: pivots are chosen as the first row at or
+    /// below the current pivot row with a 1 in the scanned column.
+    pub fn eliminate(&mut self, order: &[u32]) -> usize {
+        let mut rank = 0usize;
+        for &c in order {
+            if rank >= self.m {
+                break;
+            }
+            let c = c as usize;
+            let Some(p) = (rank..self.m).find(|&r| self.rows[r].get(c)) else {
+                continue;
+            };
+            self.rows.swap(rank, p);
+            let (a, b) = (self.rhs.get(rank), self.rhs.get(p));
+            self.rhs.set(rank, b);
+            self.rhs.set(p, a);
+            let pivot_row = std::mem::take(&mut self.rows[rank]);
+            let pivot_rhs = self.rhs.get(rank);
+            for (i, row) in self.rows.iter_mut().enumerate().take(self.m) {
+                if i != rank && row.get(c) {
+                    row.xor_assign(&pivot_row);
+                    if pivot_rhs {
+                        self.rhs.flip(i);
+                    }
+                }
+            }
+            self.rows[rank] = pivot_row;
+            self.pivot_cols.push(c as u32);
+            self.pivot_stamp[c] = self.epoch;
+            rank += 1;
+        }
+        rank
+    }
+
+    /// `true` when column `c` is a pivot of the current (reduced)
+    /// system. O(1) via the epoch stamp.
+    pub fn is_pivot_col(&self, c: usize) -> bool {
+        self.pivot_stamp[c] == self.epoch
+    }
+
+    /// Pivot columns of the reduced system, in elimination order
+    /// (`pivot_cols()[r]` is the pivot column of row `r`).
+    pub fn pivot_cols(&self) -> &[u32] {
+        &self.pivot_cols
+    }
+
+    /// `true` when the reduced system is consistent: no zero row
+    /// carries a 1 on the right-hand side. Meaningful after
+    /// [`EliminationScratch::eliminate`] with an `order` covering every
+    /// column with support (rows beyond the rank are then zero rows).
+    pub fn consistent(&self) -> bool {
+        (self.pivot_cols.len()..self.m).all(|r| !self.rhs.get(r))
+    }
+
+    /// Writes the canonical solution (free variables zero, pivot
+    /// variables from the reduced rhs) into `out` (resized to the
+    /// column count). Call after [`EliminationScratch::eliminate`];
+    /// only meaningful when [`EliminationScratch::consistent`].
+    pub fn solution_into(&self, out: &mut BitVec) {
+        out.reset_zeros(self.n);
+        for (r, &c) in self.pivot_cols.iter().enumerate() {
+            if self.rhs.get(r) {
+                out.set(c as usize, true);
+            }
+        }
+    }
+
+    /// Writes the reduced rhs restricted to pivot rows into `out`
+    /// (`rank` bits): bit `r` is the value the pivot variable of row
+    /// `r` takes when every free variable is zero.
+    pub fn pivot_solution_into(&self, out: &mut BitVec) {
+        let rank = self.pivot_cols.len();
+        out.reset_zeros(rank);
+        for r in 0..rank {
+            if self.rhs.get(r) {
+                out.set(r, true);
+            }
+        }
+    }
+
+    /// Writes reduced column `c` restricted to pivot rows into `out`
+    /// (`rank` bits) — the pivot-row toggle mask of free column `c`:
+    /// flipping free variable `c` flips exactly these pivot values.
+    pub fn column_into(&self, c: usize, out: &mut BitVec) {
+        let rank = self.pivot_cols.len();
+        out.reset_zeros(rank);
+        for r in 0..rank {
+            if self.rows[r].get(c) {
+                out.set(r, true);
+            }
+        }
+    }
+
+    /// Current pool footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.words.capacity() * 8)
+            .sum::<usize>()
+            + self.rhs.words.capacity() * 8
+            + self.pivot_cols.capacity() * 4
+            + self.pivot_stamp.capacity() * 8
+    }
+
+    /// High-water pool footprint in bytes (flat after warmup).
+    pub fn high_water_bytes(&self) -> usize {
+        self.high_water
+    }
+
+    /// Times any pool array grew; flat after warmup — repeated
+    /// same-shape eliminations must not regrow the pool.
+    pub fn generations(&self) -> u64 {
+        self.generations
     }
 }
 
@@ -323,5 +590,76 @@ mod tests {
         assert_eq!(v.len(), 3);
         assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
         assert_eq!(format!("{v}"), "101");
+    }
+
+    fn load(el: &mut EliminationScratch, rows: &[&[usize]], cols: usize, rhs: &[usize]) {
+        el.begin(rows.len(), cols);
+        for (r, ones) in rows.iter().enumerate() {
+            for &c in ones.iter() {
+                el.set(r, c);
+            }
+        }
+        for &r in rhs {
+            el.set_rhs(r);
+        }
+    }
+
+    #[test]
+    fn eliminate_identity_order_solves() {
+        let mut el = EliminationScratch::new();
+        // x0+x1 = 1, x1+x2 = 1, x0+x2 = 0 (dependent third row).
+        load(&mut el, &[&[0, 1], &[1, 2], &[0, 2]], 3, &[0, 1]);
+        let order: Vec<u32> = (0..3).collect();
+        assert_eq!(el.eliminate(&order), 2);
+        assert!(el.consistent());
+        assert_eq!(el.pivot_cols(), &[0, 1]);
+        assert!(el.is_pivot_col(0) && el.is_pivot_col(1) && !el.is_pivot_col(2));
+        let mut x = BitVec::zeros(0);
+        el.solution_into(&mut x);
+        // Free x2 = 0 -> x1 = 1, x0 = 0.
+        assert_eq!(x.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn eliminate_reports_inconsistency() {
+        let mut el = EliminationScratch::new();
+        // x0 = 1 and x0 = 0: inconsistent.
+        load(&mut el, &[&[0], &[0]], 1, &[0]);
+        let order = [0u32];
+        assert_eq!(el.eliminate(&order), 1);
+        assert!(!el.consistent());
+    }
+
+    #[test]
+    fn permuted_order_picks_pivots_in_that_order() {
+        let mut el = EliminationScratch::new();
+        load(&mut el, &[&[0, 1], &[1, 2]], 3, &[]);
+        let order = [2u32, 0, 1];
+        assert_eq!(el.eliminate(&order), 2);
+        assert_eq!(el.pivot_cols(), &[2, 0]);
+        // Free column 1's toggle mask covers both pivot rows.
+        let mut mask = BitVec::zeros(0);
+        el.column_into(1, &mut mask);
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn reuse_does_not_regrow_and_stamps_reset() {
+        let mut el = EliminationScratch::new();
+        for round in 0..5 {
+            load(&mut el, &[&[0, 2], &[1]], 3, &[1]);
+            let order: Vec<u32> = (0..3).collect();
+            assert_eq!(el.eliminate(&order), 2);
+            assert!(el.consistent());
+            // Column 2 was never a pivot; stale stamps must not leak.
+            assert!(!el.is_pivot_col(2), "round {round}");
+        }
+        let gens = el.generations();
+        for _ in 0..20 {
+            load(&mut el, &[&[0, 2], &[1]], 3, &[1]);
+            let order: Vec<u32> = (0..3).collect();
+            el.eliminate(&order);
+        }
+        assert_eq!(el.generations(), gens, "warmed-up pool must not regrow");
     }
 }

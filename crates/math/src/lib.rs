@@ -39,5 +39,5 @@ pub mod graph;
 pub mod rng;
 
 pub use bitmat::BitMatrix;
-pub use bitvec::BitVec;
+pub use bitvec::{BitVec, EliminationScratch};
 pub use rng::{Rng, Xoshiro256StarStar};

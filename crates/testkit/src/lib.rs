@@ -685,3 +685,271 @@ pub fn differential_sparse_blossom_fuzz(cases: u64, seed: u64) -> Result<(), Str
     }
     Ok(())
 }
+
+/// One BP+OSD fuzz case: a synthetic sparse hypergraph DEM (built as a
+/// circuit, so it flows through the real `DetectorErrorModel`
+/// construction) plus the set of fired mechanisms defining a
+/// consistent syndrome, and the decoder's structural knobs.
+#[derive(Debug, Clone)]
+pub struct BpOsdFuzzCase {
+    /// Check detectors in the model.
+    pub num_checks: usize,
+    /// Logical observables in the model.
+    pub num_observables: usize,
+    /// Mechanisms as `(detectors, observables, probability, fired)`;
+    /// fired mechanisms XOR into the shot's syndrome. Duplicate
+    /// `(detectors, observables)` entries exercise mechanism merging;
+    /// detector-free entries with observables exercise undetectable
+    /// logical classes; an empty detector universe for some checks
+    /// leaves degree-0 rows in the Tanner graph.
+    pub mechanisms: Vec<(Vec<u32>, Vec<u32>, f64, bool)>,
+    /// Redundant overcomplete check rows the decoder should build.
+    pub overcomplete: usize,
+    /// OSD order `λ` for the case.
+    pub osd_order: usize,
+}
+
+impl BpOsdFuzzCase {
+    fn render(&self) -> String {
+        let mut s = format!(
+            "BpOsdFuzzCase {{ num_checks: {}, num_observables: {}, mechanisms: vec![",
+            self.num_checks, self.num_observables
+        );
+        for (dets, obs, p, fired) in &self.mechanisms {
+            s.push_str(&format!("(vec!{dets:?}, vec!{obs:?}, {p:?}, {fired}), "));
+        }
+        s.push_str(&format!(
+            "], overcomplete: {}, osd_order: {} }}",
+            self.overcomplete, self.osd_order
+        ));
+        s
+    }
+}
+
+/// Builds a detector error model with exactly the given mechanisms:
+/// one ancilla qubit per mechanism, error-injected and CX-fanned into
+/// its detector/observable qubits, then measured out through the real
+/// `DetectorErrorModel::from_circuit` sensitivity pass (so merging of
+/// identical-effect mechanisms behaves exactly as in production DEMs).
+pub fn synthetic_hypergraph_dem(
+    num_checks: usize,
+    num_observables: usize,
+    mechanisms: &[(Vec<u32>, Vec<u32>, f64)],
+) -> DetectorErrorModel {
+    let nq = num_checks + num_observables + mechanisms.len();
+    let mut c = Circuit::new(nq);
+    c.reset(&(0..nq).collect::<Vec<_>>());
+    for (k, (dets, obs, p)) in mechanisms.iter().enumerate() {
+        let ancilla = num_checks + num_observables + k;
+        c.x_error(&[ancilla], *p);
+        let fanout: Vec<(usize, usize)> = dets
+            .iter()
+            .map(|&d| (ancilla, d as usize))
+            .chain(obs.iter().map(|&o| (ancilla, num_checks + o as usize)))
+            .collect();
+        if !fanout.is_empty() {
+            c.cx(&fanout);
+        }
+    }
+    let m = c.measure(&(0..num_checks).collect::<Vec<_>>(), 0.0);
+    for d in 0..num_checks {
+        c.add_detector(vec![m + d], DetectorMeta::check(d, 0));
+    }
+    if num_observables > 0 {
+        let mo = c.measure(
+            &(num_checks..num_checks + num_observables).collect::<Vec<_>>(),
+            0.0,
+        );
+        for o in 0..num_observables {
+            let obs = c.add_observable();
+            c.include_in_observable(obs, &[mo + o]);
+        }
+    }
+    DetectorErrorModel::from_circuit(&c)
+}
+
+/// Draws one BP+OSD fuzz case: 1–14 checks, 0–3 observables, 0–30
+/// mechanisms of degree 0–6 (degenerate duplicates, disconnected
+/// components and more-mechanisms-than-checks overcomplete shapes all
+/// arise naturally at these sizes), each fired into the syndrome with
+/// probability ~¼, plus randomized overcomplete-row and OSD-order
+/// knobs.
+pub fn random_bp_osd_case(rng: &mut Xoshiro256StarStar) -> BpOsdFuzzCase {
+    let num_checks: usize = rng.gen_range(1usize..=14);
+    let num_observables: usize = rng.gen_range(0usize..=3);
+    let num_mechanisms: usize = rng.gen_range(0usize..=30);
+    let mut mechanisms = Vec::with_capacity(num_mechanisms);
+    let mut dets_pool: Vec<u32> = (0..num_checks as u32).collect();
+    for _ in 0..num_mechanisms {
+        let degree = rng.gen_range(0..=num_checks.min(6));
+        for i in 0..degree {
+            let j = rng.gen_range(i..dets_pool.len());
+            dets_pool.swap(i, j);
+        }
+        let mut dets: Vec<u32> = dets_pool[..degree].to_vec();
+        dets.sort_unstable();
+        let mut obs = Vec::new();
+        for o in 0..num_observables as u32 {
+            if rng.gen_bool(0.25) {
+                obs.push(o);
+            }
+        }
+        let p = 0.005 + rng.gen_f64() * 0.25;
+        mechanisms.push((dets, obs, p, rng.gen_bool(0.25)));
+    }
+    let overcomplete = if rng.gen_bool(0.3) {
+        rng.gen_range(1usize..=4)
+    } else {
+        0
+    };
+    BpOsdFuzzCase {
+        num_checks,
+        num_observables,
+        mechanisms,
+        overcomplete,
+        osd_order: rng.gen_range(0usize..=5),
+    }
+}
+
+/// Runs one BP+OSD fuzz case against the provided (possibly shared)
+/// scratch, checking the decoder's hard invariants:
+///
+/// 1. the correction is **syndrome-valid** — the fired-mechanism
+///    syndrome is consistent by construction, so `valid` must hold;
+/// 2. **OSD never regresses**: with `osd_always` the returned weight is
+///    at most the BP hard decision's weight whenever BP converged;
+/// 3. **scratch-reuse determinism**: `decode_into` through the shared
+///    scratch is bit-identical to a fresh-scratch `decode`.
+fn bp_osd_case_failure(case: &BpOsdFuzzCase, scratch: &mut DecodeScratch) -> Option<String> {
+    let mechs: Vec<(Vec<u32>, Vec<u32>, f64)> = case
+        .mechanisms
+        .iter()
+        .map(|(d, o, p, _)| (d.clone(), o.clone(), *p))
+        .collect();
+    let dem = synthetic_hypergraph_dem(case.num_checks, case.num_observables, &mechs);
+    let config = BpOsdConfig::unflagged()
+        .with_osd_always(true)
+        .with_overcomplete_checks(case.overcomplete)
+        .with_osd_order(case.osd_order);
+    let decoder = BpOsdDecoder::new(&dem, config);
+    let mut dets = BitVec::zeros(dem.num_detectors());
+    for (d, _, _, fired) in &case.mechanisms {
+        if *fired {
+            for &c in d {
+                dets.flip(c as usize);
+            }
+        }
+    }
+    let mut out = BitVec::zeros(0);
+    let outcome = decoder.decode_detail(&dets, scratch, &mut out);
+    if !outcome.valid {
+        return Some(format!(
+            "syndrome-invalid correction on a consistent syndrome (outcome {outcome:?})"
+        ));
+    }
+    if let Some(bw) = outcome.bp_hard_weight {
+        if outcome.weight > bw + 1e-9 {
+            return Some(format!(
+                "OSD regressed past the BP hard decision: weight {} > bp {}",
+                outcome.weight, bw
+            ));
+        }
+    }
+    let fresh = decoder.decode(&dets);
+    if fresh != out {
+        return Some("shared-scratch decode_into diverged from fresh-scratch decode".into());
+    }
+    None
+}
+
+/// `true` when the case fails against a *fresh* scratch (the
+/// shrink predicate: failures reproducible without cross-case state).
+fn bp_osd_case_fails_fresh(case: &BpOsdFuzzCase) -> bool {
+    bp_osd_case_failure(case, &mut DecodeScratch::new()).is_some()
+}
+
+/// Greedy shrink for a failing case: drop mechanisms, unfire fired
+/// ones, and zero the structural knobs, keeping each step only if the
+/// fresh-scratch failure persists.
+fn shrink_bp_osd_case(mut case: BpOsdFuzzCase) -> BpOsdFuzzCase {
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < case.mechanisms.len() {
+            let mut cand = case.clone();
+            cand.mechanisms.remove(i);
+            if bp_osd_case_fails_fresh(&cand) {
+                case = cand;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        for i in 0..case.mechanisms.len() {
+            if case.mechanisms[i].3 {
+                let mut cand = case.clone();
+                cand.mechanisms[i].3 = false;
+                if bp_osd_case_fails_fresh(&cand) {
+                    case = cand;
+                    reduced = true;
+                }
+            }
+        }
+        if case.overcomplete > 0 {
+            let mut cand = case.clone();
+            cand.overcomplete = 0;
+            if bp_osd_case_fails_fresh(&cand) {
+                case = cand;
+                reduced = true;
+            }
+        }
+        if case.osd_order > 0 {
+            let mut cand = case.clone();
+            cand.osd_order = 0;
+            if bp_osd_case_fails_fresh(&cand) {
+                case = cand;
+                reduced = true;
+            }
+        }
+        if !reduced {
+            return case;
+        }
+    }
+}
+
+/// Differential fuzz of the BP+OSD decoder over random sparse
+/// hypergraphs (degenerate, disconnected and overcomplete shapes
+/// included): `cases` cases through one shared
+/// [`qec_decode::DecodeScratch`], each asserting syndrome validity on
+/// its consistent fired-mechanism syndrome, the
+/// OSD-weight ≤ BP-hard-decision-weight contract, and bit-identity of
+/// shared-scratch and fresh-scratch decoding.
+///
+/// # Errors
+///
+/// On the first failure, returns a report carrying the seed, the case
+/// index, and a greedily shrunk minimal reproducer. Re-running with the
+/// same `seed` replays the identical case sequence.
+pub fn differential_bp_osd_fuzz(cases: u64, seed: u64) -> Result<(), String> {
+    let mut scratch = DecodeScratch::new();
+    for case in 0..cases {
+        let mut rng = Xoshiro256StarStar::from_seed_stream(seed, case);
+        let inst = random_bp_osd_case(&mut rng);
+        if let Some(failure) = bp_osd_case_failure(&inst, &mut scratch) {
+            let minimal = if bp_osd_case_fails_fresh(&inst) {
+                shrink_bp_osd_case(inst.clone())
+            } else {
+                inst.clone()
+            };
+            return Err(format!(
+                "bp+osd fuzz failure: seed={seed:#x} case={case}\n\
+                 {failure}\n\
+                 minimal reproducer: {}\n\
+                 (rerun: differential_bp_osd_fuzz({}, {seed:#x}))",
+                minimal.render(),
+                case + 1,
+            ));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! Differential fuzzing of the BP+OSD decoder over random sparse
+//! hypergraphs (see `qec_testkit::differential_bp_osd_fuzz` for the
+//! case shapes, invariants and the shrinking report).
+
+/// Case budget: `QEC_BP_OSD_FUZZ_CASES` when set (how `ci.sh` runs the
+/// release budget), otherwise a debug-friendly default.
+fn budget() -> u64 {
+    std::env::var("QEC_BP_OSD_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) { 300 } else { 2000 })
+}
+
+#[test]
+fn bp_osd_invariants_hold_on_random_hypergraphs() {
+    qec_testkit::differential_bp_osd_fuzz(budget(), 0xb0_05d).unwrap();
+}
+
+/// A second seed with a shared scratch of its own, so two independent
+/// case streams cover different stale-state interleavings.
+#[test]
+fn bp_osd_invariants_hold_second_stream() {
+    qec_testkit::differential_bp_osd_fuzz(budget() / 2, 0x0c7a1).unwrap();
+}

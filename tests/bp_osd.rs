@@ -1,0 +1,244 @@
+//! Differential tests: the BP+OSD tier against MWPM on the matchable
+//! fixture DEMs.
+//!
+//! BP+OSD exists for hypergraphs matching cannot represent, but on
+//! *matchable* DEMs the two decoders face the same problem — so MWPM
+//! is the accuracy reference. Two contracts are pinned here:
+//!
+//! 1. **Syndrome validity is a hard invariant**: every BP+OSD
+//!    correction must exactly reproduce its syndrome (checked per shot
+//!    via `decode_detail`, not statistically), and corrections must be
+//!    bit-identical across prior-build thread counts.
+//! 2. **Accuracy tracks MWPM**: logical failure counts at fixed seeds
+//!    stay within a pinned tolerance of MWPM's on the same shots.
+
+use fpn_repro::prelude::*;
+use qec_math::rng::{Rng, Xoshiro256StarStar};
+use qec_math::BitVec;
+use qec_sim::DetectorErrorModel;
+use qec_testkit::{
+    hyperbolic_memory_dem, mechanism_fire_probability, surface_memory_dem, toric_color_dem,
+};
+
+/// Samples `shots` seeded (syndrome, true-observable-flips) pairs by
+/// firing each DEM mechanism independently with probability `q` —
+/// the same shot model `fingerprint_decoder` uses, extended with the
+/// ground-truth observables so failures can be counted.
+fn sample_dem_shots(
+    dem: &DetectorErrorModel,
+    shots: usize,
+    seed: u64,
+    q: f64,
+) -> Vec<(BitVec, BitVec)> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    (0..shots)
+        .map(|_| {
+            let mut dets = BitVec::zeros(dem.num_detectors());
+            let mut obs = BitVec::zeros(dem.num_observables());
+            for mech in dem.mechanisms() {
+                if rng.gen_bool(q) {
+                    for &d in &mech.detectors {
+                        dets.flip(d as usize);
+                    }
+                    for &o in &mech.observables {
+                        obs.flip(o as usize);
+                    }
+                }
+            }
+            (dets, obs)
+        })
+        .collect()
+}
+
+/// Logical failures for any decoder on pre-sampled shots, through the
+/// batched `decode_into` hot path.
+fn count_failures(decoder: &dyn Decoder, shots: &[(BitVec, BitVec)]) -> usize {
+    let mut scratch = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
+    shots
+        .iter()
+        .filter(|(dets, actual)| {
+            decoder.decode_into(dets, &mut scratch, &mut out);
+            out != *actual
+        })
+        .count()
+}
+
+/// The shared differential: BP+OSD corrections are syndrome-valid on
+/// 100% of shots and thread-count invariant; its failure count sits
+/// within `tolerance` of MWPM's on the identical shots.
+fn assert_bp_osd_tracks_mwpm(
+    label: &str,
+    dem: &DetectorErrorModel,
+    bp_config: BpOsdConfig,
+    mwpm_config: MwpmConfig,
+    shots: usize,
+    seed: u64,
+    tolerance: usize,
+) {
+    let q = mechanism_fire_probability(dem, 8.0);
+    let sampled = sample_dem_shots(dem, shots, seed, q);
+
+    let bp = BpOsdDecoder::new(dem, bp_config.with_build_threads(1));
+    let bp_threaded = BpOsdDecoder::new(dem, bp_config.with_build_threads(3));
+    let mwpm = MwpmDecoder::new(dem, mwpm_config);
+
+    let mut scratch = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
+    let mut out_threaded = BitVec::zeros(0);
+    let mut bp_failures = 0usize;
+    for (i, (dets, actual)) in sampled.iter().enumerate() {
+        let outcome = bp.decode_detail(dets, &mut scratch, &mut out);
+        // The hard invariant: a syndrome assembled from fired
+        // mechanisms is always in the check matrix's column space, so
+        // BP+OSD must return a correction reproducing it exactly —
+        // for every shot, not with high probability.
+        assert!(
+            outcome.valid,
+            "{label}: shot {i} correction does not reproduce its syndrome"
+        );
+        assert!(
+            outcome.weight.is_finite(),
+            "{label}: shot {i} valid but infinite weight"
+        );
+        bp_threaded.decode_detail(dets, &mut scratch, &mut out_threaded);
+        assert_eq!(
+            out, out_threaded,
+            "{label}: shot {i} differs between 1 and 3 build threads"
+        );
+        if out != *actual {
+            bp_failures += 1;
+        }
+    }
+
+    let mwpm_failures = count_failures(&mwpm, &sampled);
+    assert!(
+        bp_failures.abs_diff(mwpm_failures) <= tolerance,
+        "{label}: BP+OSD failures {bp_failures} vs MWPM {mwpm_failures} \
+         exceed pinned tolerance {tolerance} over {shots} shots"
+    );
+}
+
+#[test]
+fn bp_osd_tracks_mwpm_on_d3_surface() {
+    let dem = surface_memory_dem(3);
+    assert_bp_osd_tracks_mwpm(
+        "d=3 surface",
+        &dem,
+        BpOsdConfig::unflagged(),
+        MwpmConfig::unflagged(),
+        128,
+        0xd1f_0001,
+        6,
+    );
+}
+
+#[test]
+fn bp_osd_tracks_mwpm_on_d5_surface() {
+    let dem = surface_memory_dem(5);
+    assert_bp_osd_tracks_mwpm(
+        "d=5 surface",
+        &dem,
+        BpOsdConfig::unflagged(),
+        MwpmConfig::unflagged(),
+        64,
+        0xd1f_0002,
+        6,
+    );
+}
+
+#[test]
+fn bp_osd_tracks_mwpm_on_toric_color() {
+    let (dem, _ctx, pm) = toric_color_dem();
+    assert_bp_osd_tracks_mwpm(
+        "toric color",
+        &dem,
+        BpOsdConfig::flagged(pm),
+        MwpmConfig::flagged(pm),
+        64,
+        0xd1f_0003,
+        8,
+    );
+}
+
+#[test]
+fn bp_osd_tracks_mwpm_on_hyperbolic() {
+    let dem = hyperbolic_memory_dem();
+    assert_bp_osd_tracks_mwpm(
+        "hyperbolic",
+        &dem,
+        BpOsdConfig::unflagged(),
+        MwpmConfig::unflagged(),
+        24,
+        0xd1f_0004,
+        6,
+    );
+}
+
+/// The overcomplete-check knob must not cost syndrome validity or
+/// thread invariance, and should stay in the same accuracy band.
+#[test]
+fn bp_osd_overcomplete_tracks_mwpm_on_d3_surface() {
+    let dem = surface_memory_dem(3);
+    assert_bp_osd_tracks_mwpm(
+        "d=3 surface overcomplete",
+        &dem,
+        BpOsdConfig::unflagged().with_overcomplete_checks(8),
+        MwpmConfig::unflagged(),
+        128,
+        0xd1f_0005,
+        6,
+    );
+}
+
+/// BP+OSD through the full pipeline: `DecodingPipeline` +
+/// `run_ber` with `DecoderKind::PlainBpOsd`, against `PlainMwpm` on
+/// the identical circuit — failure counts at a fixed seed within a
+/// pinned band, and exactly thread-count invariant.
+#[test]
+fn bp_osd_through_run_ber_matches_mwpm_band() {
+    let code = rotated_surface_code(3);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(2e-3);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+
+    let bp_pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::PlainBpOsd, &noise);
+    let single = run_ber(&exp.circuit, bp_pipeline.decoder(), 2_048, 0xbe5, 1);
+    let multi = run_ber(&exp.circuit, bp_pipeline.decoder(), 2_048, 0xbe5, 4);
+    assert_eq!(single.shots, multi.shots);
+    assert_eq!(
+        single.failures, multi.failures,
+        "BP+OSD run_ber must be thread-count invariant"
+    );
+
+    let mwpm_pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::PlainMwpm, &noise);
+    let mwpm = run_ber(&exp.circuit, mwpm_pipeline.decoder(), 2_048, 0xbe5, 4);
+    assert!(
+        multi.failures.abs_diff(mwpm.failures) <= 6,
+        "BP+OSD failures {} vs MWPM {} on the same 2048 shots",
+        multi.failures,
+        mwpm.failures
+    );
+
+    // The tier counters went through qec-obs: every decode is
+    // accounted for, and give-ups never happened on a matchable DEM.
+    let stats = bp_pipeline.decoder().stats();
+    assert!(stats.decodes > 0);
+    assert_eq!(stats.bp_giveups, 0, "matchable DEM must never give up");
+}
+
+/// The flagged BP+OSD variant corrects every single fault on the FPN,
+/// like flagged MWPM does — flag conditioning composes with BP priors.
+#[test]
+fn flagged_bp_osd_corrects_single_faults_on_fpn() {
+    let code = hyperbolic_surface_code(&SURFACE_REGISTRY[12]).unwrap();
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::shared());
+    let noise = NoiseModel::new(1e-3);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+    let pipeline = DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedBpOsd, &noise);
+    assert_eq!(
+        count_single_fault_failures(pipeline.dem(), pipeline.decoder()),
+        0,
+        "flagged BP+OSD corrects every single fault"
+    );
+}

@@ -1012,3 +1012,182 @@ fn flag_oracle_tier_answers_precomputed_single_flag_shots() {
         "with patterns=0 every single-flag shot pays full Dijkstra"
     );
 }
+
+// ---------------------------------------------------------------------------
+// BP+OSD substrate: the pooled GF(2) elimination kernel and the BP
+// message-update determinism contract.
+// ---------------------------------------------------------------------------
+
+/// Loads `(m, b)` into `elim` as a fresh system.
+fn load_system(elim: &mut fpn_repro::qec_math::EliminationScratch, m: &BitMatrix, b: &BitVec) {
+    elim.begin(m.rows(), m.cols());
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            if m.get(r, c) {
+                elim.set(r, c);
+            }
+        }
+        if b.get(r) {
+            elim.set_rhs(r);
+        }
+    }
+}
+
+/// The pooled elimination kernel against the allocating `gf2`
+/// reference: same rank, same consistency verdict, and a
+/// solve-then-verify roundtrip (`M·x == b`) on every consistent
+/// system — through one *shared* scratch across all cases, pinned
+/// equal to a fresh scratch per case.
+#[test]
+fn elimination_scratch_matches_gf2_and_roundtrips() {
+    let mut shared = fpn_repro::qec_math::EliminationScratch::new();
+    for_all(64, 0xe11a, |g| {
+        let m = gen_matrix(g, 10, 12);
+        let b = gen_bitvec(g, m.rows());
+        let order: Vec<u32> = (0..m.cols() as u32).collect();
+        load_system(&mut shared, &m, &b);
+        let rank = shared.eliminate(&order);
+        assert_eq!(rank, gf2::rank(&m), "pooled rank disagrees with gf2");
+        assert_eq!(
+            shared.consistent(),
+            gf2::solve(&m, &b).is_some(),
+            "consistency verdict disagrees with gf2::solve"
+        );
+        if shared.consistent() {
+            let mut x = BitVec::zeros(0);
+            shared.solution_into(&mut x);
+            assert_eq!(m.mul_vec(&x), b, "solution fails to reproduce rhs");
+        }
+        let mut fresh = fpn_repro::qec_math::EliminationScratch::new();
+        load_system(&mut fresh, &m, &b);
+        assert_eq!(fresh.eliminate(&order), rank);
+        assert_eq!(fresh.pivot_cols(), shared.pivot_cols());
+        for r in 0..m.rows() {
+            assert_eq!(fresh.row(r), shared.row(r), "stale scratch state leaked");
+            assert_eq!(fresh.rhs_bit(r), shared.rhs_bit(r));
+        }
+    });
+}
+
+/// Row reduction is idempotent: re-eliminating an already-reduced
+/// system (same column order) reproduces the identical reduced rows,
+/// rhs, rank and pivot set.
+#[test]
+fn elimination_is_idempotent_on_reduced_systems() {
+    let mut first = fpn_repro::qec_math::EliminationScratch::new();
+    let mut second = fpn_repro::qec_math::EliminationScratch::new();
+    for_all(64, 0x1de3, |g| {
+        let m = gen_matrix(g, 10, 12);
+        let b = gen_bitvec(g, m.rows());
+        let order: Vec<u32> = (0..m.cols() as u32).collect();
+        load_system(&mut first, &m, &b);
+        let rank = first.eliminate(&order);
+
+        second.begin(m.rows(), m.cols());
+        for r in 0..m.rows() {
+            for c in first.row(r).iter_ones() {
+                second.set(r, c);
+            }
+            if first.rhs_bit(r) {
+                second.set_rhs(r);
+            }
+        }
+        assert_eq!(
+            second.eliminate(&order),
+            rank,
+            "rank changed on re-reduction"
+        );
+        assert_eq!(second.pivot_cols(), first.pivot_cols());
+        for r in 0..m.rows() {
+            assert_eq!(second.row(r), first.row(r), "row {r} not a fixed point");
+            assert_eq!(second.rhs_bit(r), first.rhs_bit(r));
+        }
+    });
+}
+
+/// Rank, the pivot-column set (lexicographically first independent
+/// columns, a row-order-free invariant) and the consistency verdict
+/// survive any row permutation; the shuffled system's solution still
+/// solves the *original* system.
+#[test]
+fn elimination_rank_and_pivots_invariant_under_row_shuffles() {
+    let mut base = fpn_repro::qec_math::EliminationScratch::new();
+    let mut shuffled = fpn_repro::qec_math::EliminationScratch::new();
+    for_all(64, 0x5487, |g| {
+        let m = gen_matrix(g, 10, 12);
+        let b = gen_bitvec(g, m.rows());
+        let order: Vec<u32> = (0..m.cols() as u32).collect();
+        load_system(&mut base, &m, &b);
+        let rank = base.eliminate(&order);
+
+        let mut perm: Vec<usize> = (0..m.rows()).collect();
+        for i in (1..perm.len()).rev() {
+            let j = g.usize_in(0..=i);
+            perm.swap(i, j);
+        }
+        shuffled.begin(m.rows(), m.cols());
+        for (r, &src) in perm.iter().enumerate() {
+            for c in 0..m.cols() {
+                if m.get(src, c) {
+                    shuffled.set(r, c);
+                }
+            }
+            if b.get(src) {
+                shuffled.set_rhs(r);
+            }
+        }
+        assert_eq!(
+            shuffled.eliminate(&order),
+            rank,
+            "rank not shuffle-invariant"
+        );
+        assert_eq!(
+            shuffled.pivot_cols(),
+            base.pivot_cols(),
+            "pivot columns not shuffle-invariant"
+        );
+        assert_eq!(shuffled.consistent(), base.consistent());
+        if shuffled.consistent() {
+            let mut x = BitVec::zeros(0);
+            shuffled.solution_into(&mut x);
+            assert_eq!(m.mul_vec(&x), b, "shuffled solution fails original system");
+        }
+    });
+}
+
+/// BP message updates are deterministic under scratch reuse: a warm
+/// shared scratch, a fresh scratch and the allocating `decode` path
+/// must produce bitwise-identical corrections on the same syndrome —
+/// and after warmup the pooled BP+OSD buffers must stop growing
+/// (`osd_always` keeps the elimination pool on the hot path).
+#[test]
+fn bp_osd_scratch_reuse_is_bitwise_deterministic() {
+    let dem = surface_memory_dem(3);
+    let decoder = BpOsdDecoder::new(&dem, BpOsdConfig::unflagged().with_osd_always(true));
+    let q = mechanism_fire_probability(&dem, 8.0);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xb9de);
+    let mut shared = DecodeScratch::new();
+    let mut out = BitVec::zeros(0);
+    for _ in 0..16 {
+        let s = random_syndrome(&mut rng, &dem, q);
+        decoder.decode_into(&s, &mut shared, &mut out);
+    }
+    let generations = shared.bp_osd_generations();
+    let high_water = shared.bp_osd_high_water_bytes();
+    assert!(high_water > 0, "warmup must have exercised the OSD pool");
+    let mut out_fresh = BitVec::zeros(0);
+    for _ in 0..64 {
+        let s = random_syndrome(&mut rng, &dem, q);
+        decoder.decode_into(&s, &mut shared, &mut out);
+        let mut fresh = DecodeScratch::new();
+        decoder.decode_into(&s, &mut fresh, &mut out_fresh);
+        assert_eq!(out, out_fresh, "warm scratch diverged from fresh scratch");
+        assert_eq!(out, decoder.decode(&s), "decode_into diverged from decode");
+    }
+    assert_eq!(
+        shared.bp_osd_generations(),
+        generations,
+        "BP+OSD pools regrew after warmup"
+    );
+    assert_eq!(shared.bp_osd_high_water_bytes(), high_water);
+}

@@ -168,6 +168,22 @@ fn service_matches_run_ber_on_hyperbolic_fixture() {
 }
 
 #[test]
+fn service_matches_run_ber_with_bp_osd_decoder() {
+    // The BP+OSD tier behind the service: the queue/shard machinery
+    // must be exactly as transparent for the hypergraph decoder as for
+    // matching — same corrections, same failure count, any shard
+    // count. Also pins that a shared `BpOsdScratch` inside each shard
+    // worker reproduces the fresh-scratch corrections.
+    let code = rotated_surface_code(3);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(2e-3);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+    let decoder =
+        DecodingPipeline::new(&code, &exp, DecoderKind::PlainBpOsd, &noise).into_shared_decoder();
+    assert_service_matches_offline("d3_surface_bp_osd", &exp.circuit, decoder, 256, 2029);
+}
+
+#[test]
 fn service_backpressure_rejects_on_a_real_decoder() {
     // One shard, capacity 2: while a bulky request occupies the shard,
     // the queue can absorb exactly two more; further submissions must
