@@ -74,11 +74,15 @@ QEC_BP_OSD_FUZZ_CASES=2000 cargo test -q --release --offline \
 # the hyperbolic fixture with corrections bit-identical to offline
 # decode_into. The pass_bp_osd gate requires the BP+OSD hypergraph
 # tier to return a syndrome-exact correction for 100% of the
-# hyperbolic ground-truth shots with zero give-ups.
+# hyperbolic ground-truth shots with zero give-ups. The
+# pass_telemetry_overhead gate requires the per-request windowed
+# recording the serve worker performs (heartbeats + rolling-window
+# samples) to stay within 10% of the bare decode loop with
+# bit-identical corrections.
 mkdir -p target
 trace_file=target/obs_trace.jsonl
 bench_out=$(cargo run --release --offline -p qec-bench -- \
-    --shots 1000 --out BENCH_9.json --trace "$trace_file" | tee /dev/stderr)
+    --shots 1000 --out BENCH_10.json --trace "$trace_file" | tee /dev/stderr)
 grep -q '"pass_2x":true' <<<"$bench_out"
 grep -q '"pass_oracle":true' <<<"$bench_out"
 grep -q '"pass_sparse":true' <<<"$bench_out"
@@ -87,6 +91,7 @@ grep -q '"pass_sparse_blossom":true' <<<"$bench_out"
 grep -q '"pass_obs_overhead":true' <<<"$bench_out"
 grep -q '"pass_serve":true' <<<"$bench_out"
 grep -q '"pass_bp_osd":true' <<<"$bench_out"
+grep -q '"pass_telemetry_overhead":true' <<<"$bench_out"
 grep -q '"identical":true' <<<"$bench_out"
 # Every gate must hold, including any added later: a record carrying
 # any "pass_*":false fails CI outright (greps above pin the gates we
@@ -100,11 +105,32 @@ if grep -vq '"bench_schema":' <<<"$bench_out"; then
     echo "ci.sh: bench record missing bench_schema header" >&2
     exit 1
 fi
-test -s BENCH_9.json
+test -s BENCH_10.json
 
 # The bench run's structured trace must be non-empty, well-formed
-# JSON lines with balanced span enter/close nesting, and must contain
-# the service's per-request spans from the serve throughput bench.
+# JSON lines with balanced span enter/close nesting, must contain the
+# service's per-request spans from the serve throughput bench, and
+# must carry a sane minimum event count (a short-but-valid trace means
+# instrumentation silently fell off a hot path).
 test -s "$trace_file"
 grep -q '"name":"serve.request"' "$trace_file"
-cargo run --release --offline -p qec-obs --bin obs_validate -- "$trace_file"
+cargo run --release --offline -p qec-obs --bin obs_validate -- \
+    "$trace_file" --min-events 100
+
+# Live telemetry plane smoke: a real DecodeService with the HTTP
+# endpoint on loopback — scrape /metrics, /healthz and /snapshot over
+# actual TCP and fail on malformed exposition, invalid health JSON or
+# an unhealthy verdict (the zero-dep stand-in for curl in a deploy
+# pipeline).
+cargo run --release --offline -p qec-bench --bin telemetry_smoke
+
+# The trace/bench analyzer must roll the smoke trace up (per-span-name
+# table + critical path, and the flamegraph collapsed-stack form) and
+# read the whole BENCH_*.json trajectory without choking; regression
+# flags are informational, parse failures are not.
+cargo run --release --offline -p qec-obs --bin obs_report -- \
+    --trace "$trace_file" > /dev/null
+cargo run --release --offline -p qec-obs --bin obs_report -- \
+    --trace "$trace_file" --collapse > /dev/null
+cargo run --release --offline -p qec-obs --bin obs_report -- \
+    --bench BENCH_*.json

@@ -1,0 +1,323 @@
+//! Offline analyzer for qec-obs traces and qec-bench artifacts.
+//!
+//! Two modes, both read-only:
+//!
+//! ```text
+//! obs_report --trace <trace.jsonl> [--collapse]
+//! obs_report --bench <BENCH_A.json> [<BENCH_B.json> ...]
+//! ```
+//!
+//! `--trace` rolls a JSON-lines trace up per span name (count, total
+//! time, *self* time with direct children subtracted, mean) and prints
+//! the critical path — the chain from the longest root span down
+//! through each longest child. With `--collapse` it instead emits
+//! flamegraph collapsed-stack lines (`root;child;leaf self_ns`), one
+//! per unique stack, ready for `flamegraph.pl` or any compatible
+//! renderer.
+//!
+//! `--bench` reads one or more `BENCH_<pr>.json` artifacts and prints
+//! the per-component `per_iter_ns` / `speedup` trajectory across PRs,
+//! flagging any component that has regressed more than 20% since its
+//! best recorded value. Flags are informational: historical regressions
+//! must not fail CI smoke runs, so the exit code only reflects
+//! unreadable or malformed inputs.
+
+use qec_obs::JsonValue;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: obs_report --trace <trace.jsonl> [--collapse]\n       obs_report --bench <BENCH.json>...";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--trace") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let collapse = args.iter().any(|a| a == "--collapse");
+            report_trace(path, collapse)
+        }
+        Some("--bench") if args.len() > 1 => report_bench(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// --trace
+// ---------------------------------------------------------------------------
+
+struct Span {
+    id: u64,
+    name: String,
+    parent: Option<u64>,
+    dur_ns: u64,
+}
+
+fn report_trace(path: &str, collapse: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("obs_report: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spans: Vec<Span> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = match JsonValue::parse(line) {
+            Ok(event) => event,
+            Err(err) => {
+                eprintln!("obs_report: {path}:{}: {err}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        if event.get("type").and_then(JsonValue::as_str) != Some("span_close") {
+            continue;
+        }
+        let (Some(id), Some(name), Some(dur_ns)) = (
+            event.get("id").and_then(JsonValue::as_u64),
+            event.get("name").and_then(JsonValue::as_str),
+            event.get("dur_ns").and_then(JsonValue::as_u64),
+        ) else {
+            eprintln!(
+                "obs_report: {path}:{}: span_close missing id/name/dur_ns",
+                lineno + 1
+            );
+            return ExitCode::FAILURE;
+        };
+        spans.push(Span {
+            id,
+            name: name.to_string(),
+            parent: event.get("parent").and_then(JsonValue::as_u64),
+            dur_ns,
+        });
+    }
+    if spans.is_empty() {
+        eprintln!("obs_report: {path}: no span_close events");
+        return ExitCode::FAILURE;
+    }
+
+    // Direct-children total per span id, for self-time attribution.
+    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for span in &spans {
+        if let Some(parent) = span.parent {
+            *child_ns.entry(parent).or_default() += span.dur_ns;
+        }
+    }
+    let self_ns = |span: &Span| {
+        span.dur_ns
+            .saturating_sub(child_ns.get(&span.id).copied().unwrap_or(0))
+    };
+
+    if collapse {
+        print_collapsed(&spans, self_ns);
+        return ExitCode::SUCCESS;
+    }
+
+    // Per-name rollup.
+    struct Rollup {
+        count: u64,
+        total_ns: u64,
+        self_ns: u64,
+    }
+    let mut rollup: BTreeMap<&str, Rollup> = BTreeMap::new();
+    for span in &spans {
+        let entry = rollup.entry(&span.name).or_insert(Rollup {
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+        });
+        entry.count += 1;
+        entry.total_ns += span.dur_ns;
+        entry.self_ns += self_ns(span);
+    }
+    let mut rows: Vec<(&str, Rollup)> = rollup.into_iter().collect();
+    rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+    let name_width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(4).max(4);
+    println!(
+        "{} spans, {} distinct names ({path})",
+        spans.len(),
+        rows.len()
+    );
+    println!(
+        "{:<name_width$}  {:>8}  {:>14}  {:>14}  {:>12}",
+        "name", "count", "total_ns", "self_ns", "mean_ns"
+    );
+    for (name, r) in &rows {
+        println!(
+            "{:<name_width$}  {:>8}  {:>14}  {:>14}  {:>12}",
+            name,
+            r.count,
+            r.total_ns,
+            r.self_ns,
+            r.total_ns / r.count
+        );
+    }
+
+    // Critical path: from the longest root, follow the longest child.
+    let known: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut children: BTreeMap<u64, Vec<&Span>> = BTreeMap::new();
+    for span in &spans {
+        if let Some(parent) = span.parent.filter(|p| known.contains(p)) {
+            children.entry(parent).or_default().push(span);
+        }
+    }
+    let root = spans
+        .iter()
+        .filter(|s| s.parent.is_none_or(|p| !known.contains(&p)))
+        .max_by_key(|s| s.dur_ns)
+        .expect("non-empty span set has a root");
+    println!("\ncritical path:");
+    let mut node = root;
+    loop {
+        let pct = 100.0 * node.dur_ns as f64 / root.dur_ns.max(1) as f64;
+        println!("  {} {} ns ({pct:.1}% of root)", node.name, node.dur_ns);
+        match children
+            .get(&node.id)
+            .and_then(|c| c.iter().max_by_key(|s| s.dur_ns))
+        {
+            Some(next) => node = next,
+            None => break,
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Flamegraph collapsed-stack output: `a;b;c self_ns`, aggregated over
+/// identical stacks. Spans whose parent never closed root their own
+/// stack.
+fn print_collapsed(spans: &[Span], self_ns: impl Fn(&Span) -> u64) {
+    let by_id: BTreeMap<u64, &Span> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for span in spans {
+        let mut frames = vec![span.name.as_str()];
+        let mut cursor = span.parent;
+        while let Some(parent) = cursor.and_then(|p| by_id.get(&p)) {
+            frames.push(parent.name.as_str());
+            cursor = parent.parent;
+        }
+        frames.reverse();
+        *stacks.entry(frames.join(";")).or_default() += self_ns(span);
+    }
+    for (stack, ns) in &stacks {
+        println!("{stack} {ns}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// --bench
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Trajectory {
+    /// `(pr, per_iter_ns)` in PR order.
+    per_iter: Vec<(u64, u64)>,
+    /// `(pr, speedup)` in PR order.
+    speedup: Vec<(u64, f64)>,
+}
+
+fn report_bench(paths: &[String]) -> ExitCode {
+    let mut components: BTreeMap<String, Trajectory> = BTreeMap::new();
+    let mut artifacts: Vec<(u64, String)> = Vec::new();
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("obs_report: cannot read {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match JsonValue::parse(&text) {
+            Ok(doc) => doc,
+            Err(err) => {
+                eprintln!("obs_report: {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (Some(pr), Some(records)) = (
+            doc.get("pr").and_then(JsonValue::as_u64),
+            doc.get("records").and_then(JsonValue::as_array),
+        ) else {
+            eprintln!("obs_report: {path}: not a BENCH artifact (need pr + records)");
+            return ExitCode::FAILURE;
+        };
+        artifacts.push((pr, path.clone()));
+        for record in records {
+            let Some(component) = record.get("component").and_then(JsonValue::as_str) else {
+                continue;
+            };
+            let entry = components.entry(component.to_string()).or_default();
+            if let Some(ns) = record.get("per_iter_ns").and_then(JsonValue::as_u64) {
+                entry.per_iter.push((pr, ns));
+            }
+            if let Some(speedup) = record.get("speedup").and_then(JsonValue::as_f64) {
+                entry.speedup.push((pr, speedup));
+            }
+        }
+    }
+    artifacts.sort();
+    println!(
+        "{} artifacts (PR {}..{}), {} components",
+        artifacts.len(),
+        artifacts.first().map_or(0, |(pr, _)| *pr),
+        artifacts.last().map_or(0, |(pr, _)| *pr),
+        components.len()
+    );
+
+    let mut regressed = 0usize;
+    for (component, mut traj) in components {
+        traj.per_iter.sort();
+        traj.speedup.sort_by_key(|&(pr, _)| pr);
+        let mut flags: Vec<String> = Vec::new();
+        if let (Some(&(latest_pr, latest)), Some(&(best_pr, best))) = (
+            traj.per_iter.last(),
+            traj.per_iter.iter().min_by_key(|(_, ns)| *ns),
+        ) {
+            let path = traj
+                .per_iter
+                .iter()
+                .map(|(pr, ns)| format!("pr{pr} {ns}ns"))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            println!("{component}: {path}");
+            // Lower is better; >20% above the best recorded PR flags.
+            if latest as f64 > best as f64 * 1.2 {
+                flags.push(format!(
+                    "per_iter_ns regressed {:.0}% at pr{latest_pr} vs best {best}ns (pr{best_pr})",
+                    100.0 * (latest as f64 / best as f64 - 1.0)
+                ));
+            }
+        }
+        if let (Some(&(latest_pr, latest)), Some(&(best_pr, best))) = (
+            traj.speedup.last(),
+            traj.speedup.iter().max_by(|a, b| a.1.total_cmp(&b.1)),
+        ) {
+            let path = traj
+                .speedup
+                .iter()
+                .map(|(pr, s)| format!("pr{pr} {s:.1}x"))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            println!("{component}: {path}");
+            // Higher is better; >20% below the best recorded PR flags.
+            if latest < best / 1.2 {
+                flags.push(format!(
+                    "speedup regressed to {latest:.1}x at pr{latest_pr} vs best {best:.1}x (pr{best_pr})"
+                ));
+            }
+        }
+        for flag in &flags {
+            regressed += 1;
+            println!("  !! {flag}");
+        }
+    }
+    println!("{regressed} regression flag(s) (informational; >20% since best)");
+    ExitCode::SUCCESS
+}

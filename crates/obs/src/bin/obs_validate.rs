@@ -1,20 +1,42 @@
 //! Validates a qec-obs JSON-lines trace file.
 //!
-//! Usage: `obs_validate <trace.jsonl>`
+//! Usage: `obs_validate <trace.jsonl> [--min-events N]`
 //!
 //! Exits non-zero (with a diagnostic on stderr) if the file is empty, any
-//! line fails to parse as a JSON object with a `type`, or span enter/close
-//! events are unbalanced. Used by `ci.sh` on the trace emitted by the bench
-//! smoke run.
+//! line fails to parse as a JSON object with a `type`, span enter/close
+//! events are unbalanced, or — with `--min-events N` — the trace holds
+//! fewer than `N` events (a trace that parses but is suspiciously short
+//! usually means instrumentation silently fell off a hot path). Used by
+//! `ci.sh` on the trace emitted by the bench smoke run.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: obs_validate <trace.jsonl>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut min_events: usize = 0;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--min-events" {
+            min_events = match iter.next().map(|n| n.parse()) {
+                Some(Ok(n)) => n,
+                _ => {
+                    eprintln!("obs_validate: --min-events needs a number");
+                    return ExitCode::FAILURE;
+                }
+            };
+        } else if path.is_none() {
+            path = Some(arg);
+        } else {
+            eprintln!("usage: obs_validate <trace.jsonl> [--min-events N]");
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: obs_validate <trace.jsonl> [--min-events N]");
         return ExitCode::FAILURE;
     };
-    let text = match std::fs::read_to_string(&path) {
+    let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(err) => {
             eprintln!("obs_validate: cannot read {path}: {err}");
@@ -27,6 +49,13 @@ fn main() -> ExitCode {
                 "trace ok: {} events, {} spans, {} metrics snapshots ({path})",
                 summary.events, summary.spans, summary.metrics_snapshots
             );
+            if summary.events < min_events {
+                eprintln!(
+                    "obs_validate: {path}: {} events < required --min-events {min_events}",
+                    summary.events
+                );
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         Err(err) => {

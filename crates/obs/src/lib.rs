@@ -26,12 +26,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod expo;
 pub mod json;
 mod metrics;
 mod span;
 mod trace;
 mod validate;
+pub mod window;
 
+pub use expo::{escape_label_value, render_registry, sanitize_metric_name, Exposition};
 pub use json::{JsonValue, Record};
 pub use metrics::{
     bin_index, bin_lower_bound, Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot,
@@ -43,3 +46,7 @@ pub use trace::{
     tracer, TraceWriter, DEFAULT_TRACE_PATH,
 };
 pub use validate::{validate_trace, TraceSummary};
+pub use window::{
+    Clock, ManualClock, MonotonicClock, RateCounter, WindowStats, WindowedHistogram, WINDOW_10S,
+    WINDOW_1S, WINDOW_60S,
+};

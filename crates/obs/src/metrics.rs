@@ -187,11 +187,22 @@ impl HistogramSnapshot {
         self.sum = self.sum.wrapping_add(other.sum);
     }
 
+    /// Whether the snapshot holds no samples. An empty snapshot has no
+    /// quantiles — [`quantile`](Self::quantile) is `None` for every `q`
+    /// — so call sites that would otherwise print a bogus `0` bound
+    /// must either guard on this or spell out their `unwrap_or`
+    /// default.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
     /// The `q`-quantile of the recorded samples, as the **inclusive
     /// upper bound** of the log₂ bin holding the ⌈q·count⌉-th smallest
     /// sample — a conservative (never underestimating) SLO read, exact
     /// to within the bin's factor-of-two resolution. `q` is clamped to
-    /// `[0, 1]`; returns `None` when the histogram is empty.
+    /// `[0, 1]`; returns `None` when the histogram is empty (guard with
+    /// [`is_empty`](Self::is_empty) — there is no meaningful 0 bound to
+    /// report for zero samples).
     ///
     /// This is how the serve/bench harnesses turn the `serve.e2e_ns`
     /// histogram into p50/p99/p999 latency numbers.
@@ -445,6 +456,21 @@ mod tests {
         let reg = Registry::new();
         let _ = reg.counter("x");
         let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_quantiles() {
+        // Regression: an empty snapshot must be explicit about having
+        // no quantiles (None for every q), never a bogus 0 bound.
+        let empty = HistogramSnapshot::empty();
+        assert!(empty.is_empty());
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(empty.quantile(q), None);
+        }
+        let mut h = HistogramSnapshot::empty();
+        h.record(1);
+        assert!(!h.is_empty());
+        assert_eq!(h.quantile(0.5), Some(1));
     }
 
     #[test]

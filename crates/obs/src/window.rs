@@ -1,0 +1,457 @@
+//! Windowed metrics: rolling-window histograms and rate counters for a
+//! long-lived service.
+//!
+//! The cumulative [`Histogram`](crate::Histogram) answers "what happened
+//! since the process started"; a live service also needs "what is the p99
+//! *right now*". [`WindowedHistogram`] and [`RateCounter`] answer that with
+//! a ring of epoch-stamped buckets: time is divided into fixed-width slots
+//! (1 s by default), each ring entry carries the slot index it currently
+//! represents, and recording is O(1) lock-free — a clock read, one stamp
+//! check, and a few relaxed `fetch_add`s. A rolling snapshot merges the
+//! slots whose stamps fall inside the requested window using the existing
+//! associative [`HistogramSnapshot::merge`], so 1 s / 10 s / 60 s views all
+//! come from the same ring.
+//!
+//! Time is injected through the [`Clock`] trait: production uses
+//! [`MonotonicClock`] (a stored `Instant`), tests use [`ManualClock`] and
+//! tick it explicitly, which makes slot rollover — normally a wall-clock
+//! race — fully deterministic.
+//!
+//! Accuracy contract: a record that races a slot rollover on another
+//! thread may land in the adjacent window or be dropped from the rolled
+//! slot; windows are telemetry, not accounting, and the cumulative
+//! histograms remain exact. Nothing here is ever read by decode logic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::{bin_index, HistogramSnapshot, HISTOGRAM_BINS};
+
+/// Nanoseconds per second (the default slot width, and the 1 s window).
+pub const WINDOW_1S: u64 = 1_000_000_000;
+/// The 10 s rolling window, in nanoseconds.
+pub const WINDOW_10S: u64 = 10 * WINDOW_1S;
+/// The 60 s rolling window, in nanoseconds.
+pub const WINDOW_60S: u64 = 60 * WINDOW_1S;
+
+/// A monotonic nanosecond clock, injectable so tests control time.
+///
+/// Implementations must be monotonic (never decrease) per instance;
+/// absolute origin is arbitrary (typically "when the service started").
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since this clock's epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// Production clock: nanoseconds since construction, via `Instant`.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl MonotonicClock {
+    /// A fresh clock whose epoch is "now".
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Test clock: time advances only when told to, so slot rollovers happen
+/// exactly where the test puts them.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A fresh clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `ns`.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Jumps the clock to an absolute time (must not go backwards).
+    pub fn set(&self, ns: u64) {
+        self.now.store(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+/// Ring size: windows up to 60 s (61 distinct slots at the default 1 s
+/// slot width: 60 complete + the current partial) fit with headroom.
+const RING_SLOTS: usize = 64;
+
+/// One ring entry: the slot index it represents (`stamp`, 0 = never
+/// used; stored as `slot_index + 1`) plus a full log₂-bin histogram.
+struct WindowSlot {
+    stamp: AtomicU64,
+    bins: [AtomicU64; HISTOGRAM_BINS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl WindowSlot {
+    fn new() -> Self {
+        WindowSlot {
+            stamp: AtomicU64::new(0),
+            bins: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.bins {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
+    /// Claims this entry for `stamp` (slot index + 1), resetting its
+    /// contents when it still represents an older slot. The CAS winner
+    /// resets; losers proceed and record into the fresh slot.
+    fn claim(&self, stamp: u64) {
+        let prev = self.stamp.load(Ordering::Acquire);
+        if prev != stamp
+            && self
+                .stamp
+                .compare_exchange(prev, stamp, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.reset();
+        }
+    }
+}
+
+struct WindowCore {
+    clock: Arc<dyn Clock>,
+    slot_ns: u64,
+    slots: Vec<WindowSlot>,
+}
+
+impl WindowCore {
+    fn new(clock: Arc<dyn Clock>, slot_ns: u64) -> Self {
+        WindowCore {
+            clock,
+            slot_ns: slot_ns.max(1),
+            slots: (0..RING_SLOTS).map(|_| WindowSlot::new()).collect(),
+        }
+    }
+
+    /// The current slot stamp (slot index + 1, so 0 means "never").
+    fn stamp_now(&self) -> u64 {
+        self.clock.now_ns() / self.slot_ns + 1
+    }
+
+    /// The claimed ring entry for the current instant.
+    fn current(&self) -> (&WindowSlot, u64) {
+        let stamp = self.stamp_now();
+        let slot = &self.slots[(stamp as usize) % self.slots.len()];
+        slot.claim(stamp);
+        (slot, stamp)
+    }
+
+    /// How many slots a `window_ns` rolling window spans (the current
+    /// partial slot included), clamped to what the ring can hold.
+    fn window_slots(&self, window_ns: u64) -> u64 {
+        (window_ns / self.slot_ns)
+            .max(1)
+            .min(self.slots.len() as u64 - 1)
+    }
+
+    /// Calls `f` for every ring entry inside the rolling window ending now.
+    fn for_each_live<F: FnMut(&WindowSlot)>(&self, window_ns: u64, mut f: F) {
+        let now = self.stamp_now();
+        let span = self.window_slots(window_ns);
+        for slot in &self.slots {
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp != 0 && stamp <= now && stamp + span > now {
+                f(slot);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for WindowCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WindowCore(slot_ns={}, slots={})",
+            self.slot_ns,
+            self.slots.len()
+        )
+    }
+}
+
+/// Rolling stats extracted from a windowed histogram: the merged
+/// snapshot's quantiles plus the event rate over the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// The window these stats cover, in nanoseconds.
+    pub window_ns: u64,
+    /// Samples recorded inside the window.
+    pub count: u64,
+    /// Sum of samples inside the window.
+    pub sum: u64,
+    /// p50 (`None` when the window is empty).
+    pub p50: Option<u64>,
+    /// p99 (`None` when the window is empty).
+    pub p99: Option<u64>,
+    /// p999 (`None` when the window is empty).
+    pub p999: Option<u64>,
+    /// Events per second over the window.
+    pub per_sec: f64,
+}
+
+/// A rolling-window log₂ histogram over an injectable [`Clock`].
+///
+/// Recording is O(1) and lock-free; snapshots over any window up to 60 s
+/// merge the ring's live slots with [`HistogramSnapshot::merge`]. Clones
+/// share the ring (cheap `Arc`-backed handles, like every other metric).
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    core: Arc<WindowCore>,
+}
+
+impl WindowedHistogram {
+    /// A fresh ring over the given clock, with 1 s slots.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self::with_slot_ns(clock, WINDOW_1S)
+    }
+
+    /// A fresh ring with an explicit slot width (tests use small slots).
+    pub fn with_slot_ns(clock: Arc<dyn Clock>, slot_ns: u64) -> Self {
+        WindowedHistogram {
+            core: Arc::new(WindowCore::new(clock, slot_ns)),
+        }
+    }
+
+    /// Records one sample at the current clock instant.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let (slot, _) = self.core.current();
+        slot.bins[bin_index(value)].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// The merged snapshot of all samples inside the rolling window of
+    /// `window_ns` ending now. Merging is the associative
+    /// [`HistogramSnapshot::merge`], so this composes with every existing
+    /// quantile/JSON path.
+    pub fn snapshot(&self, window_ns: u64) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::empty();
+        self.core.for_each_live(window_ns, |slot| {
+            let mut part = HistogramSnapshot::empty();
+            for (dst, src) in part.bins.iter_mut().zip(&slot.bins) {
+                *dst = src.load(Ordering::Relaxed);
+            }
+            part.count = slot.count.load(Ordering::Relaxed);
+            part.sum = slot.sum.load(Ordering::Relaxed);
+            merged.merge(&part);
+        });
+        merged
+    }
+
+    /// Rolling quantiles and event rate over `window_ns`.
+    pub fn stats(&self, window_ns: u64) -> WindowStats {
+        let snap = self.snapshot(window_ns);
+        WindowStats {
+            window_ns,
+            count: snap.count,
+            sum: snap.sum,
+            p50: snap.quantile(0.5),
+            p99: snap.quantile(0.99),
+            p999: snap.quantile(0.999),
+            per_sec: snap.count as f64 / (window_ns.max(1) as f64 / WINDOW_1S as f64),
+        }
+    }
+
+    /// The largest sample bin's inclusive upper bound inside the window
+    /// (`None` when empty) — how `/healthz` reports max-depth-over-window.
+    pub fn max_over(&self, window_ns: u64) -> Option<u64> {
+        self.snapshot(window_ns).quantile(1.0)
+    }
+}
+
+/// A rolling-window event counter over an injectable [`Clock`].
+///
+/// Same epoch-stamped ring as [`WindowedHistogram`], but each slot is a
+/// single counter — `serve.rejected` / `serve.deadline_misses` style
+/// events whose *rate* matters for health, not their distribution.
+#[derive(Debug, Clone)]
+pub struct RateCounter {
+    core: Arc<WindowCore>,
+}
+
+impl RateCounter {
+    /// A fresh ring over the given clock, with 1 s slots.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self::with_slot_ns(clock, WINDOW_1S)
+    }
+
+    /// A fresh ring with an explicit slot width (tests use small slots).
+    pub fn with_slot_ns(clock: Arc<dyn Clock>, slot_ns: u64) -> Self {
+        RateCounter {
+            core: Arc::new(WindowCore::new(clock, slot_ns)),
+        }
+    }
+
+    /// Counts one event at the current clock instant.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Counts `n` events at the current clock instant.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let (slot, _) = self.core.current();
+        slot.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Events inside the rolling window of `window_ns` ending now.
+    pub fn events_in(&self, window_ns: u64) -> u64 {
+        let mut total = 0u64;
+        self.core.for_each_live(window_ns, |slot| {
+            total += slot.count.load(Ordering::Relaxed)
+        });
+        total
+    }
+
+    /// Events per second over the rolling window.
+    pub fn per_sec(&self, window_ns: u64) -> f64 {
+        self.events_in(window_ns) as f64 / (window_ns.max(1) as f64 / WINDOW_1S as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arc<ManualClock>, WindowedHistogram) {
+        let clock = Arc::new(ManualClock::new());
+        let hist = WindowedHistogram::new(clock.clone() as Arc<dyn Clock>);
+        (clock, hist)
+    }
+
+    #[test]
+    fn rolling_windows_age_out_deterministically() {
+        let (clock, hist) = setup();
+        // t = 0 s: two fast samples.
+        hist.record(100);
+        hist.record(100);
+        // t = 5 s: one slow sample.
+        clock.set(5 * WINDOW_1S);
+        hist.record(5000);
+        // 1 s window sees only the slow sample; 10 s window sees all.
+        assert_eq!(hist.snapshot(WINDOW_1S).count, 1);
+        let all = hist.snapshot(WINDOW_10S);
+        assert_eq!(all.count, 3);
+        assert_eq!(all.sum, 5200);
+        // p99 over 10 s is dominated by the slow sample's bin bound.
+        assert_eq!(all.quantile(0.99), Some(8191));
+        // t = 9.5 s: the fast samples (slot 0) leave the 10 s window at
+        // t = 10 s (slots 1..=10 remain).
+        clock.set(9 * WINDOW_1S + WINDOW_1S / 2);
+        assert_eq!(hist.snapshot(WINDOW_10S).count, 3);
+        clock.set(10 * WINDOW_1S);
+        assert_eq!(hist.snapshot(WINDOW_10S).count, 1);
+        // t = 70 s: everything has aged out of every window.
+        clock.set(70 * WINDOW_1S);
+        assert_eq!(hist.snapshot(WINDOW_60S).count, 0);
+        assert_eq!(hist.stats(WINDOW_60S).p99, None);
+    }
+
+    #[test]
+    fn ring_reuses_slots_after_wraparound() {
+        let (clock, hist) = setup();
+        hist.record(1);
+        // Jump far enough that slot 0's ring entry is reused: same ring
+        // index, different stamp. The stale contents must be discarded.
+        clock.set(RING_SLOTS as u64 * WINDOW_1S);
+        hist.record(7);
+        let snap = hist.snapshot(WINDOW_60S);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 7);
+    }
+
+    #[test]
+    fn stats_report_rates_and_quantiles() {
+        let (clock, hist) = setup();
+        for _ in 0..100 {
+            hist.record(1000);
+        }
+        clock.set(WINDOW_1S / 2);
+        let s = hist.stats(WINDOW_10S);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.per_sec, 10.0);
+        assert_eq!(s.p50, Some(1023));
+        assert_eq!(s.p999, Some(1023));
+        assert_eq!(hist.max_over(WINDOW_10S), Some(1023));
+        // 1 s window: same samples, 100× the rate.
+        assert_eq!(hist.stats(WINDOW_1S).per_sec, 100.0);
+    }
+
+    #[test]
+    fn rate_counter_windows() {
+        let clock = Arc::new(ManualClock::new());
+        let rate = RateCounter::new(clock.clone() as Arc<dyn Clock>);
+        rate.add(5);
+        clock.set(3 * WINDOW_1S);
+        rate.inc();
+        assert_eq!(rate.events_in(WINDOW_1S), 1);
+        assert_eq!(rate.events_in(WINDOW_10S), 6);
+        assert_eq!(rate.per_sec(WINDOW_10S), 0.6);
+        clock.set(20 * WINDOW_1S);
+        assert_eq!(rate.events_in(WINDOW_10S), 0);
+    }
+
+    #[test]
+    fn shared_handles_record_into_one_ring() {
+        let (clock, hist) = setup();
+        let clone = hist.clone();
+        hist.record(1);
+        clone.record(2);
+        let _ = &clock;
+        assert_eq!(hist.snapshot(WINDOW_1S).count, 2);
+    }
+
+    #[test]
+    fn manual_clock_ticks() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        clock.advance(10);
+        clock.advance(5);
+        assert_eq!(clock.now_ns(), 15);
+        let real = MonotonicClock::new();
+        let a = real.now_ns();
+        let b = real.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -41,16 +41,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod telemetry;
+
 use qec_decode::{DecodeScratch, Decoder};
 use qec_math::BitVec;
+use qec_obs::window::Clock;
 use qec_obs::{Counter, Gauge, Histogram, Registry};
 use std::collections::VecDeque;
+use std::net::SocketAddr;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use telemetry::{Telemetry, TelemetryContext, TelemetryServer};
 
 /// Configuration for a [`DecodeService`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker shards (0 = one per available core).
     pub shards: usize,
@@ -61,14 +67,55 @@ pub struct ServeConfig {
     /// `decode.*` and `serve.*`), falling back to a fresh registry for
     /// decoders without one.
     pub metrics: Option<Registry>,
+    /// Bind address for the telemetry HTTP endpoint (`/metrics`,
+    /// `/healthz`, `/snapshot`), e.g. `"127.0.0.1:9464"` or
+    /// `"127.0.0.1:0"` to let the OS pick a port (read it back with
+    /// [`DecodeService::telemetry_addr`]). `None` (the default) starts
+    /// no listener.
+    pub telemetry_addr: Option<String>,
+    /// Whether the serve hot path feeds the rolling 1 s/10 s/60 s
+    /// window aggregates (`serve.e2e_ns`, `serve.queue_ns`,
+    /// `serve.queue_depth_window`, miss/reject rates). Defaults to
+    /// `true`; forced on whenever `telemetry_addr` is set (the
+    /// endpoints would otherwise serve empty windows). The
+    /// `telemetry_overhead` bench gate pins the recording cost at
+    /// ≤ 1.10× of a windowless hot path.
+    pub windowed_metrics: bool,
+    /// How long one request may occupy a shard before the shard counts
+    /// as stalled in the `/healthz` verdict. Defaults to
+    /// [`DEFAULT_STALL_THRESHOLD`].
+    pub stall_threshold: Duration,
+    /// Clock behind heartbeats and window aggregates. `None` (the
+    /// default) uses the monotonic wall clock; tests inject a
+    /// [`qec_obs::ManualClock`] for deterministic window arithmetic.
+    pub clock: Option<Arc<dyn Clock>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 0,
+            queue_capacity: 0,
+            metrics: None,
+            telemetry_addr: None,
+            windowed_metrics: true,
+            stall_threshold: DEFAULT_STALL_THRESHOLD,
+            clock: None,
+        }
+    }
 }
 
 /// Queue capacity when [`ServeConfig::queue_capacity`] is 0.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 128;
 
+/// Stall threshold when [`ServeConfig::stall_threshold`] is left at its
+/// default: one second holding a single request marks a shard stalled.
+pub const DEFAULT_STALL_THRESHOLD: Duration = Duration::from_secs(1);
+
 impl ServeConfig {
     /// Default configuration: one shard per core, default capacity,
-    /// metrics shared with the decoder.
+    /// metrics shared with the decoder, windowed metrics on, no
+    /// telemetry listener.
     pub fn new() -> Self {
         Self::default()
     }
@@ -88,6 +135,30 @@ impl ServeConfig {
     /// Routes the `serve.*` metrics into `registry`.
     pub fn with_metrics(mut self, registry: Registry) -> Self {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// Serves `/metrics`, `/healthz` and `/snapshot` on `addr`.
+    pub fn with_telemetry_addr(mut self, addr: impl Into<String>) -> Self {
+        self.telemetry_addr = Some(addr.into());
+        self
+    }
+
+    /// Enables or disables the rolling window aggregates.
+    pub fn with_windowed_metrics(mut self, enabled: bool) -> Self {
+        self.windowed_metrics = enabled;
+        self
+    }
+
+    /// Sets the per-shard stall threshold for the health verdict.
+    pub fn with_stall_threshold(mut self, threshold: Duration) -> Self {
+        self.stall_threshold = threshold;
+        self
+    }
+
+    /// Injects the clock behind heartbeats and window aggregates.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
         self
     }
 }
@@ -261,6 +332,10 @@ pub struct DecodeService {
     metrics: Registry,
     shards: usize,
     queue_capacity: usize,
+    telemetry: Arc<Telemetry>,
+    /// Joined in [`Drop`] *before* the worker drain, so a scrape never
+    /// races a half-torn-down service.
+    telemetry_server: Option<TelemetryServer>,
 }
 
 impl std::fmt::Debug for DecodeService {
@@ -282,7 +357,9 @@ impl DecodeService {
     ///
     /// # Panics
     ///
-    /// Panics if a worker thread cannot be spawned.
+    /// Panics if a worker thread cannot be spawned, or if
+    /// [`ServeConfig::telemetry_addr`] is set and the listener cannot
+    /// bind it.
     pub fn new(decoder: Arc<dyn Decoder + Send + Sync>, config: ServeConfig) -> Self {
         let shards = if config.shards == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -299,6 +376,17 @@ impl DecodeService {
             .or_else(|| decoder.metrics().cloned())
             .unwrap_or_default();
         let counters = ServeCounters::register(&metrics);
+        let clock = config.clock.unwrap_or_else(telemetry::default_clock);
+        // A telemetry endpoint with empty windows would be useless, so
+        // the listener forces the aggregates on.
+        let windowed = config.windowed_metrics || config.telemetry_addr.is_some();
+        let telemetry = Arc::new(Telemetry::new(
+            clock,
+            shards,
+            config.stall_threshold,
+            windowed,
+            metrics.clone(),
+        ));
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::with_capacity(queue_capacity),
@@ -311,12 +399,28 @@ impl DecodeService {
                 let shared = Arc::clone(&shared);
                 let decoder = Arc::clone(&decoder);
                 let counters = counters.clone();
+                let telemetry = Arc::clone(&telemetry);
                 std::thread::Builder::new()
                     .name(format!("qec-serve-{shard}"))
-                    .spawn(move || worker_loop(shard, &shared, decoder.as_ref(), &counters))
+                    .spawn(move || {
+                        worker_loop(shard, &shared, decoder.as_ref(), &counters, &telemetry)
+                    })
                     .expect("spawn decode shard")
             })
             .collect();
+        let telemetry_server = config.telemetry_addr.as_deref().map(|addr| {
+            let shared = Arc::clone(&shared);
+            let context = TelemetryContext {
+                telemetry: Arc::clone(&telemetry),
+                queue_depth: Box::new(move || {
+                    shared
+                        .queue
+                        .lock()
+                        .map_or(0, |state| state.jobs.len() as u64)
+                }),
+            };
+            TelemetryServer::start(addr, context).expect("bind telemetry listener")
+        });
         DecodeService {
             shared,
             workers,
@@ -324,6 +428,8 @@ impl DecodeService {
             metrics,
             shards,
             queue_capacity,
+            telemetry,
+            telemetry_server,
         }
     }
 
@@ -356,6 +462,7 @@ impl DecodeService {
         let submitted = Instant::now();
         if deadline.is_some_and(|d| submitted > d) {
             self.counters.deadline_misses.inc();
+            self.telemetry.on_deadline_miss();
             return Err(SubmitError::DeadlineExceeded);
         }
         let (tx, rx) = mpsc::channel();
@@ -366,6 +473,7 @@ impl DecodeService {
             }
             if state.jobs.len() >= self.queue_capacity {
                 self.counters.rejected.inc();
+                self.telemetry.on_reject();
                 return Err(SubmitError::WouldBlock);
             }
             state.jobs.push_back(Job {
@@ -374,7 +482,9 @@ impl DecodeService {
                 submitted,
                 reply: tx,
             });
-            self.counters.queue_depth.set(state.jobs.len() as u64);
+            let depth = state.jobs.len() as u64;
+            self.counters.queue_depth.set(depth);
+            self.telemetry.on_submit(depth);
         }
         self.shared.available.notify_one();
         Ok(PendingResponse { rx })
@@ -395,10 +505,37 @@ impl DecodeService {
     pub fn queue_capacity(&self) -> usize {
         self.queue_capacity
     }
+
+    /// Where the telemetry endpoint is listening, when
+    /// [`ServeConfig::telemetry_addr`] was set (the port is resolved,
+    /// so binding `127.0.0.1:0` yields a concrete scrape target).
+    pub fn telemetry_addr(&self) -> Option<SocketAddr> {
+        self.telemetry_server.as_ref().map(TelemetryServer::addr)
+    }
+
+    /// The `/healthz` verdict without going through HTTP: the status
+    /// code (`200` for `ok`/`degraded`, `503` for `unhealthy`) and the
+    /// JSON body.
+    pub fn healthz(&self) -> (u16, String) {
+        let depth = self
+            .shared
+            .queue
+            .lock()
+            .map_or(0, |state| state.jobs.len() as u64);
+        self.telemetry.healthz(depth)
+    }
+
+    /// The `/metrics` exposition text without going through HTTP.
+    pub fn metrics_text(&self) -> String {
+        self.telemetry.metrics_text()
+    }
 }
 
 impl Drop for DecodeService {
     fn drop(&mut self) {
+        // Stop answering scrapes first: the telemetry thread reads the
+        // queue and shard state that the drain below tears down.
+        drop(self.telemetry_server.take());
         {
             let mut state = self.shared.queue.lock().expect("serve queue lock");
             state.shutdown = true;
@@ -410,17 +547,24 @@ impl Drop for DecodeService {
     }
 }
 
-fn worker_loop(shard: usize, shared: &Shared, decoder: &dyn Decoder, counters: &ServeCounters) {
+fn worker_loop(
+    shard: usize,
+    shared: &Shared,
+    decoder: &dyn Decoder,
+    counters: &ServeCounters,
+    telemetry: &Telemetry,
+) {
     let _shard_span = qec_obs::span_with("serve.shard", &[("shard", shard.into())]);
     let mut scratch = DecodeScratch::new();
     let mut out = BitVec::zeros(0);
     loop {
-        let job = {
+        let (job, depth) = {
             let mut state = shared.queue.lock().expect("serve queue lock");
             loop {
                 if let Some(job) = state.jobs.pop_front() {
-                    counters.queue_depth.set(state.jobs.len() as u64);
-                    break job;
+                    let depth = state.jobs.len() as u64;
+                    counters.queue_depth.set(depth);
+                    break (job, depth);
                 }
                 if state.shutdown {
                     return;
@@ -431,6 +575,7 @@ fn worker_loop(shard: usize, shared: &Shared, decoder: &dyn Decoder, counters: &
         let queue_ns = ns_since(job.submitted);
         counters.requests.inc();
         counters.queue_ns.record(queue_ns);
+        telemetry.on_pickup(shard, depth, queue_ns);
         let mut span = qec_obs::span_with(
             "serve.request",
             &[
@@ -441,6 +586,8 @@ fn worker_loop(shard: usize, shared: &Shared, decoder: &dyn Decoder, counters: &
         span.field("queue_ns", queue_ns);
         if job.deadline.is_some_and(|d| Instant::now() > d) {
             counters.deadline_misses.inc();
+            telemetry.on_deadline_miss();
+            telemetry.on_done(shard, None);
             span.field("deadline_missed", true);
             let _ = job
                 .reply
@@ -459,6 +606,7 @@ fn worker_loop(shard: usize, shared: &Shared, decoder: &dyn Decoder, counters: &
         counters.e2e_ns.record(total_ns);
         counters.shots.add(corrections.len() as u64);
         counters.completed.inc();
+        telemetry.on_done(shard, Some(total_ns));
         span.field("decode_ns", decode_ns);
         span.field("e2e_ns", total_ns);
         let _ = job.reply.send(Ok(DecodeResponse {

@@ -11,10 +11,13 @@
 use fpn_repro::prelude::*;
 use qec_math::rng::Xoshiro256StarStar;
 use qec_math::BitVec;
-use qec_obs::Registry;
+use qec_obs::{JsonValue, Registry};
 use qec_serve::{DecodeService, PendingResponse, ServeConfig, SubmitError};
 use qec_sim::FrameBatch;
-use std::sync::Arc;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Replays `run_ber`'s exact batch schedule: batch `b` draws from the
 /// forked RNG stream `(seed, b)`, shots are extracted in batch order.
@@ -227,4 +230,258 @@ fn service_backpressure_rejects_on_a_real_decoder() {
         p.wait().expect("accepted requests complete");
     }
     assert!(service.metrics().snapshot().counter("serve.rejected") >= 1);
+}
+
+// ---------------------------------------------------------------------------
+// Live telemetry plane: /metrics, /healthz, /snapshot over real HTTP.
+// ---------------------------------------------------------------------------
+
+/// Minimal HTTP/1.1 GET (the tests' stand-in for `curl`): returns the
+/// status code and the response body.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    http_request(addr, &format!("GET {path} HTTP/1.1\r\nHost: qec\r\n\r\n"))
+}
+
+fn http_request(addr: SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect telemetry endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    stream
+        .write_all(request.as_bytes())
+        .expect("write HTTP request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read HTTP response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("HTTP status line")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Polls `healthz` over HTTP until the verdict matches, or panics.
+fn wait_for_status(addr: SocketAddr, want: &str) -> (u16, String) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (code, body) = http_get(addr, "/healthz");
+        let status = JsonValue::parse(&body)
+            .expect("healthz is valid JSON")
+            .get("status")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .expect("healthz has a status key");
+        if status == want {
+            return (code, body);
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "healthz never reached {want:?}; last: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn telemetry_endpoints_serve_a_live_service_under_load() {
+    let code = rotated_surface_code(3);
+    let fpn = FlagProxyNetwork::build(&code, &FpnConfig::direct());
+    let noise = NoiseModel::new(2e-3);
+    let exp = build_memory_circuit(&code, &fpn, Some(&noise), 3, Basis::Z);
+    let decoder =
+        DecodingPipeline::new(&code, &exp, DecoderKind::FlaggedMwpm, &noise).into_shared_decoder();
+    let service = DecodeService::new(
+        Arc::clone(&decoder),
+        ServeConfig::new()
+            .with_shards(2)
+            .with_queue_capacity(64)
+            .with_metrics(Registry::new())
+            .with_telemetry_addr("127.0.0.1:0"),
+    );
+    let addr = service.telemetry_addr().expect("telemetry listener bound");
+
+    // Load the service, scraping while requests are in flight.
+    let shots: Vec<BitVec> = sample_shots(&exp.circuit, 256, 97)
+        .into_iter()
+        .filter(|(d, _)| !d.is_zero())
+        .map(|(d, _)| d)
+        .collect();
+    assert!(!shots.is_empty());
+    let pending: Vec<PendingResponse> = shots
+        .chunks(8)
+        .map(|c| service.try_submit(c.to_vec()).expect("submit"))
+        .collect();
+
+    let (code_mid, _) = http_get(addr, "/healthz");
+    assert_eq!(code_mid, 200, "health scrape mid-load answers");
+
+    let offline = {
+        let mut scratch = DecodeScratch::new();
+        let mut out = BitVec::zeros(0);
+        shots
+            .iter()
+            .map(|d| {
+                decoder.decode_into(d, &mut scratch, &mut out);
+                out.clone()
+            })
+            .collect::<Vec<_>>()
+    };
+    let mut served = Vec::new();
+    for p in pending {
+        served.extend(p.wait().expect("completes").corrections);
+    }
+    assert_eq!(
+        served, offline,
+        "corrections stay bit-identical with telemetry scraping in flight"
+    );
+
+    // /metrics: a valid exposition carrying both the cumulative
+    // registry series and the rolling-window gauges.
+    let (code, metrics) = http_get(addr, "/metrics");
+    assert_eq!(code, 200);
+    assert!(metrics.contains("# TYPE serve_requests counter"));
+    assert!(metrics.contains("# TYPE serve_e2e_ns histogram"));
+    assert!(metrics.contains("serve_e2e_ns_bucket{le=\"+Inf\"}"));
+    assert!(metrics.contains("serve_completed_per_sec{window=\"10s\"}"));
+    for line in metrics.lines().filter(|l| !l.starts_with('#')) {
+        let (_, value) = line.rsplit_once(' ').expect("sample line");
+        value.parse::<f64>().expect("sample value parses");
+    }
+
+    // /healthz: valid JSON, healthy verdict, all report keys present.
+    let (code, health) = http_get(addr, "/healthz");
+    assert_eq!(code, 200);
+    let health = JsonValue::parse(&health).expect("healthz parses");
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    for key in [
+        "stalled_shards",
+        "shards",
+        "queue_depth",
+        "queue_depth_max_10s",
+        "deadline_miss_per_sec_10s",
+        "rejected_per_sec_10s",
+        "uptime_ns",
+    ] {
+        assert!(health.get(key).is_some(), "healthz reports {key}");
+    }
+    assert_eq!(health.get("shards").unwrap().as_array().unwrap().len(), 2);
+    // The queue gauge reconciled to zero after the drain, while the
+    // windowed max remembers the burst that just passed through.
+    assert_eq!(health.get("queue_depth").unwrap().as_u64(), Some(0));
+    assert!(
+        health.get("queue_depth_max_10s").unwrap().as_u64() >= Some(1),
+        "rolling max must remember the burst: {health}"
+    );
+
+    // /snapshot: the full registry as JSON.
+    let (code, snapshot) = http_get(addr, "/snapshot");
+    assert_eq!(code, 200);
+    let snapshot = JsonValue::parse(&snapshot).expect("snapshot parses");
+    assert!(snapshot.get("serve.requests").is_some());
+    assert!(snapshot.get("serve.e2e_ns").is_some());
+
+    // Unknown paths and non-GET methods are refused, not crashed on.
+    assert_eq!(http_get(addr, "/nope").0, 404);
+    assert_eq!(
+        http_request(addr, "POST /metrics HTTP/1.1\r\nHost: qec\r\n\r\n").0,
+        405
+    );
+}
+
+/// A decoder that blocks inside `decode` until its gate opens — the
+/// mock for a wedged shard.
+struct GatedDecoder {
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Decoder for GatedDecoder {
+    fn decode(&self, detectors: &BitVec) -> BitVec {
+        let (lock, cvar) = &*self.gate;
+        let mut open = lock.lock().expect("gate lock");
+        while !*open {
+            open = cvar.wait(open).expect("gate lock");
+        }
+        detectors.clone()
+    }
+
+    fn num_observables(&self) -> usize {
+        8
+    }
+}
+
+fn open_gate(gate: &Arc<(Mutex<bool>, Condvar)>) {
+    let (lock, cvar) = &**gate;
+    *lock.lock().expect("gate lock") = true;
+    cvar.notify_all();
+}
+
+#[test]
+fn health_flips_degraded_on_a_stalled_shard_and_recovers() {
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let service = DecodeService::new(
+        Arc::new(GatedDecoder {
+            gate: Arc::clone(&gate),
+        }),
+        ServeConfig::new()
+            .with_shards(2)
+            .with_queue_capacity(8)
+            .with_metrics(Registry::new())
+            .with_stall_threshold(Duration::from_millis(25))
+            .with_telemetry_addr("127.0.0.1:0"),
+    );
+    let addr = service.telemetry_addr().expect("telemetry listener bound");
+    let (code, _) = wait_for_status(addr, "ok");
+    assert_eq!(code, 200);
+
+    // One shard wedges on a gated request; the other stays free, so
+    // the verdict is degraded — still HTTP 200 (capacity reduced, not
+    // gone).
+    let wedged = service
+        .try_submit(vec![BitVec::from_ones(8, [0])])
+        .expect("submit");
+    let (code, body) = wait_for_status(addr, "degraded");
+    assert_eq!(code, 200, "degraded still answers 200: {body}");
+    let parsed = JsonValue::parse(&body).unwrap();
+    assert_eq!(parsed.get("stalled_shards").unwrap().as_u64(), Some(1));
+
+    // Recovery: open the gate, the request completes, health returns
+    // to ok.
+    open_gate(&gate);
+    wedged.wait().expect("wedged request completes");
+    let (code, _) = wait_for_status(addr, "ok");
+    assert_eq!(code, 200);
+}
+
+#[test]
+fn health_reports_unhealthy_with_http_503_when_every_shard_stalls() {
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let service = DecodeService::new(
+        Arc::new(GatedDecoder {
+            gate: Arc::clone(&gate),
+        }),
+        ServeConfig::new()
+            .with_shards(1)
+            .with_queue_capacity(8)
+            .with_metrics(Registry::new())
+            .with_stall_threshold(Duration::from_millis(25))
+            .with_telemetry_addr("127.0.0.1:0"),
+    );
+    let addr = service.telemetry_addr().expect("telemetry listener bound");
+    let wedged = service
+        .try_submit(vec![BitVec::from_ones(8, [1])])
+        .expect("submit");
+    // The only shard is wedged: nothing drains, so the verdict is
+    // unhealthy and the endpoint answers 503 for load-balancer checks.
+    let (code, _) = wait_for_status(addr, "unhealthy");
+    assert_eq!(code, 503, "unhealthy must answer non-200");
+    open_gate(&gate);
+    wedged.wait().expect("wedged request completes");
+    let (code, _) = wait_for_status(addr, "ok");
+    assert_eq!(code, 200);
 }
